@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: the competing
+ * prefetcher lineup of the paper's evaluation (Section V-B) and their
+ * aggressive Fig. 10 variants.
+ */
+
+#ifndef BINGO_BENCH_COMMON_HPP
+#define BINGO_BENCH_COMMON_HPP
+
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace bingo::benchutil
+{
+
+/** The six competing prefetchers of Figs. 7-9, in figure order. */
+inline std::vector<PrefetcherKind>
+competingPrefetchers()
+{
+    return {PrefetcherKind::Bop,  PrefetcherKind::Spp,
+            PrefetcherKind::Vldp, PrefetcherKind::Ampm,
+            PrefetcherKind::Sms,  PrefetcherKind::Bingo};
+}
+
+/** Baseline system with prefetcher `kind` at its Section V-B sizing. */
+inline SystemConfig
+configFor(PrefetcherKind kind)
+{
+    SystemConfig config;
+    config.prefetcher.kind = kind;
+    return config;
+}
+
+/**
+ * Aggressive (iso-degree) variant for Fig. 10: BOP/VLDP degree 32, SPP
+ * confidence threshold 1 %.
+ */
+inline SystemConfig
+aggressiveConfigFor(PrefetcherKind kind)
+{
+    SystemConfig config = configFor(kind);
+    config.prefetcher.bop_degree = 32;
+    config.prefetcher.vldp_degree = 32;
+    config.prefetcher.spp_confidence_threshold = 0.01;
+    config.prefetcher.spp_max_depth = 32;
+    return config;
+}
+
+} // namespace bingo::benchutil
+
+#endif // BINGO_BENCH_COMMON_HPP

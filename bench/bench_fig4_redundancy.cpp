@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 4 reproduction: redundancy in the history metadata of
+ * TAGE-like spatial predictors — the fraction of lookups for which the
+ * long (PC+Address) and short (PC+Offset) events offer an identical
+ * prediction. High redundancy is what makes Bingo's single unified
+ * table (Section IV) viable.
+ */
+
+#include <cstdio>
+
+#include "prefetch/event_study.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "sim/system.hpp"
+
+int
+main()
+{
+    using namespace bingo;
+
+    const ExperimentOptions options = defaultOptions();
+    std::printf("Figure 4: redundancy of long/short event "
+                "predictions\n");
+    printConfigHeader(SystemConfig{});
+
+    TextTable table({"Workload", "Redundancy", "Dual-match lookups"});
+    double sum = 0.0;
+    for (const std::string &workload : workloadNames()) {
+        SystemConfig config;
+        config.prefetcher.kind = PrefetcherKind::EventStudy;
+        config.seed = options.seed;
+        System system(config, workload);
+        system.run(options.warmup_instructions,
+                   options.measure_instructions);
+
+        std::uint64_t both = 0;
+        std::uint64_t identical = 0;
+        for (CoreId c = 0; c < system.numCores(); ++c) {
+            const auto &observer = static_cast<EventStudyObserver &>(
+                *system.prefetcher(c));
+            both += observer.bothMatched();
+            identical += observer.identicalPredictions();
+        }
+        const double redundancy =
+            both == 0 ? 0.0
+                      : static_cast<double>(identical) /
+                            static_cast<double>(both);
+        sum += redundancy;
+        table.addRow({workload, fmtPercent(redundancy),
+                      std::to_string(both)});
+    }
+    table.addRow({"Average",
+                  fmtPercent(sum / static_cast<double>(
+                                       workloadNames().size())),
+                  ""});
+    table.print();
+    table.maybeWriteCsv("fig4_redundancy");
+
+    std::printf("\nPaper shape check: redundancy is considerable "
+                "everywhere (paper: 26%% on SAT Solver up to 93%% on "
+                "Mix 2), lowest on the many-layout server workloads "
+                "and highest on the stream-dominated mixes.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * Bingo history lookup/insert, footprint voting, cache access, DRAM
+ * service, and trace generation. These guard the simulation throughput
+ * that makes the figure sweeps cheap.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hpp"
+#include "common/event_queue.hpp"
+#include "common/rng.hpp"
+#include "mem/dram.hpp"
+#include "prefetch/bingo.hpp"
+#include "workload/generator.hpp"
+
+namespace
+{
+
+using namespace bingo;
+
+void
+BM_BingoHistoryInsert(benchmark::State &state)
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::Bingo;
+    BingoPrefetcher prefetcher(config);
+    Rng rng(7);
+    Footprint fp = Footprint::fromRaw(0x00ff00ff00ff00ffULL &
+                                      ((1ULL << kBlocksPerRegion) - 1));
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + rng.below(64) * 4;
+        const Addr block = blockAlign(rng.next() & 0xffffffffffULL);
+        prefetcher.insertHistory(pc, block, fp);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BingoHistoryInsert);
+
+void
+BM_BingoHistoryLookup(benchmark::State &state)
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::Bingo;
+    BingoPrefetcher prefetcher(config);
+    Rng rng(7);
+    Footprint fp = Footprint::fromRaw(0xaaaaaaaaULL &
+                                      ((1ULL << kBlocksPerRegion) - 1));
+    for (unsigned i = 0; i < 16 * 1024; ++i) {
+        prefetcher.insertHistory(0x400000 + rng.below(64) * 4,
+                                 blockAlign(rng.next() & 0xffffffffULL),
+                                 fp);
+    }
+    for (auto _ : state) {
+        const Addr pc = 0x400000 + rng.below(64) * 4;
+        const Addr block = blockAlign(rng.next() & 0xffffffffULL);
+        benchmark::DoNotOptimize(prefetcher.lookup(pc, block));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BingoHistoryLookup);
+
+void
+BM_FootprintVote(benchmark::State &state)
+{
+    Rng rng(11);
+    std::vector<Footprint> footprints;
+    for (int i = 0; i < 12; ++i) {
+        footprints.push_back(Footprint::fromRaw(
+            rng.next() & ((1ULL << kBlocksPerRegion) - 1)));
+    }
+    for (auto _ : state) {
+        FootprintVote vote;
+        for (const Footprint &fp : footprints)
+            vote.add(fp);
+        benchmark::DoNotOptimize(vote.resolve(0.2));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FootprintVote);
+
+void
+BM_DramService(benchmark::State &state)
+{
+    DramConfig config;
+    DramController dram(config);
+    Rng rng(13);
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.read(blockAlign(rng.next() & 0xfffffffULL), now));
+        now += 20;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramService);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    // A leaf cache over a no-op lower level.
+    class NullLower : public MemoryLower
+    {
+      public:
+        void
+        fetch(const MemAccess &, Cycle now, FillCallback done) override
+        {
+            done(now + 100);
+        }
+        void writeback(Addr, CoreId, Cycle) override {}
+    };
+
+    EventQueue events;
+    NullLower lower;
+    CacheConfig config{64 * 1024, 8, 4, 8};
+    Cache cache("bench", config, events, lower);
+    Rng rng(17);
+    Cycle now = 0;
+    for (auto _ : state) {
+        MemAccess access;
+        access.block = blockAlign(rng.next() & 0xfffffULL);
+        access.pc = 0x1000;
+        access.type = AccessType::Load;
+        cache.access(access, now, [](Cycle) {});
+        events.runDue(now + 10);
+        now += 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto source = makeWorkload("Data Serving", 0, 42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(source->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

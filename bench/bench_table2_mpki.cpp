@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table II reproduction: baseline (no-prefetcher) LLC MPKI of every
+ * workload, next to the paper's reported values.
+ */
+
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace
+{
+
+/** Paper Table II LLC MPKI. */
+double
+paperMpki(const std::string &workload)
+{
+    if (workload == "Data Serving") return 6.7;
+    if (workload == "SAT Solver") return 1.7;
+    if (workload == "Streaming") return 3.9;
+    if (workload == "Zeus") return 5.2;
+    if (workload == "em3d") return 32.4;
+    if (workload == "Mix 1") return 15.7;
+    if (workload == "Mix 2") return 12.5;
+    if (workload == "Mix 3") return 12.7;
+    if (workload == "Mix 4") return 14.7;
+    if (workload == "Mix 5") return 12.6;
+    return 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bingo;
+
+    const ExperimentOptions options = defaultOptions();
+    SystemConfig config;
+    config.prefetcher.kind = PrefetcherKind::None;
+
+    std::printf("Table II: workload characteristics "
+                "(baseline system, no prefetcher)\n");
+    printConfigHeader(config);
+
+    TextTable table({"Application", "Description", "LLC MPKI (paper)",
+                     "LLC MPKI (measured)", "IPC/core"});
+    for (const std::string &workload : workloadNames()) {
+        const RunResult result =
+            baselineFor(workload, config, options);
+        table.addRow({workload, workloadDescription(workload),
+                      fmtDouble(paperMpki(workload), 1),
+                      fmtDouble(result.llcMpki(), 1),
+                      fmtDouble(result.ipcSum() /
+                                    static_cast<double>(
+                                        result.core_ipc.size()),
+                                2)});
+    }
+    table.print();
+    table.maybeWriteCsv("table2_mpki");
+    return 0;
+}

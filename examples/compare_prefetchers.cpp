@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Prefetcher shoot-out on one workload: run every competing prefetcher
+ * (plus the simple next-line/stride references) and print the full
+ * metric panel — the programmatic equivalent of one column of the
+ * paper's Figs. 7 and 8.
+ *
+ * Usage: compare_prefetchers [workload]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bingo;
+
+    const std::string workload = argc > 1 ? argv[1] : "Data Serving";
+    const ExperimentOptions options = defaultOptions();
+
+    SystemConfig config;
+    printConfigHeader(config);
+    std::printf("Workload: %s (%s)\n\n", workload.c_str(),
+                workloadDescription(workload).c_str());
+
+    const RunResult &baseline =
+        baselineFor(workload, config, options);
+    std::printf("Baseline: IPC %.3f (sum), LLC MPKI %.2f, "
+                "%llu misses\n\n",
+                baseline.ipcSum(), baseline.llcMpki(),
+                static_cast<unsigned long long>(
+                    baseline.llc.demand_misses));
+
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::NextLine, PrefetcherKind::Stride,
+        PrefetcherKind::Bop,      PrefetcherKind::Spp,
+        PrefetcherKind::Vldp,     PrefetcherKind::Ampm,
+        PrefetcherKind::Sms,      PrefetcherKind::Bingo,
+    };
+
+    TextTable table({"Prefetcher", "Speedup", "Coverage", "Accuracy",
+                     "Overprediction", "DRAM reads", "Storage"});
+    for (PrefetcherKind kind : kinds) {
+        SystemConfig pf_config = config;
+        pf_config.prefetcher.kind = kind;
+        const RunResult result =
+            runWorkload(workload, pf_config, options);
+        const PrefetchMetrics metrics =
+            computeMetrics(baseline, result);
+        char storage[32];
+        std::snprintf(storage, sizeof(storage), "%.1f KB",
+                      static_cast<double>(
+                          pf_config.prefetcher.storageBytes()) /
+                          1024.0);
+        table.addRow({prefetcherName(kind),
+                      fmtRatio(speedup(baseline, result)),
+                      fmtPercent(metrics.coverage),
+                      fmtPercent(metrics.accuracy),
+                      fmtPercent(metrics.overprediction),
+                      std::to_string(result.dram.reads), storage});
+    }
+    table.print();
+    return 0;
+}

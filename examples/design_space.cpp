@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Explore Bingo's design space on one workload: history capacity, vote
+ * threshold, and associativity — the knobs DESIGN.md calls out. This
+ * is the example to start from when adapting Bingo to a different
+ * cache hierarchy.
+ *
+ * Usage: design_space [workload]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+namespace
+{
+
+using namespace bingo;
+
+void
+sweepCapacity(const std::string &workload, const RunResult &baseline,
+              const ExperimentOptions &options)
+{
+    std::printf("\n-- History capacity (16-way, vote 20%%)\n");
+    TextTable table({"Entries", "Storage", "Coverage", "Accuracy",
+                     "Speedup"});
+    for (std::size_t entries : {2048, 8192, 16384, 65536}) {
+        SystemConfig config;
+        config.prefetcher.kind = PrefetcherKind::Bingo;
+        config.prefetcher.pht_entries = entries;
+        const RunResult result =
+            runWorkload(workload, config, options);
+        const PrefetchMetrics metrics =
+            computeMetrics(baseline, result);
+        char storage[32];
+        std::snprintf(storage, sizeof(storage), "%.0f KB",
+                      static_cast<double>(
+                          config.prefetcher.storageBytes()) /
+                          1024.0);
+        table.addRow({std::to_string(entries), storage,
+                      fmtPercent(metrics.coverage),
+                      fmtPercent(metrics.accuracy),
+                      fmtRatio(speedup(baseline, result))});
+    }
+    table.print();
+}
+
+void
+sweepVoteThreshold(const std::string &workload,
+                   const RunResult &baseline,
+                   const ExperimentOptions &options)
+{
+    std::printf("\n-- Vote threshold (16K entries): the paper's 20%% "
+                "balances coverage against overprediction\n");
+    TextTable table({"Threshold", "Coverage", "Accuracy",
+                     "Overprediction", "Speedup"});
+    for (double threshold : {0.0, 0.2, 0.5, 1.0}) {
+        SystemConfig config;
+        config.prefetcher.kind = PrefetcherKind::Bingo;
+        config.prefetcher.vote_threshold = threshold;
+        const RunResult result =
+            runWorkload(workload, config, options);
+        const PrefetchMetrics metrics =
+            computeMetrics(baseline, result);
+        table.addRow({fmtPercent(threshold, 0),
+                      fmtPercent(metrics.coverage),
+                      fmtPercent(metrics.accuracy),
+                      fmtPercent(metrics.overprediction),
+                      fmtRatio(speedup(baseline, result))});
+    }
+    table.print();
+}
+
+void
+sweepAssociativity(const std::string &workload,
+                   const RunResult &baseline,
+                   const ExperimentOptions &options)
+{
+    std::printf("\n-- History associativity (16K entries): more ways "
+                "= more voters behind each short event\n");
+    TextTable table({"Ways", "Coverage", "Accuracy", "Speedup"});
+    for (unsigned ways : {4u, 8u, 16u, 32u}) {
+        SystemConfig config;
+        config.prefetcher.kind = PrefetcherKind::Bingo;
+        config.prefetcher.pht_ways = ways;
+        const RunResult result =
+            runWorkload(workload, config, options);
+        const PrefetchMetrics metrics =
+            computeMetrics(baseline, result);
+        table.addRow({std::to_string(ways),
+                      fmtPercent(metrics.coverage),
+                      fmtPercent(metrics.accuracy),
+                      fmtRatio(speedup(baseline, result))});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "Data Serving";
+    const ExperimentOptions options = defaultOptions();
+
+    SystemConfig config;
+    printConfigHeader(config);
+    std::printf("Bingo design-space exploration on: %s\n",
+                workload.c_str());
+
+    const RunResult &baseline =
+        baselineFor(workload, config, options);
+    sweepCapacity(workload, baseline, options);
+    sweepVoteThreshold(workload, baseline, options);
+    sweepAssociativity(workload, baseline, options);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: simulate the "Data Serving" workload on the Table I
+ * system twice — without a prefetcher and with Bingo — and print the
+ * headline numbers (IPC, MPKI, coverage, accuracy).
+ *
+ * Usage: quickstart [workload] [instructions-per-core]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bingo;
+
+    const std::string workload = argc > 1 ? argv[1] : "Data Serving";
+    ExperimentOptions options = defaultOptions();
+    if (argc > 2)
+        options.measure_instructions = std::strtoull(argv[2], nullptr,
+                                                     10);
+
+    SystemConfig config;  // Table I defaults.
+    printConfigHeader(config);
+    std::printf("Workload: %s (%s)\n", workload.c_str(),
+                workloadDescription(workload).c_str());
+    std::printf("Simulating %llu warmup + %llu measured instructions "
+                "per core...\n\n",
+                static_cast<unsigned long long>(
+                    options.warmup_instructions),
+                static_cast<unsigned long long>(
+                    options.measure_instructions));
+
+    // Baseline: no prefetcher.
+    config.prefetcher.kind = PrefetcherKind::None;
+    const RunResult baseline = runWorkload(workload, config, options);
+
+    // Bingo, with the paper's 16 K-entry unified history table.
+    config.prefetcher.kind = PrefetcherKind::Bingo;
+    const RunResult with_bingo = runWorkload(workload, config, options);
+
+    const PrefetchMetrics metrics = computeMetrics(baseline, with_bingo);
+
+    TextTable table({"Metric", "No prefetcher", "Bingo"});
+    table.addRow({"IPC (sum over cores)",
+                  fmtDouble(baseline.ipcSum()),
+                  fmtDouble(with_bingo.ipcSum())});
+    table.addRow({"LLC MPKI", fmtDouble(baseline.llcMpki()),
+                  fmtDouble(with_bingo.llcMpki())});
+    table.addRow({"LLC demand misses",
+                  std::to_string(baseline.llc.demand_misses),
+                  std::to_string(with_bingo.llc.demand_misses)});
+    table.addRow({"DRAM row-hit rate",
+                  fmtPercent(baseline.dram.rowHitRate()),
+                  fmtPercent(with_bingo.dram.rowHitRate())});
+    table.print();
+
+    std::printf("\nBingo: coverage %s, accuracy %s, overprediction %s, "
+                "speedup %s\n",
+                fmtPercent(metrics.coverage).c_str(),
+                fmtPercent(metrics.accuracy).c_str(),
+                fmtPercent(metrics.overprediction).c_str(),
+                fmtRatio(speedup(baseline, with_bingo)).c_str());
+    std::printf("History table storage: %.1f KB\n",
+                static_cast<double>(
+                    config.prefetcher.storageBytes()) / 1024.0);
+    return 0;
+}

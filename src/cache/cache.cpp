@@ -1,0 +1,399 @@
+#include "cache/cache.hpp"
+
+#include <cassert>
+
+#include "mem/dram.hpp"
+
+namespace bingo
+{
+
+Cache::Cache(std::string name, const CacheConfig &config,
+             EventQueue &events, MemoryLower &lower)
+    : name_(std::move(name)), config_(config), events_(events),
+      lower_(lower), num_sets_(config.numSets()),
+      blocks_(num_sets_ * config.ways), mshrs_(config.mshr_entries)
+{
+    assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+}
+
+void
+Cache::touchBlock(Block &block)
+{
+    block.lru = ++tick_;
+    if (config_.replacement == ReplacementKind::Srrip)
+        block.rrpv = 0;  // Near re-reference on a hit.
+}
+
+std::uint64_t
+Cache::setOf(Addr block) const
+{
+    return blockNumber(block) & (num_sets_ - 1);
+}
+
+Cache::Block *
+Cache::lookup(Addr block)
+{
+    Block *base = blocks_.data() + setOf(block) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == block)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Block *
+Cache::lookup(Addr block) const
+{
+    const Block *base = blocks_.data() + setOf(block) * config_.ways;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (base[w].valid && base[w].tag == block)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+bool
+Cache::contains(Addr block) const
+{
+    return lookup(block) != nullptr;
+}
+
+bool
+Cache::containsOrInFlight(Addr block)
+{
+    return contains(block) || mshrs_.find(block) != nullptr;
+}
+
+std::uint64_t
+Cache::residentBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const Block &b : blocks_) {
+        if (b.valid)
+            ++n;
+    }
+    return n;
+}
+
+void
+Cache::addEvictionListener(EvictionListener listener)
+{
+    eviction_listeners_.push_back(std::move(listener));
+}
+
+void
+Cache::access(const MemAccess &access, Cycle now, FillCallback done)
+{
+    assert(access.type != AccessType::Prefetch);
+    ++stats_.demand_accesses;
+
+    if (Block *block = lookup(access.block)) {
+        ++stats_.demand_hits;
+        touchBlock(*block);
+        block->core = access.core;
+        if (block->prefetched) {
+            block->prefetched = false;
+            ++stats_.useful_prefetches;
+        }
+        if (access.type == AccessType::Store)
+            block->dirty = true;
+        if (hook_)
+            hook_(access, true, now);
+        const Cycle ready = now + config_.hit_latency;
+        events_.schedule(ready, [done, ready] { done(ready); });
+        return;
+    }
+
+    if (hook_)
+        hook_(access, false, now);
+
+    if (MshrEntry *entry = mshrs_.find(access.block)) {
+        ++stats_.mshr_merges;
+        if (entry->prefetch_origin) {
+            // The prefetch was issued in time to overlap part of the
+            // miss: covered, but late. Usefulness counts once per
+            // block.
+            ++stats_.late_prefetch_hits;
+            if (!entry->demand_merged)
+                ++stats_.useful_prefetches;
+        } else {
+            ++stats_.demand_misses;
+        }
+        entry->demand_merged = true;
+        if (access.type == AccessType::Store)
+            entry->store_merged = true;
+        entry->callbacks.push_back(
+            [this, now, done = std::move(done)](Cycle cycle) {
+                stats_.demand_miss_latency += cycle - now;
+                done(cycle);
+            });
+        return;
+    }
+
+    ++stats_.demand_misses;
+    if (mshrs_.full()) {
+        ++stats_.mshr_stall_fetches;
+        PendingFetch pending;
+        pending.access = access;
+        pending.arrival = now;
+        pending.done = std::move(done);
+        pending_.push_back(std::move(pending));
+        return;
+    }
+
+    MshrEntry &entry =
+        mshrs_.allocate(access.block, /*prefetch_origin=*/false,
+                        access.core);
+    entry.demand_merged = true;
+    entry.store_merged = access.type == AccessType::Store;
+    entry.callbacks.push_back(
+        [this, now, done = std::move(done)](Cycle cycle) {
+            stats_.demand_miss_latency += cycle - now;
+            done(cycle);
+        });
+    issueFetch(access, now);
+}
+
+bool
+Cache::prefetchMshrAvailable() const
+{
+    // Leave a quarter of the MSHRs to demand traffic: a prefetcher
+    // must not starve the misses it is supposed to hide.
+    const std::size_t demand_reserve = config_.mshr_entries / 4;
+    return mshrs_.size() + demand_reserve < mshrs_.capacity() &&
+           pending_.empty();
+}
+
+void
+Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
+{
+    ++stats_.prefetch_requests;
+    if (contains(block)) {
+        ++stats_.prefetch_drops;
+        ++stats_.prefetch_drop_present;
+        return;
+    }
+    if (mshrs_.find(block) != nullptr) {
+        ++stats_.prefetch_drops;
+        ++stats_.prefetch_drop_inflight;
+        return;
+    }
+    if (!prefetchMshrAvailable()) {
+        // Park in the prefetch queue (bounded); oldest-first issue as
+        // MSHRs free up. When the queue is full the request is lost,
+        // as in hardware.
+        if (prefetch_queue_.size() < config_.prefetch_queue) {
+            prefetch_queue_.push_back(QueuedPrefetch{block, pc, core});
+        } else {
+            ++stats_.prefetch_drops;
+            ++stats_.prefetch_drop_mshr;
+        }
+        return;
+    }
+    mshrs_.allocate(block, /*prefetch_origin=*/true, core);
+    MemAccess access;
+    access.block = block;
+    access.pc = pc;
+    access.core = core;
+    access.type = AccessType::Prefetch;
+    issueFetch(access, now);
+}
+
+void
+Cache::drainPrefetchQueue(Cycle now)
+{
+    while (!prefetch_queue_.empty() && prefetchMshrAvailable()) {
+        const QueuedPrefetch qp = prefetch_queue_.front();
+        prefetch_queue_.pop_front();
+        if (contains(qp.block)) {
+            ++stats_.prefetch_drops;
+            ++stats_.prefetch_drop_present;
+            continue;
+        }
+        if (mshrs_.find(qp.block) != nullptr) {
+            ++stats_.prefetch_drops;
+            ++stats_.prefetch_drop_inflight;
+            continue;
+        }
+        mshrs_.allocate(qp.block, /*prefetch_origin=*/true, qp.core);
+        MemAccess access;
+        access.block = qp.block;
+        access.pc = qp.pc;
+        access.core = qp.core;
+        access.type = AccessType::Prefetch;
+        issueFetch(access, now);
+    }
+}
+
+void
+Cache::issueFetch(const MemAccess &access, Cycle now)
+{
+    const Addr block = access.block;
+    // The miss is detected after the tag lookup completes.
+    lower_.fetch(access, now + config_.hit_latency,
+                 [this, block](Cycle cycle) { handleFill(block, cycle); });
+}
+
+void
+Cache::handleFill(Addr block, Cycle fill_cycle)
+{
+    MshrEntry entry = mshrs_.release(block);
+
+    Block &victim = victimize(block, fill_cycle);
+    victim.valid = true;
+    victim.tag = block;
+    victim.dirty = entry.store_merged;
+    victim.prefetched = entry.prefetch_origin && !entry.demand_merged;
+    victim.core = entry.core;
+    victim.lru = ++tick_;
+    // SRRIP inserts at "long" re-reference (2 of 3).
+    victim.rrpv = 2;
+    if (entry.prefetch_origin)
+        ++stats_.prefetch_fills;
+
+    for (FillCallback &cb : entry.callbacks)
+        cb(fill_cycle);
+
+    // MSHRs freed: replay parked demand fetches. Parked accesses whose
+    // block arrived meanwhile (or whose miss is already in flight) are
+    // satisfied without consuming an MSHR, so keep draining until a
+    // replay actually needs an entry and none is free.
+    while (!pending_.empty()) {
+        if (Block *hit = lookup(pending_.front().access.block)) {
+            PendingFetch replay = std::move(pending_.front());
+            pending_.pop_front();
+            touchBlock(*hit);
+            if (hit->prefetched) {
+                hit->prefetched = false;
+                ++stats_.useful_prefetches;
+            }
+            if (replay.access.type == AccessType::Store)
+                hit->dirty = true;
+            replay.done(fill_cycle);
+            continue;
+        }
+        if (MshrEntry *open = mshrs_.find(pending_.front().access.block)) {
+            PendingFetch replay = std::move(pending_.front());
+            pending_.pop_front();
+            open->demand_merged = true;
+            if (replay.access.type == AccessType::Store)
+                open->store_merged = true;
+            open->callbacks.push_back(std::move(replay.done));
+            continue;
+        }
+        if (mshrs_.full())
+            break;
+        PendingFetch replay = std::move(pending_.front());
+        pending_.pop_front();
+        const MemAccess acc = replay.access;
+        MshrEntry &fresh =
+            mshrs_.allocate(acc.block, /*prefetch_origin=*/false,
+                            acc.core);
+        fresh.demand_merged = true;
+        fresh.store_merged = acc.type == AccessType::Store;
+        fresh.callbacks.push_back(std::move(replay.done));
+        issueFetch(acc, fill_cycle);
+    }
+
+    drainPrefetchQueue(fill_cycle);
+}
+
+Cache::Block &
+Cache::victimize(Addr block, Cycle now)
+{
+    Block *base = blocks_.data() + setOf(block) * config_.ways;
+    Block *victim = nullptr;
+    for (unsigned w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (victim == nullptr) {
+        switch (config_.replacement) {
+          case ReplacementKind::Lru:
+            victim = base;
+            for (unsigned w = 1; w < config_.ways; ++w) {
+                if (base[w].lru < victim->lru)
+                    victim = &base[w];
+            }
+            break;
+          case ReplacementKind::Srrip:
+            // Find a distant (rrpv==3) block, aging the set until one
+            // appears.
+            while (victim == nullptr) {
+                for (unsigned w = 0; w < config_.ways; ++w) {
+                    if (base[w].rrpv >= 3) {
+                        victim = &base[w];
+                        break;
+                    }
+                }
+                if (victim == nullptr) {
+                    for (unsigned w = 0; w < config_.ways; ++w)
+                        ++base[w].rrpv;
+                }
+            }
+            break;
+          case ReplacementKind::Random:
+            // xorshift64 victim pick.
+            victim_rng_ ^= victim_rng_ << 13;
+            victim_rng_ ^= victim_rng_ >> 7;
+            victim_rng_ ^= victim_rng_ << 17;
+            victim = base + victim_rng_ % config_.ways;
+            break;
+        }
+        ++stats_.evictions;
+        if (victim->prefetched)
+            ++stats_.useless_prefetches;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            lower_.writeback(victim->tag, victim->core, now);
+        }
+        for (EvictionListener &listener : eviction_listeners_)
+            listener(victim->tag);
+    }
+    return *victim;
+}
+
+DramLower::DramLower(DramController &dram, EventQueue &events)
+    : dram_(dram), events_(events)
+{
+}
+
+void
+DramLower::fetch(const MemAccess &access, Cycle now, FillCallback done)
+{
+    const Cycle completion = dram_.read(access.block, now);
+    events_.schedule(completion,
+                     [done = std::move(done), completion] {
+                         done(completion);
+                     });
+}
+
+void
+DramLower::writeback(Addr block, CoreId core, Cycle now)
+{
+    (void)core;
+    dram_.write(block, now);
+}
+
+void
+CacheLower::fetch(const MemAccess &access, Cycle now, FillCallback done)
+{
+    cache_.access(access, now, std::move(done));
+}
+
+void
+CacheLower::writeback(Addr block, CoreId core, Cycle now)
+{
+    (void)core;
+    (void)now;
+    (void)block;
+    // Dirty data written back from the L1 either updates the LLC copy
+    // in place (zero-cost in this timing model) or, when the LLC no
+    // longer holds the block, is forwarded to memory by the LLC's own
+    // writeback path when the line was installed dirty. We deliberately
+    // do not allocate on writeback.
+}
+
+} // namespace bingo

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Set-associative write-back cache with MSHRs, prefetch-bit accounting,
+ * and eviction listeners.
+ *
+ * The same class models both the private L1D and the shared LLC; the
+ * level below is abstracted as a MemoryLower (the LLC for an L1, the
+ * DRAM controller for the LLC). Prefetch requests enter through
+ * prefetch() and are marked in the block metadata so usefulness can be
+ * measured exactly: a demand hit on a marked block is a useful
+ * prefetch; evicting a still-marked block is a useless one.
+ *
+ * Demand fetches that arrive while the MSHR file is full are parked in
+ * an unbounded pending queue and replayed as entries free up (they still
+ * pay the waiting time); prefetches are simply dropped, as hardware
+ * does.
+ */
+
+#ifndef BINGO_CACHE_CACHE_HPP
+#define BINGO_CACHE_CACHE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/mshr.hpp"
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** A memory access presented to a cache. */
+struct MemAccess
+{
+    Addr block = 0;     ///< Block-aligned byte address.
+    Addr pc = 0;
+    CoreId core = 0;
+    AccessType type = AccessType::Load;
+};
+
+/** The level below a cache. */
+class MemoryLower
+{
+  public:
+    virtual ~MemoryLower() = default;
+
+    /**
+     * Fetch `access.block`; invoke `done` with the cycle at which the
+     * data reaches the requesting cache.
+     */
+    virtual void fetch(const MemAccess &access, Cycle now,
+                       FillCallback done) = 0;
+
+    /** Write back a dirty block (nothing waits on it). */
+    virtual void writeback(Addr block, CoreId core, Cycle now) = 0;
+};
+
+/** Counters exported by a cache. */
+struct CacheStats
+{
+    std::uint64_t demand_accesses = 0;
+    std::uint64_t demand_hits = 0;
+    std::uint64_t demand_misses = 0;       ///< New or demand-merged miss.
+    std::uint64_t late_prefetch_hits = 0;  ///< Demand merged into pf MSHR.
+    std::uint64_t mshr_merges = 0;
+    std::uint64_t mshr_stall_fetches = 0;  ///< Demands parked when full.
+    std::uint64_t prefetch_requests = 0;   ///< Prefetches presented.
+    std::uint64_t prefetch_drops = 0;      ///< Sum of the three below.
+    std::uint64_t prefetch_drop_present = 0;
+    std::uint64_t prefetch_drop_inflight = 0;
+    std::uint64_t prefetch_drop_mshr = 0;
+    std::uint64_t prefetch_fills = 0;
+    std::uint64_t useful_prefetches = 0;   ///< Includes late ones.
+    std::uint64_t useless_prefetches = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t demand_miss_latency = 0;  ///< Sum over demand misses.
+
+    double
+    avgDemandMissLatency() const
+    {
+        return demand_misses == 0
+                   ? 0.0
+                   : static_cast<double>(demand_miss_latency) /
+                         static_cast<double>(demand_misses);
+    }
+};
+
+/** Set-associative write-back cache level. */
+class Cache
+{
+  public:
+    /** Called when a block leaves the cache (eviction). */
+    using EvictionListener = std::function<void(Addr block)>;
+
+    /**
+     * Hook observing every demand access (after hit/miss is known) —
+     * the attachment point for LLC prefetchers.
+     */
+    using AccessHook =
+        std::function<void(const MemAccess &, bool hit, Cycle now)>;
+
+    Cache(std::string name, const CacheConfig &config, EventQueue &events,
+          MemoryLower &lower);
+
+    /**
+     * Demand access (load or store). `done` is invoked with the cycle
+     * at which data is available; stores also invoke it (when the line
+     * is owned) so the LSQ can free the entry.
+     */
+    void access(const MemAccess &access, Cycle now, FillCallback done);
+
+    /**
+     * Prefetch `block` into this cache on behalf of `core`. Dropped if
+     * the block is present, already in flight, or the MSHRs are full.
+     */
+    void prefetch(Addr block, Addr pc, CoreId core, Cycle now);
+
+    /** Whether `block` is currently resident. */
+    bool contains(Addr block) const;
+
+    /** Whether `block` is resident or being fetched. */
+    bool containsOrInFlight(Addr block);
+
+    void setAccessHook(AccessHook hook) { hook_ = std::move(hook); }
+    void addEvictionListener(EvictionListener listener);
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CacheStats{}; }
+    const std::string &name() const { return name_; }
+    const CacheConfig &config() const { return config_; }
+
+    /** Number of resident blocks (tests/diagnostics). */
+    std::uint64_t residentBlocks() const;
+
+  private:
+    struct Block
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;  ///< Filled by prefetch, unused so far.
+        Addr tag = 0;             ///< Full block address.
+        CoreId core = 0;          ///< Last toucher (for writeback path).
+        std::uint64_t lru = 0;    ///< Recency stamp (LRU policy).
+        std::uint8_t rrpv = 3;    ///< Re-reference prediction (SRRIP).
+    };
+
+    struct PendingFetch
+    {
+        MemAccess access;
+        Cycle arrival = 0;
+        FillCallback done;
+    };
+
+    struct QueuedPrefetch
+    {
+        Addr block = 0;
+        Addr pc = 0;
+        CoreId core = 0;
+    };
+
+    /** Whether a prefetch may take an MSHR right now. */
+    bool prefetchMshrAvailable() const;
+
+    /** Issue queued prefetches while MSHR headroom lasts. */
+    void drainPrefetchQueue(Cycle now);
+
+    std::uint64_t setOf(Addr block) const;
+    Block *lookup(Addr block);
+
+    /** Recency bookkeeping on a hit/fill, per the configured policy. */
+    void touchBlock(Block &block);
+    const Block *lookup(Addr block) const;
+
+    /** Start the lower-level fetch for an allocated MSHR entry. */
+    void issueFetch(const MemAccess &access, Cycle now);
+
+    /** Install a fill and drain its MSHR callbacks. */
+    void handleFill(Addr block, Cycle fill_cycle);
+
+    /** Pick a victim way and evict it if valid. */
+    Block &victimize(Addr block, Cycle now);
+
+    std::string name_;
+    CacheConfig config_;
+    EventQueue &events_;
+    MemoryLower &lower_;
+    std::uint64_t num_sets_;
+    std::vector<Block> blocks_;
+    MshrFile mshrs_;
+    std::deque<PendingFetch> pending_;
+    std::deque<QueuedPrefetch> prefetch_queue_;
+    CacheStats stats_;
+    AccessHook hook_;
+    std::vector<EvictionListener> eviction_listeners_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t victim_rng_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/** Adapts the DRAM controller to the MemoryLower interface. */
+class DramLower : public MemoryLower
+{
+  public:
+    DramLower(class DramController &dram, EventQueue &events);
+
+    void fetch(const MemAccess &access, Cycle now,
+               FillCallback done) override;
+    void writeback(Addr block, CoreId core, Cycle now) override;
+
+  private:
+    DramController &dram_;
+    EventQueue &events_;
+};
+
+/** Adapts a Cache (the LLC) to the MemoryLower interface for an L1. */
+class CacheLower : public MemoryLower
+{
+  public:
+    explicit CacheLower(Cache &cache) : cache_(cache) {}
+
+    void fetch(const MemAccess &access, Cycle now,
+               FillCallback done) override;
+    void writeback(Addr block, CoreId core, Cycle now) override;
+
+  private:
+    Cache &cache_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_CACHE_CACHE_HPP

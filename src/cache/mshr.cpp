@@ -1,0 +1,44 @@
+#include "cache/mshr.hpp"
+
+#include <cassert>
+
+namespace bingo
+{
+
+MshrFile::MshrFile(std::size_t capacity)
+    : capacity_(capacity)
+{
+    assert(capacity > 0);
+    entries_.reserve(capacity);
+}
+
+MshrEntry *
+MshrFile::find(Addr block)
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+MshrEntry &
+MshrFile::allocate(Addr block, bool prefetch_origin, CoreId core)
+{
+    assert(!full());
+    assert(entries_.find(block) == entries_.end());
+    MshrEntry &entry = entries_[block];
+    entry.block = block;
+    entry.prefetch_origin = prefetch_origin;
+    entry.core = core;
+    return entry;
+}
+
+MshrEntry
+MshrFile::release(Addr block)
+{
+    auto it = entries_.find(block);
+    assert(it != entries_.end());
+    MshrEntry entry = std::move(it->second);
+    entries_.erase(it);
+    return entry;
+}
+
+} // namespace bingo

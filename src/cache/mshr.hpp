@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Miss Status Holding Registers: track outstanding misses per block and
+ * merge secondary misses into the primary's entry.
+ */
+
+#ifndef BINGO_CACHE_MSHR_HPP
+#define BINGO_CACHE_MSHR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** Callback invoked with the cycle at which the fill completed. */
+using FillCallback = std::function<void(Cycle)>;
+
+/** One in-flight miss. */
+struct MshrEntry
+{
+    Addr block = 0;
+    bool prefetch_origin = false;  ///< Allocated by a prefetch request.
+    bool demand_merged = false;    ///< A demand joined after allocation.
+    bool store_merged = false;     ///< Fill must be installed dirty.
+    CoreId core = 0;               ///< Core that allocated the entry.
+    std::vector<FillCallback> callbacks;
+};
+
+/** Fixed-capacity file of MshrEntry keyed by block address. */
+class MshrFile
+{
+  public:
+    explicit MshrFile(std::size_t capacity);
+
+    /** Entry for `block`, or nullptr when not in flight. */
+    MshrEntry *find(Addr block);
+
+    /** True when no further allocation is possible. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Allocate an entry for `block`. Pre: !full() and !find(block).
+     * @return Reference valid until release(block).
+     */
+    MshrEntry &allocate(Addr block, bool prefetch_origin, CoreId core);
+
+    /**
+     * Remove the entry for `block` and return it (callbacks included).
+     * Pre: find(block) != nullptr.
+     */
+    MshrEntry release(Addr block);
+
+    void clear() { entries_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::unordered_map<Addr, MshrEntry> entries_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_CACHE_MSHR_HPP

@@ -1,0 +1,89 @@
+#include "common/config.hpp"
+
+namespace bingo
+{
+
+std::string
+prefetcherName(PrefetcherKind kind)
+{
+    switch (kind) {
+      case PrefetcherKind::None: return "None";
+      case PrefetcherKind::NextLine: return "NextLine";
+      case PrefetcherKind::Stride: return "Stride";
+      case PrefetcherKind::Bop: return "BOP";
+      case PrefetcherKind::Spp: return "SPP";
+      case PrefetcherKind::Vldp: return "VLDP";
+      case PrefetcherKind::Ampm: return "AMPM";
+      case PrefetcherKind::Sms: return "SMS";
+      case PrefetcherKind::Bingo: return "Bingo";
+      case PrefetcherKind::BingoMulti: return "BingoMulti";
+      case PrefetcherKind::EventStudy: return "EventStudy";
+    }
+    return "Unknown";
+}
+
+std::uint64_t
+PrefetcherConfig::storageBytes() const
+{
+    // Per-entry costs in bits. Footprints are region_blocks bits; tags,
+    // recency, and auxiliary fields are rounded to the sizes a hardware
+    // implementation would provision (cf. the paper's 119 KB total for
+    // the 16 K-entry Bingo table).
+    const std::uint64_t fp_bits = region_blocks;
+    switch (kind) {
+      case PrefetcherKind::None:
+      case PrefetcherKind::EventStudy:
+        return 0;
+      case PrefetcherKind::NextLine:
+        return 0;
+      case PrefetcherKind::Stride:
+        // tag(16) + last addr(32) + stride(12) + conf(2)
+        return stride_table_entries * (16 + 32 + 12 + 2) / 8;
+      case PrefetcherKind::Bop:
+        // RR table entries of 12-bit hashed addresses + scoring state.
+        return bop_rr_entries * 12 / 8 + 64;
+      case PrefetcherKind::Spp:
+        // ST: tag(16)+sig(12)+offset(6); PT: 4x(delta(7)+counter(4))+
+        // counter(4); filter: tag(12).
+        return (spp_signature_entries * (16 + 12 + 6) +
+                spp_pattern_entries * (4 * (7 + 4) + 4) +
+                spp_filter_entries * 12) / 8;
+      case PrefetcherKind::Vldp:
+        // DHB: page tag(36)+last offset(6)+4 deltas(4x7)+lru(4);
+        // OPT: 6-bit pred + 2-bit conf per entry; DPT entries:
+        // key deltas + pred + conf + lru.
+        return (vldp_dhb_entries * (36 + 6 + 28 + 4) +
+                vldp_opt_entries * 8 +
+                3 * vldp_dpt_entries * (21 + 7 + 2 + 4)) / 8;
+      case PrefetcherKind::Ampm:
+        // Access map: zone tag(36) + 2 bits per block + lru(8).
+        return ampm_map_entries * (36 + 2 * fp_bits + 8) / 8;
+      case PrefetcherKind::Sms:
+        // PHT: tag(16)+footprint+lru(4); accumulation: region tag(36)+
+        // pc(32)+offset(6)+footprint.
+        return (pht_entries * (16 + fp_bits + 4) +
+                accumulation_entries * (36 + 32 + 6 + fp_bits)) / 8;
+      case PrefetcherKind::Bingo:
+        // The paper reports 119 KB for 16 K entries: tag(~26, the
+        // PC+Address event compressed) + footprint(32) + lru(4), plus
+        // accumulation and filter tables.
+        return (pht_entries * (26 + fp_bits + 4) +
+                accumulation_entries * (36 + 32 + 6 + fp_bits) +
+                filter_entries * (36 + 32 + 6)) / 8;
+      case PrefetcherKind::BingoMulti:
+        // One full table per event: tag + footprint + lru each.
+        return num_events * pht_entries * (26 + fp_bits + 4) / 8;
+    }
+    return 0;
+}
+
+SystemConfig
+SystemConfig::singleCore()
+{
+    SystemConfig cfg;
+    cfg.num_cores = 1;
+    cfg.llc.size_bytes = 2 * 1024 * 1024;
+    return cfg;
+}
+
+} // namespace bingo

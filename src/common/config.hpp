@@ -1,0 +1,175 @@
+/**
+ * @file
+ * System configuration mirroring the paper's Table I, plus the knobs
+ * the evaluation sweeps (prefetcher sizing, aggressiveness).
+ *
+ * All latencies are in core cycles at the 4 GHz nominal frequency.
+ */
+
+#ifndef BINGO_COMMON_CONFIG_HPP
+#define BINGO_COMMON_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** Core (Table I: 4-wide OoO, 256-entry ROB, 64-entry LSQ). */
+struct CoreConfig
+{
+    unsigned width = 4;          ///< Dispatch/retire width.
+    unsigned rob_entries = 256;
+    unsigned lsq_entries = 64;
+    unsigned alu_latency = 1;    ///< Completion latency of non-mem ops.
+};
+
+/** Cache replacement policy. */
+enum class ReplacementKind : std::uint8_t
+{
+    Lru,     ///< True LRU (the baseline the paper assumes).
+    Srrip,   ///< 2-bit static RRIP (scan-resistant).
+    Random,  ///< Pseudo-random victim (cheap-hardware reference).
+};
+
+/** One cache level. */
+struct CacheConfig
+{
+    std::uint64_t size_bytes = 64 * 1024;
+    unsigned ways = 8;
+    unsigned hit_latency = 4;    ///< Cycles from access to data.
+    unsigned mshr_entries = 8;
+    unsigned prefetch_queue = 0; ///< Prefetches buffered while MSHRs
+                                 ///< are busy (0 = drop immediately).
+    ReplacementKind replacement = ReplacementKind::Lru;
+
+    std::uint64_t numSets() const
+    {
+        return size_bytes / (kBlockSize * ways);
+    }
+    std::uint64_t numBlocks() const { return size_bytes / kBlockSize; }
+};
+
+/**
+ * DRAM (Table I: 60 ns zero-load latency, 37.5 GB/s peak bandwidth).
+ *
+ * At 4 GHz, 60 ns = 240 cycles. Peak bandwidth 37.5 GB/s over two
+ * channels means each 64 B transfer occupies a channel data bus for
+ * 64 B / 18.75 GB/s = 3.41 ns = ~14 cycles.
+ */
+struct DramConfig
+{
+    unsigned channels = 2;
+    unsigned banks_per_channel = 32;  ///< 2 ranks x 16 banks (DDR4).
+    std::uint64_t row_size_bytes = 4 * 1024;
+    unsigned controller_latency = 40;  ///< Fixed on-chip path, cycles.
+    unsigned t_cas = 56;               ///< Column access, cycles.
+    unsigned t_rcd = 56;               ///< Row activate, cycles.
+    unsigned t_rp = 56;                ///< Precharge, cycles.
+    unsigned data_transfer = 14;       ///< Bus occupancy per 64 B.
+    unsigned read_queue_entries = 48;  ///< Per channel.
+
+    /**
+     * Zero-load read latency to an open row's channel with a row miss:
+     * controller + RP + RCD + CAS + transfer. The defaults give
+     * 40+56+56+56+14 = 222 cycles (~55.5 ns) for a row-empty access and
+     * 40+56+14 = 110 cycles for a row hit; the mix lands near the
+     * paper's 60 ns average zero-load latency.
+     */
+    unsigned zeroLoadRowMiss() const
+    {
+        return controller_latency + t_rp + t_rcd + t_cas + data_transfer;
+    }
+};
+
+/** Which prefetcher to attach at the LLC. */
+enum class PrefetcherKind
+{
+    None,
+    NextLine,
+    Stride,
+    Bop,
+    Spp,
+    Vldp,
+    Ampm,
+    Sms,
+    Bingo,
+    BingoMulti,   ///< Naive multi-table TAGE-like variant (Fig. 3/4).
+    EventStudy,   ///< Non-prefetching observer (Figs. 2-4).
+};
+
+/** Human-readable prefetcher name as used in the paper's figures. */
+std::string prefetcherName(PrefetcherKind kind);
+
+/** Per-prefetcher sizing/aggressiveness knobs (paper Section V-B). */
+struct PrefetcherConfig
+{
+    PrefetcherKind kind = PrefetcherKind::None;
+
+    // --- Spatial-region geometry shared by PPH prefetchers.
+    unsigned region_blocks = kBlocksPerRegion;
+
+    // --- Bingo / SMS.
+    std::size_t pht_entries = 16 * 1024;
+    unsigned pht_ways = 16;
+    std::size_t accumulation_entries = 128;
+    std::size_t filter_entries = 64;
+    double vote_threshold = 0.20;
+
+    // --- BOP.
+    std::size_t bop_rr_entries = 256;
+    unsigned bop_score_max = 31;
+    unsigned bop_round_max = 100;
+    unsigned bop_bad_score = 1;
+    unsigned bop_degree = 1;      ///< 32 in the Fig. 10 aggressive mode.
+
+    // --- SPP.
+    std::size_t spp_signature_entries = 256;
+    std::size_t spp_pattern_entries = 512;
+    std::size_t spp_filter_entries = 1024;
+    double spp_confidence_threshold = 0.25;  ///< 0.01 in aggressive mode.
+    unsigned spp_max_depth = 8;
+
+    // --- VLDP.
+    std::size_t vldp_dhb_entries = 16;
+    std::size_t vldp_opt_entries = 64;
+    std::size_t vldp_dpt_entries = 64;
+    unsigned vldp_degree = 4;     ///< 32 in the Fig. 10 aggressive mode.
+
+    // --- AMPM.
+    std::size_t ampm_map_entries = 4096;  ///< Covers the 8 MB LLC.
+    unsigned ampm_degree = 4;
+
+    // --- Stride.
+    std::size_t stride_table_entries = 256;
+    unsigned stride_degree = 4;
+
+    // --- BingoMulti / EventStudy: number of event tables (1..5),
+    //     longest first: PC+Address, PC+Offset, PC, Address, Offset.
+    unsigned num_events = 2;
+
+    /** Metadata storage of this prefetcher in bytes (for Fig. 9). */
+    std::uint64_t storageBytes() const;
+};
+
+/** Whole-system configuration (Table I defaults). */
+struct SystemConfig
+{
+    unsigned num_cores = 4;
+    double frequency_ghz = 4.0;
+    CoreConfig core;
+    CacheConfig l1d{64 * 1024, 8, 4, 8};
+    CacheConfig llc{8 * 1024 * 1024, 16, 15, 128, 256};
+    DramConfig dram;
+    PrefetcherConfig prefetcher;
+    std::uint64_t seed = 42;
+
+    /** Single-core convenience variant used by unit tests. */
+    static SystemConfig singleCore();
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_CONFIG_HPP

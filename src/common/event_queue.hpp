@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Global event queue driving the cycle-stepped simulation.
+ *
+ * Components schedule callbacks at absolute cycles; the system loop
+ * drains all events due at the current cycle before stepping the cores,
+ * so memory completions are visible to the core in the cycle they
+ * occur. Events scheduled for the same cycle run in insertion order.
+ */
+
+#ifndef BINGO_COMMON_EVENT_QUEUE_HPP
+#define BINGO_COMMON_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** Min-heap of (cycle, insertion-sequence, callback). */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule `fn` to run at cycle `when` (must not be in the past). */
+    void
+    schedule(Cycle when, Callback fn)
+    {
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** Run every event with cycle <= `now`, in time then FIFO order. */
+    void
+    runDue(Cycle now)
+    {
+        while (!heap_.empty() && heap_.top().when <= now) {
+            // Moving out of the priority queue top is safe because the
+            // element is popped immediately after.
+            Callback fn = std::move(const_cast<Event &>(heap_.top()).fn);
+            heap_.pop();
+            fn();
+        }
+    }
+
+    /** Cycle of the earliest pending event; ~0 when empty. */
+    Cycle
+    nextEventCycle() const
+    {
+        return heap_.empty() ? ~Cycle{0} : heap_.top().when;
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            return when != other.when ? when > other.when
+                                      : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_EVENT_QUEUE_HPP

@@ -1,0 +1,123 @@
+#include "common/footprint.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bingo
+{
+
+Footprint::Footprint(unsigned width)
+    : width_(width)
+{
+    assert(width >= 1 && width <= 64);
+}
+
+void
+Footprint::set(unsigned offset)
+{
+    assert(offset < width_);
+    bits_ |= 1ULL << offset;
+}
+
+void
+Footprint::clear(unsigned offset)
+{
+    assert(offset < width_);
+    bits_ &= ~(1ULL << offset);
+}
+
+bool
+Footprint::test(unsigned offset) const
+{
+    assert(offset < width_);
+    return (bits_ >> offset) & 1;
+}
+
+Footprint
+Footprint::fromRaw(std::uint64_t bits, unsigned width)
+{
+    Footprint fp(width);
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    fp.bits_ = bits & mask;
+    return fp;
+}
+
+std::vector<unsigned>
+Footprint::offsets() const
+{
+    std::vector<unsigned> result;
+    result.reserve(count());
+    std::uint64_t bits = bits_;
+    while (bits) {
+        const unsigned off = std::countr_zero(bits);
+        result.push_back(off);
+        bits &= bits - 1;
+    }
+    return result;
+}
+
+Footprint
+Footprint::operator&(const Footprint &other) const
+{
+    assert(width_ == other.width_);
+    return fromRaw(bits_ & other.bits_, width_);
+}
+
+Footprint
+Footprint::operator|(const Footprint &other) const
+{
+    assert(width_ == other.width_);
+    return fromRaw(bits_ | other.bits_, width_);
+}
+
+unsigned
+Footprint::overlap(const Footprint &actual) const
+{
+    assert(width_ == actual.width_);
+    return std::popcount(bits_ & actual.bits_);
+}
+
+std::string
+Footprint::toString() const
+{
+    std::string out;
+    out.reserve(width_);
+    for (unsigned i = 0; i < width_; ++i)
+        out.push_back(test(i) ? '1' : '0');
+    return out;
+}
+
+FootprintVote::FootprintVote(unsigned width)
+    : counts_(width, 0), width_(width)
+{
+}
+
+void
+FootprintVote::add(const Footprint &fp)
+{
+    assert(fp.width() == width_);
+    for (unsigned i = 0; i < width_; ++i) {
+        if (fp.test(i))
+            ++counts_[i];
+    }
+    ++voters_;
+}
+
+Footprint
+FootprintVote::resolve(double threshold) const
+{
+    Footprint result(width_);
+    if (voters_ == 0)
+        return result;
+    const auto needed = static_cast<unsigned>(
+        std::ceil(threshold * static_cast<double>(voters_)));
+    const unsigned min_votes = needed == 0 ? 1 : needed;
+    for (unsigned i = 0; i < width_; ++i) {
+        if (counts_[i] >= min_votes)
+            result.set(i);
+    }
+    return result;
+}
+
+} // namespace bingo

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Integer mixing hashes used to index prefetcher metadata tables.
+ *
+ * Table indexing wants a cheap, well-distributed hash; we use the
+ * finalizer from splitmix64 (Stafford's Mix13 variant), which is the de
+ * facto standard for 64-bit integer scrambling, plus helpers to fold a
+ * hash down to a table-index width and to combine fields of an event.
+ */
+
+#ifndef BINGO_COMMON_HASH_HPP
+#define BINGO_COMMON_HASH_HPP
+
+#include <cstdint>
+
+namespace bingo
+{
+
+/** splitmix64 finalizer: a high-quality 64-bit mixing function. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+/** Combine two fields into one key before mixing. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (mix64(b) + 0x9e3779b97f4a7c15ULL + (a << 6) +
+                      (a >> 2)));
+}
+
+/** Fold a 64-bit hash into `bits` bits by XOR-folding all slices. */
+constexpr std::uint64_t
+foldBits(std::uint64_t hash, unsigned bits)
+{
+    if (bits >= 64)
+        return hash;
+    std::uint64_t folded = 0;
+    for (unsigned shift = 0; shift < 64; shift += bits)
+        folded ^= (hash >> shift);
+    return folded & ((1ULL << bits) - 1);
+}
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_HASH_HPP

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator for workload synthesis.
+ *
+ * Workload generators must be reproducible across runs and platforms, so
+ * we carry our own xoroshiro128++ instead of relying on std::mt19937
+ * distribution behaviour (std distributions are not portable). All
+ * generator state is seeded explicitly; the same seed always produces
+ * the same trace.
+ */
+
+#ifndef BINGO_COMMON_RNG_HPP
+#define BINGO_COMMON_RNG_HPP
+
+#include <cstdint>
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+/** xoroshiro128++ PRNG (Blackman & Vigna), seeded via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        reseed(seed);
+    }
+
+    /** Reset the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        s0_ = mix64(seed + 0x9e3779b97f4a7c15ULL);
+        s1_ = mix64(s0_ + 0x9e3779b97f4a7c15ULL);
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t r = rotl(s0_ + s1_, 17) + s0_;
+        const std::uint64_t t = s1_ ^ s0_;
+        s0_ = rotl(s0_, 49) ^ t ^ (t << 21);
+        s1_ = rotl(t, 28);
+        return r;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style multiply-shift mapping; bias is negligible for
+        // the bounds used in workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Zipf-like skewed draw over [0, n): rank 0 is most popular.
+     * Uses the inverse-power approximation which is cheap and adequate
+     * for modelling hot/cold data-set skew.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double skew)
+    {
+        if (n <= 1)
+            return 0;
+        const double u = uniform();
+        const double exponent = 1.0 / (1.0 - skew);
+        const double x = static_cast<double>(n);
+        double rank = (x + 1.0) - (1.0 + (pow_(x, 1.0 - skew) - 1.0) * u);
+        // Invert the truncated power-law CDF.
+        rank = pow_(1.0 + (pow_(x, 1.0 - skew) - 1.0) * u, exponent) - 1.0;
+        auto r = static_cast<std::uint64_t>(rank);
+        return r >= n ? n - 1 : r;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** Branch-free pow for positive bases (wraps std::pow). */
+    static double pow_(double base, double exp);
+
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+inline double
+Rng::pow_(double base, double exp)
+{
+    return __builtin_pow(base, exp);
+}
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_RNG_HPP

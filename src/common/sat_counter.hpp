@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Saturating counter, the workhorse of confidence estimation in
+ * predictors (SPP path confidence, VLDP accuracy tracking, ...).
+ */
+
+#ifndef BINGO_COMMON_SAT_COUNTER_HPP
+#define BINGO_COMMON_SAT_COUNTER_HPP
+
+#include <cassert>
+#include <cstdint>
+
+namespace bingo
+{
+
+/** An n-bit saturating counter. */
+class SatCounter
+{
+  public:
+    explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
+        : value_(initial), max_((1U << bits) - 1)
+    {
+        assert(bits >= 1 && bits <= 31);
+        assert(initial <= max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    /** Current value. */
+    unsigned value() const { return value_; }
+
+    /** Saturation maximum. */
+    unsigned max() const { return max_; }
+
+    /** Value as a fraction of the maximum, in [0, 1]. */
+    double
+    fraction() const
+    {
+        return static_cast<double>(value_) / static_cast<double>(max_);
+    }
+
+    /** True when the counter is in its upper half. */
+    bool taken() const { return value_ > max_ / 2; }
+
+  private:
+    unsigned value_;
+    unsigned max_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_SAT_COUNTER_HPP

@@ -1,0 +1,65 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bingo
+{
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+percent(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+void
+StatSet::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+} // namespace bingo

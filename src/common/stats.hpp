@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Small statistics helpers: aggregate math (mean, geometric mean) and a
+ * named-counter registry that components use to expose their counters
+ * uniformly to reports and tests.
+ */
+
+#ifndef BINGO_COMMON_STATS_HPP
+#define BINGO_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bingo
+{
+
+/** Arithmetic mean of a series; 0 for an empty series. */
+double mean(const std::vector<double> &values);
+
+/**
+ * Geometric mean of a series of ratios; 0 for an empty series.
+ * Values must be positive (speedup ratios always are).
+ */
+double geomean(const std::vector<double> &values);
+
+/** Percent formatting helper: 0.634 -> "63.4%". */
+std::string percent(double fraction, int decimals = 1);
+
+/**
+ * Ordered collection of named 64-bit counters. Components register
+ * their counters into a StatSet so experiment reports can dump every
+ * number without knowing each component's internals.
+ */
+class StatSet
+{
+  public:
+    /** Add `delta` to counter `name`, creating it at zero if new. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter `name` to `value`. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Value of counter `name`; 0 if never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** All counters in name order. */
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Merge another set into this one (summing shared names). */
+    void merge(const StatSet &other);
+
+    /** Reset every counter to zero. */
+    void clear() { counters_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_STATS_HPP

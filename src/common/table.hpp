@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Generic set-associative table with true-LRU replacement.
+ *
+ * Every metadata structure in the prefetchers (SMS PHT, Bingo unified
+ * history, SPP signature/pattern tables, accumulation/filter tables) is
+ * a small set-associative array. This template centralizes the set
+ * indexing, tag matching, LRU bookkeeping and victim selection so each
+ * prefetcher only describes *what* it stores, not *how*.
+ *
+ * Tags are 64-bit values supplied by the caller (typically a hash or a
+ * packed event). The table never interprets them. Lookups can also scan
+ * a set with a caller-supplied predicate, which is exactly what Bingo's
+ * short-event (partial-tag) match needs.
+ */
+
+#ifndef BINGO_COMMON_TABLE_HPP
+#define BINGO_COMMON_TABLE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace bingo
+{
+
+/** Set-associative table of `Data` entries keyed by 64-bit tags. */
+template <typename Data>
+class SetAssocTable
+{
+  public:
+    /** One way of one set. */
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0;  ///< Higher = more recently used.
+        Data data{};
+    };
+
+    /**
+     * @param num_sets Number of sets; must be a power of two.
+     * @param num_ways Associativity.
+     */
+    SetAssocTable(std::size_t num_sets, std::size_t num_ways)
+        : sets_(num_sets), ways_(num_ways),
+          entries_(num_sets * num_ways)
+    {
+        assert(num_sets > 0 && (num_sets & (num_sets - 1)) == 0);
+        assert(num_ways > 0);
+    }
+
+    std::size_t numSets() const { return sets_; }
+    std::size_t numWays() const { return ways_; }
+    std::size_t capacity() const { return entries_.size(); }
+
+    /** Map an index hash to a set number. */
+    std::size_t
+    setIndex(std::uint64_t index_hash) const
+    {
+        return index_hash & (sets_ - 1);
+    }
+
+    /**
+     * Find the entry with an exactly matching tag in `set`.
+     * Updates recency when `touch` is true.
+     * @return Pointer into the table, or nullptr.
+     */
+    Entry *
+    find(std::size_t set, std::uint64_t tag, bool touch = true)
+    {
+        Entry *base = setBase(set);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.tag == tag) {
+                if (touch)
+                    e.lru = ++tick_;
+                return &e;
+            }
+        }
+        return nullptr;
+    }
+
+    /**
+     * Collect all valid entries in `set` satisfying `pred`, most
+     * recently used first. Does not update recency.
+     */
+    std::vector<const Entry *>
+    findIf(std::size_t set,
+           const std::function<bool(const Entry &)> &pred) const
+    {
+        std::vector<const Entry *> matches;
+        const Entry *base = setBase(set);
+        for (std::size_t w = 0; w < ways_; ++w) {
+            const Entry &e = base[w];
+            if (e.valid && pred(e))
+                matches.push_back(&e);
+        }
+        // MRU-first order: sort by descending recency stamp.
+        for (std::size_t i = 1; i < matches.size(); ++i) {
+            const Entry *m = matches[i];
+            std::size_t j = i;
+            while (j > 0 && matches[j - 1]->lru < m->lru) {
+                matches[j] = matches[j - 1];
+                --j;
+            }
+            matches[j] = m;
+        }
+        return matches;
+    }
+
+    /**
+     * Insert `data` under `tag` in `set`, evicting the LRU way if the
+     * set is full. An existing entry with the same tag is overwritten.
+     * @return Reference to the inserted entry.
+     */
+    Entry &
+    insert(std::size_t set, std::uint64_t tag, Data data)
+    {
+        Entry *base = setBase(set);
+        Entry *victim = nullptr;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Entry &e = base[w];
+            if (e.valid && e.tag == tag) {
+                victim = &e;
+                break;
+            }
+            if (!e.valid && victim == nullptr)
+                victim = &e;
+        }
+        if (victim == nullptr) {
+            victim = base;
+            for (std::size_t w = 1; w < ways_; ++w) {
+                if (base[w].lru < victim->lru)
+                    victim = &base[w];
+            }
+        }
+        victim->valid = true;
+        victim->tag = tag;
+        victim->lru = ++tick_;
+        victim->data = std::move(data);
+        return *victim;
+    }
+
+    /** Invalidate the entry with `tag` in `set`, if present. */
+    bool
+    erase(std::size_t set, std::uint64_t tag)
+    {
+        if (Entry *e = find(set, tag, false)) {
+            e->valid = false;
+            return true;
+        }
+        return false;
+    }
+
+    /** Number of valid entries across the whole table. */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t n = 0;
+        for (const Entry &e : entries_) {
+            if (e.valid)
+                ++n;
+        }
+        return n;
+    }
+
+    /** Invalidate everything. */
+    void
+    clear()
+    {
+        for (Entry &e : entries_)
+            e.valid = false;
+        tick_ = 0;
+    }
+
+  private:
+    Entry *
+    setBase(std::size_t set)
+    {
+        assert(set < sets_);
+        return entries_.data() + set * ways_;
+    }
+
+    const Entry *
+    setBase(std::size_t set) const
+    {
+        assert(set < sets_);
+        return entries_.data() + set * ways_;
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t tick_ = 0;
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_TABLE_HPP

@@ -1,0 +1,197 @@
+#include "core/ooo_core.hpp"
+
+#include <cassert>
+
+namespace bingo
+{
+
+OooCore::OooCore(CoreId id, const CoreConfig &config, Cache &l1d,
+                 TraceSource &trace)
+    : id_(id), config_(config), l1d_(l1d), trace_(trace),
+      rob_(config.rob_entries)
+{
+    assert(config.rob_entries > 0 && config.width > 0);
+}
+
+void
+OooCore::step(Cycle now)
+{
+    now_ = now;
+    // A core that reached its quota idles (in-flight memory requests
+    // still drain via callbacks): every statistic then covers exactly
+    // the measurement interval, and a finished core neither pollutes
+    // the shared LLC nor inflates aggregate miss counts while slower
+    // cores complete.
+    if (measurement_done_)
+        return;
+    ++stats_.cycles;
+    retire(now);
+    dispatch(now);
+}
+
+void
+OooCore::retire(Cycle now)
+{
+    unsigned retired = 0;
+    while (retired < config_.width && rob_head_ != rob_tail_) {
+        RobSlot &slot = rob_[rob_head_ % rob_.size()];
+        if (!slot.completed || slot.done > now)
+            break;
+        ++rob_head_;
+        ++retired;
+        // The measurement interval counts exactly measure_target_
+        // instructions; retirement continues afterwards (the core keeps
+        // contending) without advancing the counters.
+        if (!measurement_done_) {
+            ++stats_.instructions;
+            if (stats_.instructions >= measure_target_) {
+                measurement_done_ = true;
+                completion_cycle_ = now;
+            }
+        }
+    }
+}
+
+void
+OooCore::dispatch(Cycle now)
+{
+    const std::uint64_t rob_capacity = rob_.size();
+    unsigned dispatched = 0;
+    bool noted_rob_full = false;
+    bool noted_lsq_full = false;
+
+    while (dispatched < config_.width) {
+        if (rob_tail_ - rob_head_ >= rob_capacity) {
+            if (!noted_rob_full) {
+                ++stats_.rob_full_cycles;
+                noted_rob_full = true;
+            }
+            break;
+        }
+        if (!stalled_record_)
+            stalled_record_ = trace_.next();
+        const TraceRecord &rec = *stalled_record_;
+
+        const bool is_mem = rec.type == InstrType::Load ||
+                            rec.type == InstrType::Store;
+        if (is_mem && lsq_used_ >= config_.lsq_entries) {
+            if (!noted_lsq_full) {
+                ++stats_.lsq_full_cycles;
+                noted_lsq_full = true;
+            }
+            break;
+        }
+
+        const std::uint64_t seq = rob_tail_++;
+        RobSlot &slot = rob_[seq % rob_capacity];
+        slot.seq = seq;
+        slot.completed = false;
+
+        switch (rec.type) {
+          case InstrType::Alu:
+            slot.done = now + config_.alu_latency;
+            slot.completed = true;
+            break;
+          case InstrType::Branch:
+            slot.done = now + config_.alu_latency;
+            slot.completed = true;
+            ++stats_.branches;
+            break;
+          case InstrType::Load: {
+            ++stats_.loads;
+            ++lsq_used_;
+            slot.deferred.clear();
+            MemAccess access;
+            access.block = blockAlign(rec.addr);
+            access.pc = rec.pc;
+            access.core = id_;
+            access.type = AccessType::Load;
+            // A dependent load dereferences the previous load's data:
+            // hold it until that load completes.
+            bool deferred = false;
+            if (rec.dependent && has_last_load_) {
+                RobSlot &prev = rob_[last_load_seq_ % rob_capacity];
+                if (prev.seq == last_load_seq_ && !prev.completed) {
+                    prev.deferred.emplace_back(seq, access);
+                    deferred = true;
+                }
+            }
+            if (!deferred)
+                issueLoad(seq, access, now);
+            last_load_seq_ = seq;
+            has_last_load_ = true;
+            break;
+          }
+          case InstrType::Store: {
+            ++stats_.stores;
+            ++lsq_used_;
+            // Stores retire without waiting for the write to complete;
+            // the LSQ entry models store-buffer pressure until then.
+            slot.done = now + config_.alu_latency;
+            slot.completed = true;
+            MemAccess access;
+            access.block = blockAlign(rec.addr);
+            access.pc = rec.pc;
+            access.core = id_;
+            access.type = AccessType::Store;
+            l1d_.access(access, now, [this](Cycle) {
+                assert(lsq_used_ > 0);
+                --lsq_used_;
+            });
+            break;
+          }
+        }
+        stalled_record_.reset();
+        ++dispatched;
+    }
+}
+
+void
+OooCore::issueLoad(std::uint64_t seq, const MemAccess &access,
+                   Cycle now)
+{
+    l1d_.access(access, now, [this, seq](Cycle when) {
+        completeLoad(seq, when);
+    });
+}
+
+void
+OooCore::completeLoad(std::uint64_t seq, Cycle when)
+{
+    RobSlot &slot = rob_[seq % rob_.size()];
+    assert(slot.seq == seq);
+    slot.done = when < now_ + 1 ? now_ + 1 : when;
+    slot.completed = true;
+    assert(lsq_used_ > 0);
+    --lsq_used_;
+    if (!slot.deferred.empty()) {
+        // Release the pointer chasers waiting on this load's data.
+        const auto waiting = std::move(slot.deferred);
+        slot.deferred.clear();
+        const Cycle issue = when < now_ ? now_ : when;
+        for (const auto &[dep_seq, access] : waiting)
+            issueLoad(dep_seq, access, issue);
+    }
+}
+
+void
+OooCore::startMeasurement(std::uint64_t instructions, Cycle now)
+{
+    stats_ = CoreStats{};
+    measure_target_ = instructions;
+    measure_start_cycle_ = now;
+    completion_cycle_ = 0;
+    measurement_done_ = false;
+}
+
+double
+OooCore::ipc() const
+{
+    const Cycle cycles = completion_cycle_ - measure_start_cycle_;
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(measure_target_) /
+           static_cast<double>(cycles);
+}
+
+} // namespace bingo

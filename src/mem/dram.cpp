@@ -1,0 +1,112 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bingo
+{
+
+DramController::DramController(const DramConfig &config)
+    : config_(config)
+{
+    assert(config_.channels > 0);
+    assert(config_.banks_per_channel > 0);
+    channels_.resize(config_.channels);
+    for (Channel &ch : channels_)
+        ch.banks.resize(config_.banks_per_channel);
+}
+
+unsigned
+DramController::channelOf(Addr block_addr) const
+{
+    // Consecutive blocks alternate channels: streaming traffic uses the
+    // full aggregate bandwidth.
+    return static_cast<unsigned>(blockNumber(block_addr) %
+                                 config_.channels);
+}
+
+unsigned
+DramController::bankOf(Addr block_addr) const
+{
+    return static_cast<unsigned>(rowOf(block_addr) %
+                                 config_.banks_per_channel);
+}
+
+std::uint64_t
+DramController::rowOf(Addr block_addr) const
+{
+    // A row holds row_size_bytes of the blocks mapped to one channel.
+    const std::uint64_t blocks_per_row =
+        config_.row_size_bytes / kBlockSize;
+    return (blockNumber(block_addr) / config_.channels) / blocks_per_row;
+}
+
+Cycle
+DramController::service(Addr block_addr, Cycle now)
+{
+    Channel &ch = channels_[channelOf(block_addr)];
+    Bank &bank = ch.banks[bankOf(block_addr)];
+    const std::uint64_t row = rowOf(block_addr);
+
+    const Cycle start = std::max(now + config_.controller_latency,
+                                 bank.ready);
+    stats_.queue_delay_cycles +=
+        start - (now + config_.controller_latency);
+
+    // Latency (when the data is ready) and occupancy (when the bank can
+    // take the next command) differ: successive row hits pipeline at
+    // the column-to-column rate, not the full CAS latency.
+    Cycle access_latency;
+    Cycle occupancy;
+    if (bank.row_open && bank.open_row == row) {
+        ++stats_.row_hits;
+        access_latency = config_.t_cas;
+        occupancy = config_.data_transfer;
+    } else if (!bank.row_open) {
+        ++stats_.row_misses;
+        access_latency = config_.t_rcd + config_.t_cas;
+        occupancy = config_.t_rcd + config_.data_transfer;
+    } else {
+        ++stats_.row_conflicts;
+        access_latency = config_.t_rp + config_.t_rcd + config_.t_cas;
+        occupancy = config_.t_rp + config_.t_rcd + config_.data_transfer;
+    }
+    bank.row_open = true;
+    bank.open_row = row;
+    bank.ready = start + occupancy;
+
+    const Cycle data_start = std::max(start + access_latency,
+                                      ch.bus_free);
+    const Cycle data_done = data_start + config_.data_transfer;
+    ch.bus_free = data_done;
+    stats_.bus_busy_cycles += config_.data_transfer;
+
+    return data_done;
+}
+
+Cycle
+DramController::read(Addr block_addr, Cycle now)
+{
+    ++stats_.reads;
+    return service(block_addr, now);
+}
+
+void
+DramController::write(Addr block_addr, Cycle now)
+{
+    ++stats_.writes;
+    service(block_addr, now);
+}
+
+void
+DramController::reset()
+{
+    for (Channel &ch : channels_) {
+        ch.bus_free = 0;
+        for (Bank &bank : ch.banks)
+            bank = Bank{};
+    }
+    stats_ = DramStats{};
+}
+
+} // namespace bingo

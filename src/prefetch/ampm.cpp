@@ -1,0 +1,58 @@
+#include "prefetch/ampm.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+AmpmPrefetcher::AmpmPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config), maps_(config.ampm_map_entries / 16, 16)
+{
+}
+
+void
+AmpmPrefetcher::onAccess(const PrefetchAccess &access,
+                         std::vector<Addr> &out)
+{
+    const Addr zone = regionNumber(access.block);
+    const auto b = static_cast<std::int32_t>(regionOffset(access.block));
+    const auto blocks = static_cast<std::int32_t>(config_.region_blocks);
+
+    const std::uint64_t key = mix64(zone);
+    const std::size_t set = maps_.setIndex(key);
+    auto *entry = maps_.find(set, key);
+    if (entry == nullptr)
+        entry = &maps_.insert(set, key, ZoneMap{});
+    ZoneMap &map = entry->data;
+    map.accessed |= 1ULL << b;
+
+    const auto accessed = [&](std::int32_t pos) {
+        return pos >= 0 && pos < blocks &&
+               ((map.accessed >> pos) & 1) != 0;
+    };
+    const auto covered = [&](std::int32_t pos) {
+        return ((map.accessed >> pos) & 1) != 0 ||
+               ((map.prefetched >> pos) & 1) != 0;
+    };
+
+    unsigned issued = 0;
+    for (std::int32_t t = 1; t < blocks && issued < config_.ampm_degree;
+         ++t) {
+        for (const std::int32_t dir : {t, -t}) {
+            if (issued >= config_.ampm_degree)
+                break;
+            const std::int32_t target = b + dir;
+            if (target < 0 || target >= blocks || covered(target))
+                continue;
+            if (accessed(b - dir) && accessed(b - 2 * dir)) {
+                map.prefetched |= 1ULL << target;
+                ++issued;
+                stats_.add("issued");
+                out.push_back(regionAlign(access.block) +
+                              (static_cast<Addr>(target) << kBlockBits));
+            }
+        }
+    }
+}
+
+} // namespace bingo

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Access Map Pattern Matching (Ishii et al., ICS 2009) — winner of
+ * DPC-1.
+ *
+ * AMPM keeps a 2-bit state per cache block (init / accessed /
+ * prefetched) in per-zone access maps. On each demand access to block b
+ * it tests every stride t: if blocks b-t and b-2t were both accessed,
+ * the stream b-2t, b-t, b is assumed and b+t is prefetched. Candidates
+ * are taken in increasing |t| until the degree is exhausted.
+ *
+ * Per the paper's Section V-B, the map table is enlarged to cover the
+ * whole LLC (8 MB / 2 KB zones = 4096 entries).
+ */
+
+#ifndef BINGO_PREFETCH_AMPM_HPP
+#define BINGO_PREFETCH_AMPM_HPP
+
+#include <cstdint>
+
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace bingo
+{
+
+/** Access Map Pattern Matching prefetcher. */
+class AmpmPrefetcher : public Prefetcher
+{
+  public:
+    explicit AmpmPrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+
+    std::string name() const override { return "AMPM"; }
+
+  private:
+    enum class BlockState : std::uint8_t
+    {
+        Init = 0,
+        Accessed = 1,
+        Prefetched = 2,
+    };
+
+    struct ZoneMap
+    {
+        std::uint64_t accessed = 0;    ///< Demand-accessed blocks.
+        std::uint64_t prefetched = 0;  ///< Prefetch-issued blocks.
+    };
+
+    SetAssocTable<ZoneMap> maps_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_AMPM_HPP

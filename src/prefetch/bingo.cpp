@@ -1,0 +1,111 @@
+#include "prefetch/bingo.hpp"
+
+namespace bingo
+{
+
+BingoPrefetcher::BingoPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      tracker_(config.filter_entries, config.accumulation_entries,
+               config.region_blocks),
+      history_(config.pht_entries / config.pht_ways, config.pht_ways)
+{
+}
+
+void
+BingoPrefetcher::insertHistory(Addr pc, Addr trigger_block,
+                               const Footprint &footprint)
+{
+    // Index with the *short* event, tag with the *long* event: this is
+    // the single-table consolidation of Section IV. An existing entry
+    // with the same long event is overwritten in place, which is
+    // exactly how redundancy gets eliminated — one footprint per
+    // PC+Address, findable by both events.
+    const std::uint64_t long_key =
+        eventKey(EventKind::PcAddress, pc, trigger_block);
+    const std::uint64_t short_key =
+        eventKey(EventKind::PcOffset, pc, trigger_block);
+    const std::size_t set = history_.setIndex(short_key);
+    HistoryData data;
+    data.short_key = short_key;
+    data.footprint = footprint;
+    history_.insert(set, long_key, std::move(data));
+    stats_.add("history_inserts");
+}
+
+std::optional<BingoPrefetcher::Prediction>
+BingoPrefetcher::lookup(Addr pc, Addr block)
+{
+    const std::uint64_t long_key =
+        eventKey(EventKind::PcAddress, pc, block);
+    const std::uint64_t short_key =
+        eventKey(EventKind::PcOffset, pc, block);
+    const std::size_t set = history_.setIndex(short_key);
+
+    // Phase 1: match the full long-event tag.
+    if (auto *entry = history_.find(set, long_key)) {
+        stats_.add("long_matches");
+        Prediction pred;
+        pred.footprint = entry->data.footprint;
+        pred.long_match = true;
+        return pred;
+    }
+
+    // Phase 2: same set, compare only the short-event bits. All
+    // PC+Offset-compatible entries necessarily live here because the
+    // set index is derived from the short event alone.
+    auto matches = history_.findIf(
+        set, [short_key](const auto &entry) {
+            return entry.data.short_key == short_key;
+        });
+    if (matches.empty())
+        return std::nullopt;
+
+    stats_.add("short_matches");
+    FootprintVote vote(config_.region_blocks);
+    for (const auto *entry : matches)
+        vote.add(entry->data.footprint);
+
+    Prediction pred;
+    pred.footprint = vote.resolve(config_.vote_threshold);
+    pred.short_matches = static_cast<unsigned>(matches.size());
+    return pred;
+}
+
+void
+BingoPrefetcher::harvest()
+{
+    for (RegionTracker::Generation &gen : tracker_.drainHarvested())
+        insertHistory(gen.trigger_pc, gen.trigger_block, gen.footprint);
+}
+
+void
+BingoPrefetcher::onAccess(const PrefetchAccess &access,
+                          std::vector<Addr> &out)
+{
+    const auto outcome = tracker_.onAccess(access.pc, access.block);
+    harvest();
+    if (outcome != RegionTracker::Outcome::Trigger)
+        return;
+
+    stats_.add("triggers");
+    auto prediction = lookup(access.pc, access.block);
+    if (!prediction)
+        return;
+
+    const Addr base = regionAlign(access.block);
+    const unsigned trigger_offset = regionOffset(access.block);
+    for (unsigned offset : prediction->footprint.offsets()) {
+        if (offset == trigger_offset)
+            continue;
+        out.push_back(base + (static_cast<Addr>(offset) << kBlockBits));
+    }
+}
+
+void
+BingoPrefetcher::onEviction(Addr block)
+{
+    tracker_.onEviction(block);
+    harvest();
+}
+
+} // namespace bingo

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bingo spatial data prefetcher (Bakhshalipour et al., HPCA 2019) —
+ * the paper's contribution.
+ *
+ * Bingo associates each page footprint with *two* events: the long
+ * `PC+Address` (accurate, rarely recurring) and the short `PC+Offset`
+ * (less accurate, frequently recurring). The storage-efficient design
+ * keeps a single unified history table:
+ *
+ *  - The table is *indexed* with a hash of the short event. Because the
+ *    short event's bits are carried inside the long event, both lookups
+ *    land in the same set.
+ *  - Each entry is *tagged* with the full long event.
+ *  - Lookup phase 1 compares long tags; an exact match wins.
+ *  - Lookup phase 2 re-scans the same set comparing only the short-
+ *    event bits. Multiple entries can match; a block is prefetched if
+ *    it appears in at least `vote_threshold` (20 %) of the matching
+ *    footprints — the heuristic the paper found best (Section IV).
+ *
+ * Configuration per Sections V-B/VI-A: 16 K-entry, 16-way history
+ * table, 2 KB regions, prefetching into the LLC.
+ */
+
+#ifndef BINGO_PREFETCH_BINGO_HPP
+#define BINGO_PREFETCH_BINGO_HPP
+
+#include <optional>
+
+#include "common/footprint.hpp"
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/region_tracker.hpp"
+
+namespace bingo
+{
+
+/** Bingo spatial data prefetcher. */
+class BingoPrefetcher : public Prefetcher
+{
+  public:
+    explicit BingoPrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+    void onEviction(Addr block) override;
+
+    std::string name() const override { return "Bingo"; }
+
+    /** Result of a history lookup (exposed for tests/experiments). */
+    struct Prediction
+    {
+        Footprint footprint{kBlocksPerRegion};
+        bool long_match = false;   ///< Phase 1 (PC+Address) matched.
+        unsigned short_matches = 0;
+    };
+
+    /**
+     * Look up the unified history with the trigger (pc, block).
+     * @return nullopt when neither event matches.
+     */
+    std::optional<Prediction> lookup(Addr pc, Addr block);
+
+    /** Insert a finished generation into the unified history. */
+    void insertHistory(Addr pc, Addr trigger_block,
+                       const Footprint &footprint);
+
+    /** History table occupancy (tests/diagnostics). */
+    std::size_t historyOccupancy() const { return history_.occupancy(); }
+
+  private:
+    /** Payload of one history entry. */
+    struct HistoryData
+    {
+        std::uint64_t short_key = 0;  ///< PC+Offset bits of the event.
+        Footprint footprint{kBlocksPerRegion};
+    };
+
+    void harvest();
+
+    RegionTracker tracker_;
+    SetAssocTable<HistoryData> history_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_BINGO_HPP

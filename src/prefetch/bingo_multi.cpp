@@ -1,0 +1,79 @@
+#include "prefetch/bingo_multi.hpp"
+
+#include <cassert>
+
+namespace bingo
+{
+
+BingoMultiPrefetcher::BingoMultiPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      tracker_(config.filter_entries, config.accumulation_entries,
+               config.region_blocks)
+{
+    assert(config.num_events >= 1 &&
+           config.num_events <= kNumEventKinds);
+    tables_.reserve(config.num_events);
+    for (unsigned i = 0; i < config.num_events; ++i) {
+        tables_.emplace_back(config.pht_entries / config.pht_ways,
+                             config.pht_ways);
+    }
+}
+
+void
+BingoMultiPrefetcher::harvest()
+{
+    for (RegionTracker::Generation &gen : tracker_.drainHarvested()) {
+        for (unsigned i = 0; i < tables_.size(); ++i) {
+            const std::uint64_t key =
+                eventKey(static_cast<EventKind>(i), gen.trigger_pc,
+                         gen.trigger_block);
+            tables_[i].insert(tables_[i].setIndex(key), key,
+                              gen.footprint);
+        }
+        stats_.add("history_inserts");
+    }
+}
+
+void
+BingoMultiPrefetcher::onAccess(const PrefetchAccess &access,
+                               std::vector<Addr> &out)
+{
+    const auto outcome = tracker_.onAccess(access.pc, access.block);
+    harvest();
+    if (outcome != RegionTracker::Outcome::Trigger)
+        return;
+
+    stats_.add("triggers");
+    // Longest event first; the first matching table provides the
+    // footprint (Fig. 1-(b) cascade).
+    const Footprint *footprint = nullptr;
+    for (unsigned i = 0; i < tables_.size(); ++i) {
+        const std::uint64_t key =
+            eventKey(static_cast<EventKind>(i), access.pc, access.block);
+        if (auto *entry = tables_[i].find(tables_[i].setIndex(key),
+                                          key)) {
+            stats_.add("matches_event_" + std::to_string(i));
+            footprint = &entry->data;
+            break;
+        }
+    }
+    if (footprint == nullptr)
+        return;
+
+    const Addr base = regionAlign(access.block);
+    const unsigned trigger_offset = regionOffset(access.block);
+    for (unsigned offset : footprint->offsets()) {
+        if (offset == trigger_offset)
+            continue;
+        out.push_back(base + (static_cast<Addr>(offset) << kBlockBits));
+    }
+}
+
+void
+BingoMultiPrefetcher::onEviction(Addr block)
+{
+    tracker_.onEviction(block);
+    harvest();
+}
+
+} // namespace bingo

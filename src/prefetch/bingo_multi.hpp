@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Naive multi-table TAGE-like spatial prefetcher — the design Bingo's
+ * single-table scheme replaces (paper Fig. 1-(b) and the Fig. 3
+ * sensitivity study).
+ *
+ * One full history table per event, longest event first; footprints are
+ * inserted into every table at generation end. A trigger consults the
+ * tables from longest to shortest event and the first hit supplies the
+ * footprint. With num_events = 1 this is the pure PC+Address
+ * prefetcher; with 5 all of PC+Address, PC+Offset, PC, Address, Offset
+ * participate — exactly the x-axis of Fig. 3.
+ */
+
+#ifndef BINGO_PREFETCH_BINGO_MULTI_HPP
+#define BINGO_PREFETCH_BINGO_MULTI_HPP
+
+#include <vector>
+
+#include "common/footprint.hpp"
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/region_tracker.hpp"
+
+namespace bingo
+{
+
+/** Multi-table TAGE-like spatial prefetcher. */
+class BingoMultiPrefetcher : public Prefetcher
+{
+  public:
+    explicit BingoMultiPrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+    void onEviction(Addr block) override;
+
+    std::string name() const override { return "BingoMulti"; }
+
+  private:
+    void harvest();
+
+    RegionTracker tracker_;
+    std::vector<SetAssocTable<Footprint>> tables_;  ///< Longest first.
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_BINGO_MULTI_HPP

@@ -1,0 +1,132 @@
+#include "prefetch/bop.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+const std::vector<std::int64_t> &
+BopPrefetcher::offsetList()
+{
+    // Offsets with prime factors {2, 3, 5} up to 256, as in the BOP
+    // paper, in both directions would double the list; like the
+    // original we use positive offsets only.
+    static const std::vector<std::int64_t> offsets = [] {
+        std::vector<std::int64_t> list;
+        for (std::int64_t n = 1; n <= 256; ++n) {
+            std::int64_t m = n;
+            for (std::int64_t p : {2, 3, 5}) {
+                while (m % p == 0)
+                    m /= p;
+            }
+            if (m == 1)
+                list.push_back(n);
+        }
+        return list;
+    }();
+    return offsets;
+}
+
+BopPrefetcher::BopPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config), rr_table_(config.bop_rr_entries, ~Addr{0}),
+      scores_(offsetList().size(), 0)
+{
+}
+
+void
+BopPrefetcher::rrInsert(Addr block_num)
+{
+    const std::size_t slot = mix64(block_num) % rr_table_.size();
+    rr_table_[slot] = block_num;
+}
+
+bool
+BopPrefetcher::rrContains(Addr block_num) const
+{
+    const std::size_t slot = mix64(block_num) % rr_table_.size();
+    return rr_table_[slot] == block_num;
+}
+
+void
+BopPrefetcher::endRound()
+{
+    if (learned_score_ > config_.bop_bad_score) {
+        best_offset_ = learned_offset_;
+    } else {
+        // No offset is worth prefetching with; turn off until the next
+        // learning phase finds a good one.
+        best_offset_ = 0;
+    }
+    for (unsigned &s : scores_)
+        s = 0;
+    learned_score_ = 0;
+    learned_offset_ = 1;
+    round_ = 0;
+    test_index_ = 0;
+}
+
+void
+BopPrefetcher::train(Addr block_num)
+{
+    const auto &offsets = offsetList();
+    const std::int64_t d = offsets[test_index_];
+    const std::int64_t base = static_cast<std::int64_t>(block_num) - d;
+    if (base >= 0 && rrContains(static_cast<Addr>(base))) {
+        unsigned &score = ++scores_[test_index_];
+        if (score > learned_score_) {
+            learned_score_ = score;
+            learned_offset_ = d;
+        }
+        if (score >= config_.bop_score_max) {
+            endRound();
+            return;
+        }
+    }
+    ++test_index_;
+    if (test_index_ >= offsets.size()) {
+        test_index_ = 0;
+        ++round_;
+        if (round_ >= config_.bop_round_max)
+            endRound();
+    }
+}
+
+void
+BopPrefetcher::onAccess(const PrefetchAccess &access,
+                        std::vector<Addr> &out)
+{
+    // BOP trains on demand misses and on hits to prefetched blocks; we
+    // approximate the latter set with all LLC accesses that miss, plus
+    // hits (training on hits costs nothing and matches the authors'
+    // DPC-2 code, which trains on every L2 access).
+    const Addr block_num = blockNumber(access.block);
+    train(block_num);
+
+    if (access.hit)
+        return;
+
+    // Record the *base* of the current access so a future access to
+    // X + D can credit offset D. The original inserts X - D of the
+    // issued prefetch; inserting X itself is the documented
+    // simplification when prefetching X + D on the same access.
+    rrInsert(block_num);
+
+    if (best_offset_ == 0)
+        return;
+    stats_.add("triggers");
+    for (unsigned d = 1; d <= config_.bop_degree; ++d) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(block_num) +
+            best_offset_ * static_cast<std::int64_t>(d);
+        if (target < 0)
+            break;
+        const Addr target_addr = static_cast<Addr>(target) << kBlockBits;
+        // Stay within the OS page, as the original does: physical
+        // contiguity is not guaranteed beyond it.
+        if ((target_addr >> kOsPageBits) != (access.block >> kOsPageBits))
+            break;
+        out.push_back(target_addr);
+    }
+}
+
+} // namespace bingo

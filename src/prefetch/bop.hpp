@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Best-Offset Prefetcher (Michaud, HPCA 2016) — winner of DPC-2.
+ *
+ * BOP learns a single good prefetch offset D by round-based scoring:
+ * each trained access to block X tests one candidate offset d; if X-d
+ * is found in the Recent Requests (RR) table — meaning a prefetch with
+ * offset d issued at the time X-d was requested would have been timely —
+ * d's score increases. When an offset reaches SCORE_MAX or a round
+ * completes, the best-scoring offset becomes the active one. An active
+ * best score <= BAD_SCORE turns prefetching off.
+ *
+ * The paper evaluates BOP with a 256-entry RR table (Section V-B); the
+ * aggressive Fig. 10 variant issues multiples of D up to degree 32.
+ */
+
+#ifndef BINGO_PREFETCH_BOP_HPP
+#define BINGO_PREFETCH_BOP_HPP
+
+#include <vector>
+
+#include "prefetch/prefetcher.hpp"
+
+namespace bingo
+{
+
+/** Best-Offset prefetcher. */
+class BopPrefetcher : public Prefetcher
+{
+  public:
+    explicit BopPrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+
+    std::string name() const override { return "BOP"; }
+
+    /** Currently selected offset (blocks); 0 = prefetch off. */
+    std::int64_t currentOffset() const { return best_offset_; }
+
+    /** The candidate offset list ({2,3,5}-smooth numbers up to 256). */
+    static const std::vector<std::int64_t> &offsetList();
+
+  private:
+    /** Record a completed request's base address in the RR table. */
+    void rrInsert(Addr block_num);
+    bool rrContains(Addr block_num) const;
+
+    /** Advance round-based learning with the access to `block_num`. */
+    void train(Addr block_num);
+    void endRound();
+
+    std::vector<Addr> rr_table_;        ///< Direct-mapped, hashed tags.
+    std::vector<unsigned> scores_;      ///< One per candidate offset.
+    std::size_t test_index_ = 0;        ///< Next offset to test.
+    unsigned round_ = 0;
+    std::int64_t best_offset_ = 1;      ///< Active prefetch offset.
+    std::int64_t learned_offset_ = 1;   ///< Best seen in current round.
+    unsigned learned_score_ = 0;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_BOP_HPP

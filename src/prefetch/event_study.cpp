@@ -1,0 +1,101 @@
+#include "prefetch/event_study.hpp"
+
+namespace bingo
+{
+
+namespace
+{
+
+SetAssocTable<Footprint>
+makeTable(const PrefetcherConfig &config)
+{
+    return SetAssocTable<Footprint>(config.pht_entries / config.pht_ways,
+                                    config.pht_ways);
+}
+
+} // namespace
+
+EventStudyObserver::EventStudyObserver(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      tables_{makeTable(config), makeTable(config), makeTable(config),
+              makeTable(config), makeTable(config)}
+{
+}
+
+void
+EventStudyObserver::onAccess(const PrefetchAccess &access,
+                             std::vector<Addr> &out)
+{
+    (void)out;  // Observer: never prefetches.
+    const Addr region = regionNumber(access.block);
+    const unsigned offset = regionOffset(access.block);
+
+    auto it = open_.find(region);
+    if (it != open_.end()) {
+        it->second.actual.set(offset);
+        return;
+    }
+
+    // Trigger: probe every event table and open a generation.
+    OpenGeneration gen;
+    gen.trigger_pc = access.pc;
+    gen.trigger_block = access.block;
+    gen.actual = Footprint(config_.region_blocks);
+    gen.actual.set(offset);
+
+    for (unsigned e = 0; e < kNumEventKinds; ++e) {
+        EventResult &res = results_[e];
+        ++res.triggers;
+        const std::uint64_t key = eventKey(static_cast<EventKind>(e),
+                                           access.pc, access.block);
+        if (auto *entry = tables_[e].find(tables_[e].setIndex(key),
+                                          key)) {
+            ++res.matches;
+            gen.predictions[e] = entry->data;
+        }
+    }
+
+    const auto &long_pred =
+        gen.predictions[static_cast<unsigned>(EventKind::PcAddress)];
+    const auto &short_pred =
+        gen.predictions[static_cast<unsigned>(EventKind::PcOffset)];
+    if (long_pred && short_pred) {
+        ++both_matched_;
+        if (*long_pred == *short_pred)
+            ++identical_;
+    }
+
+    open_.emplace(region, std::move(gen));
+}
+
+void
+EventStudyObserver::finishGeneration(Addr region, OpenGeneration &gen)
+{
+    (void)region;
+    for (unsigned e = 0; e < kNumEventKinds; ++e) {
+        EventResult &res = results_[e];
+        if (gen.predictions[e]) {
+            const Footprint &pred = *gen.predictions[e];
+            res.predicted_blocks += pred.count();
+            res.correct_blocks += pred.overlap(gen.actual);
+        }
+        // Learn: associate the actual footprint with this event.
+        const std::uint64_t key = eventKey(static_cast<EventKind>(e),
+                                           gen.trigger_pc,
+                                           gen.trigger_block);
+        tables_[e].insert(tables_[e].setIndex(key), key, gen.actual);
+    }
+}
+
+void
+EventStudyObserver::onEviction(Addr block)
+{
+    const Addr region = regionNumber(block);
+    auto it = open_.find(region);
+    if (it == open_.end())
+        return;
+    finishGeneration(region, it->second);
+    open_.erase(it);
+}
+
+} // namespace bingo

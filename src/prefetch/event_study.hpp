@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Non-prefetching observer that measures the event-heuristic statistics
+ * behind the paper's motivation figures:
+ *
+ *  - Fig. 2: per-event accuracy and match probability. For each of the
+ *    five heuristics a full history table is simulated; at every
+ *    trigger the table is probed (match probability) and the predicted
+ *    footprint is checked against the generation's actual footprint at
+ *    generation end (accuracy = predicted blocks actually used).
+ *  - Fig. 4: redundancy — the fraction of lookups for which the long
+ *    (PC+Address) and short (PC+Offset) events offer an identical
+ *    prediction.
+ *
+ * The observer issues no prefetches, so the measured stream is the
+ * unperturbed baseline access stream, as in the paper's motivation
+ * experiments.
+ */
+
+#ifndef BINGO_PREFETCH_EVENT_STUDY_HPP
+#define BINGO_PREFETCH_EVENT_STUDY_HPP
+
+#include <array>
+#include <optional>
+#include <unordered_map>
+
+#include "common/footprint.hpp"
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace bingo
+{
+
+/** Accuracy / match-probability / redundancy observer. */
+class EventStudyObserver : public Prefetcher
+{
+  public:
+    explicit EventStudyObserver(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+    void onEviction(Addr block) override;
+
+    std::string name() const override { return "EventStudy"; }
+
+    /** Aggregated results for one event heuristic. */
+    struct EventResult
+    {
+        std::uint64_t triggers = 0;        ///< Lookups performed.
+        std::uint64_t matches = 0;         ///< Lookups that hit.
+        std::uint64_t predicted_blocks = 0;
+        std::uint64_t correct_blocks = 0;  ///< Predicted and then used.
+
+        double matchProbability() const
+        {
+            return triggers == 0
+                       ? 0.0
+                       : static_cast<double>(matches) /
+                             static_cast<double>(triggers);
+        }
+
+        double accuracy() const
+        {
+            return predicted_blocks == 0
+                       ? 0.0
+                       : static_cast<double>(correct_blocks) /
+                             static_cast<double>(predicted_blocks);
+        }
+    };
+
+    const EventResult &result(EventKind kind) const
+    {
+        return results_[static_cast<unsigned>(kind)];
+    }
+
+    /** Lookups for which both long and short events had a match. */
+    std::uint64_t bothMatched() const { return both_matched_; }
+    /** ... and offered an identical footprint (Fig. 4 numerator). */
+    std::uint64_t identicalPredictions() const { return identical_; }
+
+    double
+    redundancy() const
+    {
+        return both_matched_ == 0
+                   ? 0.0
+                   : static_cast<double>(identical_) /
+                         static_cast<double>(both_matched_);
+    }
+
+  private:
+    /** An in-flight generation with the per-event predictions. */
+    struct OpenGeneration
+    {
+        Addr trigger_pc = 0;
+        Addr trigger_block = 0;
+        Footprint actual{kBlocksPerRegion};
+        std::array<std::optional<Footprint>, kNumEventKinds> predictions;
+    };
+
+    void finishGeneration(Addr region, OpenGeneration &gen);
+
+    std::array<SetAssocTable<Footprint>, kNumEventKinds> tables_;
+    std::unordered_map<Addr, OpenGeneration> open_;
+    std::array<EventResult, kNumEventKinds> results_{};
+    std::uint64_t both_matched_ = 0;
+    std::uint64_t identical_ = 0;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_EVENT_STUDY_HPP

@@ -1,0 +1,47 @@
+#include "prefetch/prefetcher.hpp"
+
+#include "prefetch/ampm.hpp"
+#include "prefetch/bingo.hpp"
+#include "prefetch/bingo_multi.hpp"
+#include "prefetch/bop.hpp"
+#include "prefetch/event_study.hpp"
+#include "prefetch/nextline.hpp"
+#include "prefetch/sms.hpp"
+#include "prefetch/spp.hpp"
+#include "prefetch/stride.hpp"
+#include "prefetch/vldp.hpp"
+
+namespace bingo
+{
+
+std::unique_ptr<Prefetcher>
+makePrefetcher(const PrefetcherConfig &config)
+{
+    switch (config.kind) {
+      case PrefetcherKind::None:
+        return nullptr;
+      case PrefetcherKind::NextLine:
+        return std::make_unique<NextLinePrefetcher>(config);
+      case PrefetcherKind::Stride:
+        return std::make_unique<StridePrefetcher>(config);
+      case PrefetcherKind::Bop:
+        return std::make_unique<BopPrefetcher>(config);
+      case PrefetcherKind::Spp:
+        return std::make_unique<SppPrefetcher>(config);
+      case PrefetcherKind::Vldp:
+        return std::make_unique<VldpPrefetcher>(config);
+      case PrefetcherKind::Ampm:
+        return std::make_unique<AmpmPrefetcher>(config);
+      case PrefetcherKind::Sms:
+        return std::make_unique<SmsPrefetcher>(config);
+      case PrefetcherKind::Bingo:
+        return std::make_unique<BingoPrefetcher>(config);
+      case PrefetcherKind::BingoMulti:
+        return std::make_unique<BingoMultiPrefetcher>(config);
+      case PrefetcherKind::EventStudy:
+        return std::make_unique<EventStudyObserver>(config);
+    }
+    return nullptr;
+}
+
+} // namespace bingo

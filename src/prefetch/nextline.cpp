@@ -1,0 +1,16 @@
+#include "prefetch/nextline.hpp"
+
+namespace bingo
+{
+
+void
+NextLinePrefetcher::onAccess(const PrefetchAccess &access,
+                             std::vector<Addr> &out)
+{
+    if (access.hit)
+        return;
+    stats_.add("triggers");
+    out.push_back(access.block + kBlockSize);
+}
+
+} // namespace bingo

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Next-line prefetcher: the simplest possible reference point. On every
+ * demand miss it prefetches the sequentially next block.
+ */
+
+#ifndef BINGO_PREFETCH_NEXTLINE_HPP
+#define BINGO_PREFETCH_NEXTLINE_HPP
+
+#include "prefetch/prefetcher.hpp"
+
+namespace bingo
+{
+
+/** Prefetch block N+1 on a miss to block N. */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(const PrefetcherConfig &config)
+        : Prefetcher(config)
+    {
+    }
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+
+    std::string name() const override { return "NextLine"; }
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_NEXTLINE_HPP

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Page-generation tracking shared by the PPH prefetchers (SMS, Bingo).
+ *
+ * A generation starts at the trigger access (first access to a region
+ * not currently tracked) and ends when a block of the region is evicted
+ * from the LLC, as in SMS and Bingo. Regions with a single access live
+ * in a small filter table; once a second distinct block is touched the
+ * region moves to the accumulation table, which records the footprint.
+ * Finished multi-block generations are queued for the owner to harvest
+ * into its pattern history table. Single-block generations are
+ * discarded — storing them would waste PHT capacity on patterns that
+ * predict nothing beyond the trigger.
+ */
+
+#ifndef BINGO_PREFETCH_REGION_TRACKER_HPP
+#define BINGO_PREFETCH_REGION_TRACKER_HPP
+
+#include <vector>
+
+#include "common/footprint.hpp"
+#include "common/hash.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** Tracks per-region footprint generations. */
+class RegionTracker
+{
+  public:
+    /** A finished generation, ready for PHT insertion. */
+    struct Generation
+    {
+        Addr region = 0;        ///< Region number.
+        Addr trigger_pc = 0;
+        Addr trigger_block = 0; ///< Block-aligned trigger address.
+        Footprint footprint{kBlocksPerRegion};
+    };
+
+    /** What an access meant to the tracker. */
+    enum class Outcome
+    {
+        Trigger,   ///< First access of a new generation.
+        Recorded,  ///< Added to an existing generation.
+    };
+
+    RegionTracker(std::size_t filter_entries,
+                  std::size_t accumulation_entries,
+                  unsigned region_blocks)
+        : region_blocks_(region_blocks),
+          filter_(tableSets(filter_entries), kWays),
+          accumulation_(tableSets(accumulation_entries), kWays)
+    {
+    }
+
+    /** Observe a demand access; see Outcome. */
+    Outcome
+    onAccess(Addr pc, Addr block)
+    {
+        const Addr region = regionNumber(block);
+        const unsigned offset = regionOffset(block);
+        const std::uint64_t key = mix64(region);
+
+        const std::size_t accum_set = accumulation_.setIndex(key);
+        if (auto *entry = accumulation_.find(accum_set, key)) {
+            entry->data.footprint.set(offset);
+            return Outcome::Recorded;
+        }
+
+        const std::size_t filter_set = filter_.setIndex(key);
+        if (auto *entry = filter_.find(filter_set, key)) {
+            if (regionOffset(entry->data.trigger_block) == offset)
+                return Outcome::Recorded;
+            // Second distinct block: promote to accumulation.
+            Generation gen = entry->data;
+            gen.footprint.set(offset);
+            filter_.erase(filter_set, key);
+            insertAccumulation(key, std::move(gen));
+            return Outcome::Recorded;
+        }
+
+        // Trigger: start a new generation in the filter table.
+        Generation gen;
+        gen.region = region;
+        gen.trigger_pc = pc;
+        gen.trigger_block = block;
+        gen.footprint = Footprint(region_blocks_);
+        gen.footprint.set(offset);
+        filter_.insert(filter_set, key, std::move(gen));
+        return Outcome::Trigger;
+    }
+
+    /** A block left the cache: end its region's generation, if any. */
+    void
+    onEviction(Addr block)
+    {
+        const Addr region = regionNumber(block);
+        const std::uint64_t key = mix64(region);
+        const std::size_t accum_set = accumulation_.setIndex(key);
+        if (auto *entry = accumulation_.find(accum_set, key,
+                                             /*touch=*/false)) {
+            harvested_.push_back(std::move(entry->data));
+            accumulation_.erase(accum_set, key);
+            return;
+        }
+        filter_.erase(filter_.setIndex(key), key);
+    }
+
+    /** Finished generations since the last drain (moved out). */
+    std::vector<Generation>
+    drainHarvested()
+    {
+        std::vector<Generation> out;
+        out.swap(harvested_);
+        return out;
+    }
+
+    /** Whether `region` is currently tracked (tests/diagnostics). */
+    bool
+    tracks(Addr region)
+    {
+        const std::uint64_t key = mix64(region);
+        return accumulation_.find(accumulation_.setIndex(key), key,
+                                  false) != nullptr ||
+               filter_.find(filter_.setIndex(key), key, false) != nullptr;
+    }
+
+  private:
+    static constexpr std::size_t kWays = 8;
+
+    static std::size_t
+    tableSets(std::size_t entries)
+    {
+        std::size_t sets = entries / kWays;
+        if (sets == 0)
+            sets = 1;
+        // Round down to a power of two as SetAssocTable requires.
+        while ((sets & (sets - 1)) != 0)
+            sets &= sets - 1;
+        return sets;
+    }
+
+    void
+    insertAccumulation(std::uint64_t key, Generation gen)
+    {
+        const std::size_t set = accumulation_.setIndex(key);
+        // A capacity victim's generation is still worth learning from:
+        // harvest it instead of dropping the footprint.
+        auto matches = accumulation_.findIf(
+            set, [](const auto &) { return true; });
+        if (matches.size() >= kWays) {
+            const auto *lru = matches.back();
+            harvested_.push_back(lru->data);
+        }
+        accumulation_.insert(set, key, std::move(gen));
+    }
+
+    unsigned region_blocks_;
+    SetAssocTable<Generation> filter_;
+    SetAssocTable<Generation> accumulation_;
+    std::vector<Generation> harvested_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_REGION_TRACKER_HPP

@@ -1,0 +1,60 @@
+#include "prefetch/sms.hpp"
+
+namespace bingo
+{
+
+SmsPrefetcher::SmsPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      tracker_(config.filter_entries, config.accumulation_entries,
+               config.region_blocks),
+      pht_(config.pht_entries / config.pht_ways, config.pht_ways)
+{
+}
+
+void
+SmsPrefetcher::harvest()
+{
+    for (RegionTracker::Generation &gen : tracker_.drainHarvested()) {
+        const std::uint64_t key = eventKey(EventKind::PcOffset,
+                                           gen.trigger_pc,
+                                           gen.trigger_block);
+        pht_.insert(pht_.setIndex(key), key, std::move(gen.footprint));
+        stats_.add("pht_inserts");
+    }
+}
+
+void
+SmsPrefetcher::onAccess(const PrefetchAccess &access,
+                        std::vector<Addr> &out)
+{
+    const auto outcome = tracker_.onAccess(access.pc, access.block);
+    harvest();
+    if (outcome != RegionTracker::Outcome::Trigger)
+        return;
+
+    stats_.add("triggers");
+    const std::uint64_t key =
+        eventKey(EventKind::PcOffset, access.pc, access.block);
+    auto *entry = pht_.find(pht_.setIndex(key), key);
+    if (entry == nullptr)
+        return;
+
+    stats_.add("pht_hits");
+    const Footprint &footprint = entry->data;
+    const Addr base = regionAlign(access.block);
+    const unsigned trigger_offset = regionOffset(access.block);
+    for (unsigned offset : footprint.offsets()) {
+        if (offset == trigger_offset)
+            continue;
+        out.push_back(base + (static_cast<Addr>(offset) << kBlockBits));
+    }
+}
+
+void
+SmsPrefetcher::onEviction(Addr block)
+{
+    tracker_.onEviction(block);
+    harvest();
+}
+
+} // namespace bingo

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Spatial Memory Streaming (Somogyi et al., ISCA 2006).
+ *
+ * SMS is the PPH baseline Bingo builds on: page footprints are
+ * associated with the single `PC+Offset` event of the trigger access.
+ * On a trigger, the pattern history table is looked up with the
+ * trigger's PC+Offset; a hit streams the stored footprint into the
+ * cache. The paper equips SMS with a 16 K-entry, 16-way PHT
+ * (Section V-B).
+ */
+
+#ifndef BINGO_PREFETCH_SMS_HPP
+#define BINGO_PREFETCH_SMS_HPP
+
+#include "common/footprint.hpp"
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/region_tracker.hpp"
+
+namespace bingo
+{
+
+/** Spatial Memory Streaming prefetcher. */
+class SmsPrefetcher : public Prefetcher
+{
+  public:
+    explicit SmsPrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+    void onEviction(Addr block) override;
+
+    std::string name() const override { return "SMS"; }
+
+    /** PHT occupancy (tests/diagnostics). */
+    std::size_t phtOccupancy() const { return pht_.occupancy(); }
+
+  private:
+    /** Move finished generations into the PHT. */
+    void harvest();
+
+    RegionTracker tracker_;
+    SetAssocTable<Footprint> pht_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_SMS_HPP

@@ -1,0 +1,150 @@
+#include "prefetch/spp.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+SppPrefetcher::SppPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      signature_table_(config.spp_signature_entries / 4, 4),
+      pattern_table_(config.spp_pattern_entries / 4, 4),
+      filter_(config.spp_filter_entries, ~Addr{0})
+{
+}
+
+std::uint16_t
+SppPrefetcher::advanceSignature(std::uint16_t sig, std::int32_t delta)
+{
+    // 12-bit signature; deltas are folded to 7 bits (sign + 6
+    // magnitude) as in the original.
+    const std::uint32_t folded =
+        static_cast<std::uint32_t>(delta < 0 ? 64 - delta : delta) & 0x7f;
+    return static_cast<std::uint16_t>(((sig << 3) ^ folded) & 0xfff);
+}
+
+void
+SppPrefetcher::updatePattern(std::uint16_t sig, std::int32_t delta)
+{
+    const std::uint64_t key = mix64(sig);
+    const std::size_t set = pattern_table_.setIndex(key);
+    auto *entry = pattern_table_.find(set, key);
+    if (entry == nullptr)
+        entry = &pattern_table_.insert(set, key, PatternEntry{});
+
+    PatternEntry &pattern = entry->data;
+    if (pattern.total >= kCounterMax) {
+        // Global decay keeps confidences adaptive.
+        for (PatternSlot &slot : pattern.slots)
+            slot.counter /= 2;
+        pattern.total /= 2;
+    }
+    ++pattern.total;
+
+    PatternSlot *victim = &pattern.slots[0];
+    for (PatternSlot &slot : pattern.slots) {
+        if (slot.counter > 0 && slot.delta == delta) {
+            ++slot.counter;
+            return;
+        }
+        if (slot.counter < victim->counter)
+            victim = &slot;
+    }
+    victim->delta = delta;
+    victim->counter = 1;
+}
+
+std::pair<std::int32_t, double>
+SppPrefetcher::predict(std::uint16_t sig)
+{
+    const std::uint64_t key = mix64(sig);
+    const std::size_t set = pattern_table_.setIndex(key);
+    auto *entry = pattern_table_.find(set, key, /*touch=*/false);
+    if (entry == nullptr || entry->data.total == 0)
+        return {0, 0.0};
+    const PatternEntry &pattern = entry->data;
+    const PatternSlot *best = &pattern.slots[0];
+    for (const PatternSlot &slot : pattern.slots) {
+        if (slot.counter > best->counter)
+            best = &slot;
+    }
+    if (best->counter == 0)
+        return {0, 0.0};
+    return {best->delta, static_cast<double>(best->counter) /
+                             static_cast<double>(pattern.total)};
+}
+
+bool
+SppPrefetcher::filterContains(Addr block_num)
+{
+    return filter_[mix64(block_num) % filter_.size()] == block_num;
+}
+
+void
+SppPrefetcher::filterInsert(Addr block_num)
+{
+    filter_[mix64(block_num) % filter_.size()] = block_num;
+}
+
+void
+SppPrefetcher::onAccess(const PrefetchAccess &access,
+                        std::vector<Addr> &out)
+{
+    const Addr page = access.block >> kOsPageBits;
+    const auto offset = static_cast<std::int32_t>(
+        (access.block >> kBlockBits) &
+        ((1U << (kOsPageBits - kBlockBits)) - 1));
+    constexpr std::int32_t blocks_per_page =
+        1 << (kOsPageBits - kBlockBits);
+
+    const std::uint64_t key = mix64(page);
+    const std::size_t set = signature_table_.setIndex(key);
+    auto *entry = signature_table_.find(set, key);
+    if (entry == nullptr) {
+        SigEntry fresh;
+        fresh.last_offset = offset;
+        // Bootstrap the signature with the first offset so same-page
+        // streams starting at the same alignment share a path.
+        fresh.signature = advanceSignature(0, offset);
+        signature_table_.insert(set, key, fresh);
+        return;
+    }
+
+    SigEntry &sig_entry = entry->data;
+    const std::int32_t delta = offset - sig_entry.last_offset;
+    if (delta == 0)
+        return;
+    updatePattern(sig_entry.signature, delta);
+    sig_entry.signature = advanceSignature(sig_entry.signature, delta);
+    sig_entry.last_offset = offset;
+
+    // Lookahead walk along the signature path.
+    std::uint16_t sig = sig_entry.signature;
+    double path_confidence = 1.0;
+    std::int32_t lookahead_offset = offset;
+    for (unsigned depth = 0; depth < config_.spp_max_depth; ++depth) {
+        auto [pred_delta, confidence] = predict(sig);
+        if (pred_delta == 0 && confidence == 0.0)
+            break;
+        path_confidence *= confidence;
+        if (path_confidence < config_.spp_confidence_threshold)
+            break;
+        lookahead_offset += pred_delta;
+        if (lookahead_offset < 0 ||
+            lookahead_offset >= blocks_per_page) {
+            break;
+        }
+        const Addr target =
+            (page << kOsPageBits) +
+            (static_cast<Addr>(lookahead_offset) << kBlockBits);
+        const Addr target_block = blockNumber(target);
+        if (!filterContains(target_block)) {
+            filterInsert(target_block);
+            stats_.add("issued");
+            out.push_back(target);
+        }
+        sig = advanceSignature(sig, pred_delta);
+    }
+}
+
+} // namespace bingo

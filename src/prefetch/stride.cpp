@@ -1,0 +1,58 @@
+#include "prefetch/stride.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      table_(config.stride_table_entries / 4, 4)
+{
+}
+
+void
+StridePrefetcher::onAccess(const PrefetchAccess &access,
+                           std::vector<Addr> &out)
+{
+    const std::uint64_t key = mix64(access.pc);
+    const std::size_t set = table_.setIndex(key);
+    const Addr block_num = blockNumber(access.block);
+
+    auto *entry = table_.find(set, key);
+    if (entry == nullptr) {
+        Entry fresh;
+        fresh.last_block = block_num;
+        table_.insert(set, key, fresh);
+        return;
+    }
+
+    Entry &data = entry->data;
+    const auto stride = static_cast<std::int64_t>(block_num) -
+                        static_cast<std::int64_t>(data.last_block);
+    if (stride == 0)
+        return;
+
+    if (stride == data.stride) {
+        data.confidence.increment();
+    } else {
+        data.confidence.decrement();
+        if (data.confidence.value() == 0)
+            data.stride = stride;
+    }
+    data.last_block = block_num;
+
+    if (data.confidence.taken() && data.stride != 0) {
+        stats_.add("triggers");
+        for (unsigned d = 1; d <= config_.stride_degree; ++d) {
+            const std::int64_t target =
+                static_cast<std::int64_t>(block_num) +
+                data.stride * static_cast<std::int64_t>(d);
+            if (target < 0)
+                break;
+            out.push_back(static_cast<Addr>(target) << kBlockBits);
+        }
+    }
+}
+
+} // namespace bingo

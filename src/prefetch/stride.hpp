@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Classic PC-indexed stride prefetcher (Baer & Chen style): per-PC
+ * last-address and stride with a confidence counter.
+ */
+
+#ifndef BINGO_PREFETCH_STRIDE_HPP
+#define BINGO_PREFETCH_STRIDE_HPP
+
+#include "common/sat_counter.hpp"
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace bingo
+{
+
+/** PC-indexed stride prefetcher. */
+class StridePrefetcher : public Prefetcher
+{
+  public:
+    explicit StridePrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+
+    std::string name() const override { return "Stride"; }
+
+  private:
+    struct Entry
+    {
+        Addr last_block = 0;      ///< Last block number seen by this PC.
+        std::int64_t stride = 0;  ///< In blocks.
+        SatCounter confidence{2};
+    };
+
+    SetAssocTable<Entry> table_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_STRIDE_HPP

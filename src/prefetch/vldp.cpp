@@ -1,0 +1,176 @@
+#include "prefetch/vldp.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+VldpPrefetcher::VldpPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      dhb_(1, config.vldp_dhb_entries),  // Fully associative.
+      dpts_{SetAssocTable<DptEntry>(config.vldp_dpt_entries / 4, 4),
+            SetAssocTable<DptEntry>(config.vldp_dpt_entries / 4, 4),
+            SetAssocTable<DptEntry>(config.vldp_dpt_entries / 4, 4)},
+      opt_(config.vldp_opt_entries)
+{
+}
+
+std::uint64_t
+VldpPrefetcher::historyKey(
+    const std::array<std::int32_t, kHistoryLen> &deltas,
+    unsigned num_deltas, unsigned len)
+{
+    // Keys combine the newest `len` deltas; `deltas` holds the newest
+    // at index num_deltas-1 (bounded by kHistoryLen).
+    const unsigned have = num_deltas < kHistoryLen ? num_deltas
+                                                   : kHistoryLen;
+    std::uint64_t key = len;
+    for (unsigned i = 0; i < len; ++i) {
+        const std::int32_t d = deltas[have - 1 - i];
+        key = hashCombine(key, static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(d) + 512));
+    }
+    return key;
+}
+
+void
+VldpPrefetcher::updateDpt(
+    unsigned len, const std::array<std::int32_t, kHistoryLen> &history,
+    unsigned num_deltas, std::int32_t delta)
+{
+    auto &dpt = dpts_[len - 1];
+    const std::uint64_t key = historyKey(history, num_deltas, len);
+    const std::size_t set = dpt.setIndex(key);
+    auto *entry = dpt.find(set, key);
+    if (entry == nullptr) {
+        DptEntry fresh;
+        fresh.prediction = delta;
+        fresh.confidence.increment();
+        dpt.insert(set, key, fresh);
+        return;
+    }
+    DptEntry &data = entry->data;
+    if (data.prediction == delta) {
+        data.confidence.increment();
+    } else {
+        data.confidence.decrement();
+        if (data.confidence.value() == 0)
+            data.prediction = delta;
+    }
+}
+
+std::int32_t
+VldpPrefetcher::predictDelta(
+    const std::array<std::int32_t, kHistoryLen> &history,
+    unsigned num_deltas)
+{
+    const unsigned have = num_deltas < kHistoryLen ? num_deltas
+                                                   : kHistoryLen;
+    for (unsigned len = have; len >= 1; --len) {
+        auto &dpt = dpts_[len - 1];
+        const std::uint64_t key = historyKey(history, num_deltas, len);
+        auto *entry = dpt.find(dpt.setIndex(key), key, /*touch=*/false);
+        if (entry != nullptr && entry->data.confidence.value() > 0)
+            return entry->data.prediction;
+    }
+    return 0;
+}
+
+void
+VldpPrefetcher::onAccess(const PrefetchAccess &access,
+                         std::vector<Addr> &out)
+{
+    const Addr page = access.block >> kOsPageBits;
+    const auto offset = static_cast<std::int32_t>(
+        (access.block >> kBlockBits) &
+        ((1U << (kOsPageBits - kBlockBits)) - 1));
+    constexpr std::int32_t blocks_per_page =
+        1 << (kOsPageBits - kBlockBits);
+
+    const std::uint64_t key = mix64(page);
+    auto *entry = dhb_.find(0, key);
+    if (entry == nullptr) {
+        DhbEntry fresh;
+        fresh.last_offset = offset;
+        fresh.first_offset = offset;
+        dhb_.insert(0, key, fresh);
+        // Cold page: consult the OPT with the first offset.
+        OptEntry &opt = opt_[static_cast<std::size_t>(offset) %
+                             opt_.size()];
+        if (opt.valid && opt.confidence.taken()) {
+            const std::int32_t target = offset + opt.prediction;
+            if (target >= 0 && target < blocks_per_page) {
+                stats_.add("opt_prefetches");
+                out.push_back((page << kOsPageBits) +
+                              (static_cast<Addr>(target) << kBlockBits));
+            }
+        }
+        return;
+    }
+
+    DhbEntry &dhb = entry->data;
+    const std::int32_t delta = offset - dhb.last_offset;
+    if (delta == 0)
+        return;
+
+    // Teach the OPT the first delta of the page.
+    if (dhb.num_deltas == 0) {
+        OptEntry &opt = opt_[static_cast<std::size_t>(dhb.first_offset) %
+                             opt_.size()];
+        if (!opt.valid) {
+            opt.valid = true;
+            opt.prediction = delta;
+            opt.confidence = SatCounter{2, 2};
+        } else if (opt.prediction == delta) {
+            opt.confidence.increment();
+        } else {
+            opt.confidence.decrement();
+            if (opt.confidence.value() == 0)
+                opt.prediction = delta;
+        }
+    }
+
+    // Teach each DPT whose history is available.
+    const unsigned have = dhb.num_deltas < kHistoryLen ? dhb.num_deltas
+                                                       : kHistoryLen;
+    for (unsigned len = 1; len <= have; ++len)
+        updateDpt(len, dhb.deltas, dhb.num_deltas, delta);
+
+    // Shift the new delta into the history.
+    if (dhb.num_deltas < kHistoryLen) {
+        dhb.deltas[dhb.num_deltas] = delta;
+    } else {
+        for (unsigned i = 0; i + 1 < kHistoryLen; ++i)
+            dhb.deltas[i] = dhb.deltas[i + 1];
+        dhb.deltas[kHistoryLen - 1] = delta;
+    }
+    ++dhb.num_deltas;
+    dhb.last_offset = offset;
+
+    // Multi-degree prediction: feed each predicted delta back into the
+    // tables (speculative history), up to the configured degree.
+    std::array<std::int32_t, kHistoryLen> spec = dhb.deltas;
+    unsigned spec_num = dhb.num_deltas;
+    std::int32_t spec_offset = offset;
+    for (unsigned d = 0; d < config_.vldp_degree; ++d) {
+        const std::int32_t pred = predictDelta(spec, spec_num);
+        if (pred == 0)
+            break;
+        spec_offset += pred;
+        if (spec_offset < 0 || spec_offset >= blocks_per_page)
+            break;
+        stats_.add("issued");
+        out.push_back((page << kOsPageBits) +
+                      (static_cast<Addr>(spec_offset) << kBlockBits));
+        if (spec_num < kHistoryLen) {
+            spec[spec_num] = pred;
+        } else {
+            for (unsigned i = 0; i + 1 < kHistoryLen; ++i)
+                spec[i] = spec[i + 1];
+            spec[kHistoryLen - 1] = pred;
+        }
+        ++spec_num;
+    }
+}
+
+} // namespace bingo

@@ -1,0 +1,33 @@
+#include "sim/area_model.hpp"
+
+namespace bingo
+{
+
+double
+AreaModel::baseArea(const SystemConfig &config) const
+{
+    const double llc_mb =
+        static_cast<double>(config.llc.size_bytes) / (1024.0 * 1024.0);
+    return config.num_cores * core_mm2 + llc_mb * llc_mm2_per_mb +
+           interconnect_mm2;
+}
+
+double
+AreaModel::prefetcherArea(const PrefetcherConfig &config) const
+{
+    const double kb =
+        static_cast<double>(config.storageBytes()) / 1024.0;
+    return kb / sram_kb_per_mm2;
+}
+
+double
+AreaModel::densityImprovement(double speedup,
+                              const SystemConfig &config) const
+{
+    const double base = baseArea(config);
+    const double with_pf =
+        base + config.num_cores * prefetcherArea(config.prefetcher);
+    return speedup * (base / with_pf);
+}
+
+} // namespace bingo

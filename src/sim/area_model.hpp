@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Chip area model for the performance-density study (paper Fig. 9 and
+ * Section VI-D). Performance density = throughput / area; a prefetcher
+ * is worthwhile only if its speedup outweighs the silicon it occupies.
+ *
+ * Budgets are 14 nm ballparks in the CACTI-7 tradition (DESIGN.md):
+ * what matters for the figure's *shape* is the ratio between prefetcher
+ * metadata area and the rest of the chip, which these budgets preserve
+ * (Bingo's 119 KB is ~6 % of the LLC's SRAM, a fraction of a percent of
+ * the chip).
+ */
+
+#ifndef BINGO_SIM_AREA_MODEL_HPP
+#define BINGO_SIM_AREA_MODEL_HPP
+
+#include "common/config.hpp"
+
+namespace bingo
+{
+
+/** Area budgets (mm^2) for the Table I chip. */
+struct AreaModel
+{
+    double core_mm2 = 8.0;            ///< One core incl. private L1s.
+    double llc_mm2_per_mb = 1.8;
+    double interconnect_mm2 = 10.0;   ///< NoC + memory channels.
+    double sram_kb_per_mm2 = 640.0;   ///< Prefetcher metadata density.
+
+    /** Chip area without prefetchers. */
+    double baseArea(const SystemConfig &config) const;
+
+    /** Metadata area of one prefetcher instance. */
+    double prefetcherArea(const PrefetcherConfig &config) const;
+
+    /**
+     * Performance density relative to the no-prefetcher baseline:
+     * speedup scaled by the area growth of adding one prefetcher per
+     * core. Returns e.g. 1.59 for "+59 %".
+     */
+    double densityImprovement(double speedup,
+                              const SystemConfig &config) const;
+};
+
+} // namespace bingo
+
+#endif // BINGO_SIM_AREA_MODEL_HPP

@@ -1,0 +1,87 @@
+#include "sim/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace bingo
+{
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value)
+        return fallback;
+    return parsed;
+}
+
+} // namespace
+
+ExperimentOptions
+defaultOptions()
+{
+    ExperimentOptions options;
+    options.warmup_instructions =
+        envU64("BINGO_WARMUP_INSTRS", options.warmup_instructions);
+    options.measure_instructions =
+        envU64("BINGO_MEASURE_INSTRS", options.measure_instructions);
+    options.seed = envU64("BINGO_SEED", options.seed);
+    return options;
+}
+
+RunResult
+runWorkload(const std::string &workload, const SystemConfig &config,
+            const ExperimentOptions &options)
+{
+    SystemConfig cfg = config;
+    cfg.seed = options.seed;
+    System system(cfg, workload);
+    system.run(options.warmup_instructions,
+               options.measure_instructions);
+    return collectResult(system, workload);
+}
+
+const RunResult &
+baselineFor(const std::string &workload, SystemConfig config,
+            const ExperimentOptions &options)
+{
+    static std::map<std::string, RunResult> cache;
+    const std::string key =
+        workload + "/" + std::to_string(options.measure_instructions) +
+        "/" + std::to_string(options.seed);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    config.prefetcher = PrefetcherConfig{};
+    config.prefetcher.kind = PrefetcherKind::None;
+    RunResult result = runWorkload(workload, config, options);
+    return cache.emplace(key, std::move(result)).first->second;
+}
+
+void
+printConfigHeader(const SystemConfig &config)
+{
+    std::printf("System: %u cores, %.1f GHz | L1D %llu KB %u-way | "
+                "LLC %llu MB %u-way, %u-cycle | DRAM %u ch, "
+                "%u-cycle zero-load row miss\n",
+                config.num_cores, config.frequency_ghz,
+                static_cast<unsigned long long>(
+                    config.l1d.size_bytes / 1024),
+                config.l1d.ways,
+                static_cast<unsigned long long>(
+                    config.llc.size_bytes / (1024 * 1024)),
+                config.llc.ways, config.llc.hit_latency,
+                config.dram.channels,
+                config.dram.zeroLoadRowMiss());
+}
+
+} // namespace bingo

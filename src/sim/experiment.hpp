@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Experiment runner shared by the benches: builds a System for a
+ * (workload, config) pair, runs warmup + measurement, and memoizes
+ * no-prefetcher baselines so each bench pays for them once.
+ *
+ * Instruction counts default to values that complete a full figure
+ * sweep in minutes; override with the environment variables
+ * BINGO_WARMUP_INSTRS and BINGO_MEASURE_INSTRS for higher fidelity.
+ */
+
+#ifndef BINGO_SIM_EXPERIMENT_HPP
+#define BINGO_SIM_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace bingo
+{
+
+/** Per-run simulation lengths. */
+struct ExperimentOptions
+{
+    std::uint64_t warmup_instructions = 5000 * 1000;
+    std::uint64_t measure_instructions = 2000 * 1000;
+    std::uint64_t seed = 42;
+};
+
+/** Default options, honouring the BINGO_* environment overrides. */
+ExperimentOptions defaultOptions();
+
+/** Run `workload` under `config` and collect the result. */
+RunResult runWorkload(const std::string &workload,
+                      const SystemConfig &config,
+                      const ExperimentOptions &options);
+
+/**
+ * Memoized no-prefetcher baseline for `workload` under `config` with
+ * its prefetcher disabled. Keyed by workload name and options; assumes
+ * benches use one substrate config per process (they do).
+ */
+const RunResult &baselineFor(const std::string &workload,
+                             SystemConfig config,
+                             const ExperimentOptions &options);
+
+/** Print the Table I configuration header every bench starts with. */
+void printConfigHeader(const SystemConfig &config);
+
+} // namespace bingo
+
+#endif // BINGO_SIM_EXPERIMENT_HPP

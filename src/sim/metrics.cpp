@@ -1,0 +1,79 @@
+#include "sim/metrics.hpp"
+
+namespace bingo
+{
+
+double
+RunResult::ipcSum() const
+{
+    double sum = 0.0;
+    for (double ipc : core_ipc)
+        sum += ipc;
+    return sum;
+}
+
+double
+RunResult::llcMpki() const
+{
+    if (instructions == 0)
+        return 0.0;
+    return static_cast<double>(llc.demand_misses) * 1000.0 /
+           static_cast<double>(instructions);
+}
+
+RunResult
+collectResult(System &system, const std::string &workload)
+{
+    RunResult result;
+    result.workload = workload;
+    result.kind = system.config().prefetcher.kind;
+    result.prefetch_storage_bytes =
+        system.config().prefetcher.storageBytes();
+    for (CoreId c = 0; c < system.numCores(); ++c) {
+        result.core_ipc.push_back(system.core(c).ipc());
+        result.instructions += system.core(c).measuredInstructions();
+        const CacheStats &l1 = system.l1d(c).stats();
+        result.l1d.demand_accesses += l1.demand_accesses;
+        result.l1d.demand_hits += l1.demand_hits;
+        result.l1d.demand_misses += l1.demand_misses;
+    }
+    result.llc = system.llc().stats();
+    result.dram = system.dram().stats();
+    return result;
+}
+
+PrefetchMetrics
+computeMetrics(const RunResult &baseline,
+               const RunResult &with_prefetcher)
+{
+    PrefetchMetrics metrics;
+    const auto m0 = static_cast<double>(baseline.llc.demand_misses);
+    const auto mp =
+        static_cast<double>(with_prefetcher.llc.demand_misses);
+    const auto useful =
+        static_cast<double>(with_prefetcher.llc.useful_prefetches);
+    const auto useless =
+        static_cast<double>(with_prefetcher.llc.useless_prefetches);
+
+    if (m0 > 0) {
+        metrics.coverage = (m0 - mp) / m0;
+        if (metrics.coverage < 0.0)
+            metrics.coverage = 0.0;
+        metrics.overprediction = useless / m0;
+    }
+    metrics.uncovered = 1.0 - metrics.coverage;
+    if (useful + useless > 0)
+        metrics.accuracy = useful / (useful + useless);
+    return metrics;
+}
+
+double
+speedup(const RunResult &baseline, const RunResult &with_prefetcher)
+{
+    const double base = baseline.ipcSum();
+    if (base == 0.0)
+        return 0.0;
+    return with_prefetcher.ipcSum() / base;
+}
+
+} // namespace bingo

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Run results and the derived metrics the paper reports.
+ *
+ * Definitions (Sections III and VI-B):
+ *  - coverage: fraction of the baseline's demand LLC misses eliminated
+ *    by the prefetcher: (M0 - Mp) / M0.
+ *  - overprediction: incorrect prefetches (filled but evicted unused)
+ *    normalized to the baseline's misses: useless / M0.
+ *  - accuracy: fraction of prefetched blocks used before eviction:
+ *    useful / (useful + useless).
+ *  - speedup: system throughput (sum of per-core IPC) relative to the
+ *    no-prefetcher baseline.
+ */
+
+#ifndef BINGO_SIM_METRICS_HPP
+#define BINGO_SIM_METRICS_HPP
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "mem/dram.hpp"
+#include "sim/system.hpp"
+
+namespace bingo
+{
+
+/** Everything measured in one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    PrefetcherKind kind = PrefetcherKind::None;
+    std::vector<double> core_ipc;
+    std::uint64_t instructions = 0;  ///< Total measured instructions.
+    CacheStats llc;
+    CacheStats l1d;                  ///< Aggregated over cores.
+    DramStats dram;
+    std::uint64_t prefetch_storage_bytes = 0;
+
+    /** System throughput: sum of per-core IPC. */
+    double ipcSum() const;
+
+    /** LLC demand misses per kilo-instruction (Table II metric). */
+    double llcMpki() const;
+};
+
+/** Snapshot a finished System into a RunResult. */
+RunResult collectResult(System &system, const std::string &workload);
+
+/** Coverage / accuracy / overprediction vs a baseline run. */
+struct PrefetchMetrics
+{
+    double coverage = 0.0;
+    double accuracy = 0.0;
+    double overprediction = 0.0;
+    double uncovered = 1.0;
+};
+
+/** Derive the paper's Fig. 7 metrics from a (baseline, prefetch) pair. */
+PrefetchMetrics computeMetrics(const RunResult &baseline,
+                               const RunResult &with_prefetcher);
+
+/** Throughput speedup of `with_prefetcher` over `baseline`. */
+double speedup(const RunResult &baseline,
+               const RunResult &with_prefetcher);
+
+} // namespace bingo
+
+#endif // BINGO_SIM_METRICS_HPP

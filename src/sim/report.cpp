@@ -1,0 +1,149 @@
+#include "sim/report.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bingo
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (row[i].size() > widths[i])
+                widths[i] = row[i].size();
+        }
+    }
+
+    const auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            out += i == 0 ? "| " : " | ";
+            out += row[i];
+            out.append(widths[i] - row[i].size(), ' ');
+        }
+        out += " |\n";
+        return out;
+    };
+
+    std::string out = render_row(headers_);
+    std::string rule = "|";
+    for (std::size_t w : widths)
+        rule += std::string(w + 2, '-') + "|";
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += render_row(row);
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+namespace
+{
+
+std::string
+csvField(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
+csvRow(const std::vector<std::string> &cells)
+{
+    std::string out;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += csvField(cells[i]);
+    }
+    out += '\n';
+    return out;
+}
+
+} // namespace
+
+std::string
+TextTable::renderCsv() const
+{
+    std::string out = csvRow(headers_);
+    for (const auto &row : rows_)
+        out += csvRow(row);
+    return out;
+}
+
+bool
+TextTable::maybeWriteCsv(const std::string &name) const
+{
+    const char *dir = std::getenv("BINGO_CSV_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return false;
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string csv = renderCsv();
+    const bool ok =
+        std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+    std::fclose(f);
+    if (ok)
+        std::printf("(wrote %s)\n", path.c_str());
+    return ok;
+}
+
+std::string
+fmtPercent(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+fmtRatio(double ratio, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*fx", decimals, ratio);
+    return buf;
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace bingo

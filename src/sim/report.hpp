@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plain-text table rendering for the bench harnesses: each bench prints
+ * the same rows/series as the corresponding paper figure.
+ */
+
+#ifndef BINGO_SIM_REPORT_HPP
+#define BINGO_SIM_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+namespace bingo
+{
+
+/** Fixed-width text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with per-column widths, header rule included. */
+    std::string render() const;
+
+    /** Render straight to stdout. */
+    void print() const;
+
+    /**
+     * Render as CSV (RFC-4180 quoting). Used by the benches when
+     * BINGO_CSV_DIR is set so figures can be re-plotted directly.
+     */
+    std::string renderCsv() const;
+
+    /**
+     * If the BINGO_CSV_DIR environment variable is set, also write
+     * the table as <dir>/<name>.csv. Returns true when written.
+     */
+    bool maybeWriteCsv(const std::string &name) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "63.4%" (for fractions) */
+std::string fmtPercent(double fraction, int decimals = 1);
+
+/** "1.62x" (for speedups) */
+std::string fmtRatio(double ratio, int decimals = 2);
+
+/** Fixed-decimal double. */
+std::string fmtDouble(double value, int decimals = 2);
+
+} // namespace bingo
+
+#endif // BINGO_SIM_REPORT_HPP

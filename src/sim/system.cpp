@@ -1,0 +1,127 @@
+#include "sim/system.hpp"
+
+#include <cassert>
+
+namespace bingo
+{
+
+System::System(const SystemConfig &config, const std::string &workload)
+    : config_(config)
+{
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.reserve(config.num_cores);
+    for (CoreId c = 0; c < config.num_cores; ++c)
+        sources.push_back(makeWorkload(workload, c, config.seed));
+    build(std::move(sources));
+}
+
+System::System(const SystemConfig &config,
+               std::vector<std::unique_ptr<TraceSource>> sources)
+    : config_(config)
+{
+    assert(sources.size() == config.num_cores);
+    build(std::move(sources));
+}
+
+void
+System::build(std::vector<std::unique_ptr<TraceSource>> sources)
+{
+    // Random first-touch translation (Section V): scramble page
+    // numbers so the synthetic heaps' alignment regularities do not
+    // alias in the physically-indexed LLC and DRAM banks.
+    translator_ = AddressTranslator(config_.seed);
+    sources_.clear();
+    sources_.reserve(sources.size());
+    for (auto &source : sources) {
+        sources_.push_back(std::make_unique<TranslatingSource>(
+            std::move(source), translator_));
+    }
+
+    dram_ = std::make_unique<DramController>(config_.dram);
+    dram_lower_ = std::make_unique<DramLower>(*dram_, events_);
+    llc_ = std::make_unique<Cache>("LLC", config_.llc, events_,
+                                   *dram_lower_);
+    llc_lower_ = std::make_unique<CacheLower>(*llc_);
+
+    for (CoreId c = 0; c < config_.num_cores; ++c) {
+        l1ds_.push_back(std::make_unique<Cache>(
+            "L1D" + std::to_string(c), config_.l1d, events_,
+            *llc_lower_));
+        cores_.push_back(std::make_unique<OooCore>(
+            c, config_.core, *l1ds_.back(), *sources_[c]));
+        prefetchers_.push_back(makePrefetcher(config_.prefetcher));
+    }
+
+    // LLC demand accesses train the requesting core's prefetcher;
+    // returned candidates are issued back into the LLC immediately.
+    llc_->setAccessHook([this](const MemAccess &access, bool hit,
+                               Cycle now) {
+        Prefetcher *pf = prefetchers_[access.core].get();
+        if (pf == nullptr)
+            return;
+        PrefetchAccess pa;
+        pa.pc = access.pc;
+        pa.block = access.block;
+        pa.core = access.core;
+        pa.hit = hit;
+        pa.type = access.type;
+        pa.cycle = now;
+        candidate_buffer_.clear();
+        pf->onAccess(pa, candidate_buffer_);
+        for (Addr candidate : candidate_buffer_) {
+            const Addr block = blockAlign(candidate);
+            if (block == access.block)
+                continue;
+            llc_->prefetch(block, access.pc, access.core, now);
+        }
+    });
+
+    // Evictions close page generations; broadcast to every core's
+    // prefetcher (each ignores regions it does not track).
+    llc_->addEvictionListener([this](Addr block) {
+        for (auto &pf : prefetchers_) {
+            if (pf)
+                pf->onEviction(block);
+        }
+    });
+}
+
+void
+System::runPhase(std::uint64_t instructions)
+{
+    for (auto &core : cores_)
+        core->startMeasurement(instructions, now_);
+    while (true) {
+        bool all_done = true;
+        for (auto &core : cores_) {
+            if (!core->measurementDone()) {
+                all_done = false;
+                break;
+            }
+        }
+        if (all_done)
+            break;
+        events_.runDue(now_);
+        for (auto &core : cores_)
+            core->step(now_);
+        ++now_;
+    }
+}
+
+void
+System::run(std::uint64_t warmup_instructions,
+            std::uint64_t measure_instructions)
+{
+    if (warmup_instructions > 0)
+        runPhase(warmup_instructions);
+
+    llc_->resetStats();
+    for (auto &l1 : l1ds_)
+        l1->resetStats();
+    // DRAM: clear counters but keep bank/bus timing state.
+    dram_->resetStatsOnly();
+
+    runPhase(measure_instructions);
+}
+
+} // namespace bingo

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Top-level simulated system: cores x private L1Ds x shared LLC x DRAM,
+ * with one prefetcher per core attached at the LLC (paper Section V:
+ * "every core has its own prefetcher ... all methods are triggered upon
+ * LLC accesses and prefetch directly into the LLC").
+ */
+
+#ifndef BINGO_SIM_SYSTEM_HPP
+#define BINGO_SIM_SYSTEM_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/config.hpp"
+#include "common/event_queue.hpp"
+#include "core/ooo_core.hpp"
+#include "mem/dram.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "sim/translation.hpp"
+#include "workload/generator.hpp"
+
+namespace bingo
+{
+
+/** A complete simulated machine running one workload. */
+class System
+{
+  public:
+    /**
+     * Build the system for `workload` (a Table II name). Trace sources
+     * are created per core from `config.seed`.
+     */
+    System(const SystemConfig &config, const std::string &workload);
+
+    /** Build the system around caller-provided per-core sources. */
+    System(const SystemConfig &config,
+           std::vector<std::unique_ptr<TraceSource>> sources);
+
+    /**
+     * Simulate `warmup_instructions` per core (warming caches and
+     * predictor tables), reset all statistics, then simulate
+     * `measure_instructions` per core. Cores that reach their quota
+     * keep running until every core has finished, preserving
+     * contention, as in ChampSim.
+     */
+    void run(std::uint64_t warmup_instructions,
+             std::uint64_t measure_instructions);
+
+    const SystemConfig &config() const { return config_; }
+    Cycle now() const { return now_; }
+
+    OooCore &core(CoreId i) { return *cores_[i]; }
+    const OooCore &core(CoreId i) const { return *cores_[i]; }
+    Cache &llc() { return *llc_; }
+    const Cache &llc() const { return *llc_; }
+    Cache &l1d(CoreId i) { return *l1ds_[i]; }
+    DramController &dram() { return *dram_; }
+    const DramController &dram() const { return *dram_; }
+
+    /** Per-core prefetcher; nullptr when kind is None. */
+    Prefetcher *prefetcher(CoreId i) { return prefetchers_[i].get(); }
+
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+
+  private:
+    void build(std::vector<std::unique_ptr<TraceSource>> sources);
+
+    /** Advance until every core's measurement quota is met. */
+    void runPhase(std::uint64_t instructions);
+
+    SystemConfig config_;
+    EventQueue events_;
+    AddressTranslator translator_{0};
+    std::unique_ptr<DramController> dram_;
+    std::unique_ptr<DramLower> dram_lower_;
+    std::unique_ptr<Cache> llc_;
+    std::unique_ptr<CacheLower> llc_lower_;
+    std::vector<std::unique_ptr<TraceSource>> sources_;
+    std::vector<std::unique_ptr<Cache>> l1ds_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+    std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+    std::vector<Addr> candidate_buffer_;
+    Cycle now_ = 0;
+};
+
+} // namespace bingo
+
+#endif // BINGO_SIM_SYSTEM_HPP

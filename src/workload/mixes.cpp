@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Workload registry: maps the paper's Table II workload names to
+ * per-core trace sources.
+ */
+
+#include <array>
+#include <stdexcept>
+
+#include "workload/generator.hpp"
+#include "workload/server_apps.hpp"
+#include "workload/spec_kernels.hpp"
+
+namespace bingo
+{
+
+namespace
+{
+
+/** Private heap base for a core: 4 TB apart, never overlapping. */
+Addr
+coreBase(CoreId core)
+{
+    return (static_cast<Addr>(core) + 1) << 42;
+}
+
+/** Table II mix compositions, one kernel per core. */
+const std::array<std::array<const char *, 4>, 5> kMixes = {{
+    {"lbm", "omnetpp", "soplex", "sphinx3"},        // Mix 1
+    {"lbm", "libquantum", "sphinx3", "zeusmp"},     // Mix 2
+    {"milc", "omnetpp", "perlbench", "soplex"},     // Mix 3
+    {"astar", "omnetpp", "soplex", "tonto"},        // Mix 4
+    {"GemsFDTD", "gromacs", "omnetpp", "soplex"},   // Mix 5
+}};
+
+} // namespace
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "Data Serving", "SAT Solver", "Streaming", "Zeus", "em3d",
+        "Mix 1", "Mix 2", "Mix 3", "Mix 4", "Mix 5",
+    };
+    return names;
+}
+
+std::string
+workloadDescription(const std::string &name)
+{
+    if (name == "Data Serving")
+        return "Cassandra Database, 15GB Yahoo! Benchmark";
+    if (name == "SAT Solver")
+        return "Cloud9 Parallel Symbolic Execution Engine";
+    if (name == "Streaming")
+        return "Darwin Streaming Server, 7500 Clients";
+    if (name == "Zeus")
+        return "Zeus Web Server v4.3, 16K Connections";
+    if (name == "em3d")
+        return "400K Nodes, Degree 2, Span 5, 15% Remote";
+    for (std::size_t m = 0; m < kMixes.size(); ++m) {
+        if (name == "Mix " + std::to_string(m + 1)) {
+            std::string desc;
+            for (const char *kernel : kMixes[m]) {
+                if (!desc.empty())
+                    desc += ", ";
+                desc += kernel;
+            }
+            return desc;
+        }
+    }
+    return "";
+}
+
+const std::vector<std::string> &
+specKernelNames()
+{
+    static const std::vector<std::string> names = {
+        "lbm", "omnetpp", "soplex", "sphinx3", "libquantum", "zeusmp",
+        "milc", "perlbench", "astar", "tonto", "GemsFDTD", "gromacs",
+    };
+    return names;
+}
+
+std::unique_ptr<TraceSource>
+makeSpecKernel(const std::string &name, std::uint64_t seed)
+{
+    return makeSpecKernelAt(name, coreBase(0), seed);
+}
+
+std::unique_ptr<TraceSource>
+makeWorkload(const std::string &workload, CoreId core,
+             std::uint64_t seed)
+{
+    const Addr base = coreBase(core);
+    const std::uint64_t core_seed = seed * 1000003 + core * 7919 + 1;
+
+    if (workload == "Data Serving")
+        return makeDataServing(base, core_seed);
+    if (workload == "SAT Solver")
+        return makeSatSolver(base, core_seed);
+    if (workload == "Streaming")
+        return makeStreaming(base, core_seed);
+    if (workload == "Zeus")
+        return makeZeus(base, core_seed);
+    if (workload == "em3d")
+        return makeEm3d(base, core_seed);
+    for (std::size_t m = 0; m < kMixes.size(); ++m) {
+        if (workload == "Mix " + std::to_string(m + 1)) {
+            const char *kernel = kMixes[m][core % kMixes[m].size()];
+            return makeSpecKernelAt(kernel, base, core_seed);
+        }
+    }
+    throw std::invalid_argument("unknown workload: " + workload);
+}
+
+} // namespace bingo

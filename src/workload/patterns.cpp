@@ -1,0 +1,229 @@
+#include "workload/patterns.hpp"
+
+#include <cassert>
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+RecordStoreApp::RecordStoreApp(const RecordStoreParams &params,
+                               std::uint64_t seed)
+    : BurstSource(seed), params_(params)
+{
+    assert(params_.hot_regions <= params_.num_regions);
+    // Class layouts derive from a *fixed* seed so that all cores of a
+    // server workload share the same record schema, as threads of one
+    // application would; only the visit sequence differs per core.
+    Rng layout_rng(0xb1f0 + params_.num_classes * 131 +
+                   params_.trigger_sites);
+    classes_ = RecordClass::makeClasses(
+        params_.num_classes, params_.trigger_sites, kBlocksPerRegion,
+        params_.min_fields, params_.max_fields, layout_rng);
+}
+
+void
+RecordStoreApp::visitRegion(std::uint64_t region)
+{
+    // Region -> class is a fixed mapping: revisiting a region
+    // reproduces the same footprint (the source of PC+Address
+    // predictability). Records are not region-aligned: each region has
+    // a fixed start offset that shifts the class layout, so one class
+    // manifests at many PC+Offset events — spreading the short event
+    // across history-table sets the way unaligned heap records do.
+    const RecordClass &cls =
+        classes_[mix64(region * 0x51ed) % classes_.size()];
+    const unsigned shift = static_cast<unsigned>(
+        mix64(region ^ 0x5a17) % kBlocksPerRegion);
+    const Addr region_base =
+        params_.base + region * kRegionSize;
+
+    for (std::size_t f = 0; f < cls.field_offsets.size(); ++f) {
+        if (f > 0 && rng_.chance(params_.field_skip_prob))
+            continue;
+        const unsigned offset =
+            (cls.field_offsets[f] + shift) % kBlocksPerRegion;
+        const Addr addr =
+            region_base + static_cast<Addr>(offset) * kBlockSize;
+        if (f > 0 && rng_.chance(params_.store_prob))
+            emitStore(cls.field_pcs[f] + 2, addr);
+        else
+            emitLoad(cls.field_pcs[f], addr);
+        emitAlu(static_cast<unsigned>(
+            rng_.range(params_.alu_min, params_.alu_max)));
+        // Stack/metadata traffic between field accesses: a tiny ring
+        // that stays L1-resident, diluting the heap accesses the way
+        // real code's stack and locals do.
+        for (unsigned s = 0; s < params_.stack_accesses; ++s) {
+            const Addr stack_addr =
+                params_.base + (1ULL << 41) +
+                (stack_pos_++ % 128) * kBlockSize;
+            emitLoad(0x4f0000 + s * 4, stack_addr);
+            emitAlu(1);
+        }
+    }
+    if (rng_.chance(params_.extra_field_prob)) {
+        const Addr addr =
+            region_base + rng_.below(kBlocksPerRegion) * kBlockSize;
+        emitLoad(0x430000, addr);
+        emitAlu(params_.alu_min);
+    }
+}
+
+void
+RecordStoreApp::refill()
+{
+    if (scan_remaining_ > 0) {
+        --scan_remaining_;
+        visitRegion(scan_pos_ % params_.num_regions);
+        ++scan_pos_;
+        return;
+    }
+    if (rng_.chance(params_.scan_fraction)) {
+        // Range scan: sequential regions from a random start.
+        scan_pos_ = rng_.below(params_.num_regions);
+        scan_remaining_ = static_cast<unsigned>(
+            rng_.range(params_.scan_min, params_.scan_max));
+        refill();
+        return;
+    }
+    std::uint64_t region;
+    if (rng_.chance(params_.hot_fraction)) {
+        // Popular records: Zipf over the hot subset, scattered across
+        // the address space so hot regions are not contiguous.
+        const std::uint64_t rank =
+            rng_.zipf(params_.hot_regions, params_.zipf_skew);
+        region = mix64(rank * 0x9e37) % params_.num_regions;
+    } else {
+        region = rng_.below(params_.num_regions);
+    }
+    visitRegion(region);
+}
+
+PointerChaseApp::PointerChaseApp(const PointerChaseParams &params,
+                                 std::uint64_t seed)
+    : BurstSource(seed), params_(params),
+      current_node_(rng_.below(params.num_nodes))
+{
+    assert(params_.node_blocks >= 1 &&
+           params_.node_blocks <= kBlocksPerRegion);
+}
+
+Addr
+PointerChaseApp::nodeAddr(std::uint64_t node) const
+{
+    // Nodes are scattered: consecutive chain nodes live in unrelated
+    // regions, each at a pseudo-random block slot.
+    const std::uint64_t region =
+        mix64(node) % (params_.num_nodes / params_.nodes_per_region + 1);
+    const std::uint64_t slot =
+        mix64(node ^ 0xabcd) % kBlocksPerRegion;
+    return params_.base + region * kRegionSize + slot * kBlockSize;
+}
+
+void
+PointerChaseApp::refill()
+{
+    if (rng_.chance(params_.hot_visit_prob)) {
+        // Small hot area (session tables, config): spatially regular
+        // but cache-resident, so prefetchers gain nothing here.
+        const std::uint64_t region = rng_.below(params_.hot_regions);
+        const Addr base = params_.base + (1ULL << 40) +
+                          region * kRegionSize;
+        for (unsigned b = 0; b < 4; ++b) {
+            emitLoad(0x500100 + b * 4, base + b * kBlockSize);
+            emitAlu(static_cast<unsigned>(
+                rng_.range(params_.alu_min, params_.alu_max)));
+        }
+        return;
+    }
+
+    // Each burst serves one request: restart from a (recurring) chain
+    // head, then follow the deterministic successor function. Restarts
+    // keep the walk out of the successor graph's short attractor cycle
+    // and make chains repeatable without being spatially structured.
+    current_node_ = mix64(rng_.below(params_.num_nodes / 4) * 0x9177) %
+                    params_.num_nodes;
+    const auto chase_len = static_cast<unsigned>(
+        rng_.range(params_.chase_min, params_.chase_max));
+    for (unsigned i = 0; i < chase_len; ++i) {
+        const Addr addr = nodeAddr(current_node_);
+        // The chain head is found through an index; every later node
+        // is reached by dereferencing the previous node's pointer.
+        if (i == 0)
+            emitLoad(0x500000, addr);
+        else
+            emitDependentLoad(0x500000, addr);
+        if (params_.node_blocks > 1)
+            emitLoad(0x500004, addr + kBlockSize);
+        emitAlu(static_cast<unsigned>(
+            rng_.range(params_.alu_min, params_.alu_max)));
+        // Deterministic successor: the chain is temporally repeatable
+        // but spatially random.
+        current_node_ = mix64(current_node_ * 0x2545f491) %
+                        params_.num_nodes;
+    }
+}
+
+StreamApp::StreamApp(const StreamParams &params, std::uint64_t seed)
+    : BurstSource(seed), params_(params),
+      pc_base_(0x600000 + (mix64(seed) & 0xff00))
+{
+    seek();
+}
+
+void
+StreamApp::seek()
+{
+    std::uint64_t start_region;
+    if (!params_.random_seek) {
+        start_region = (blockNumber(segment_end_ - params_.base) /
+                        kBlocksPerRegion) %
+                       params_.footprint_regions;
+    } else if (params_.seek_zipf_skew > 0.0) {
+        // Popular content: seeks concentrate on a hot subset of the
+        // library, scattered over the address space.
+        const std::uint64_t rank = rng_.zipf(
+            params_.footprint_regions / 8, params_.seek_zipf_skew);
+        start_region =
+            mix64(rank * 0x2e63) % params_.footprint_regions;
+    } else {
+        start_region = rng_.below(params_.footprint_regions);
+    }
+    pos_ = params_.base + start_region * kRegionSize;
+    const auto len_regions = static_cast<Addr>(
+        rng_.range(params_.segment_min, params_.segment_max));
+    segment_end_ = pos_ + len_regions * kRegionSize;
+}
+
+void
+StreamApp::refill()
+{
+    if (pos_ >= segment_end_ ||
+        pos_ >= params_.base +
+                    params_.footprint_regions * kRegionSize) {
+        seek();
+    }
+    // Chunking gap: skip this element (its blocks stay untouched),
+    // which turns the downstream delta sequence from 1,1,1,... into an
+    // irregular mix — footprints stay learnable, deltas do not.
+    if (params_.skip_prob > 0.0 && rng_.chance(params_.skip_prob)) {
+        pos_ += static_cast<Addr>(params_.stride_blocks) * kBlockSize;
+        emitAlu(params_.alu_min);
+        return;
+    }
+    // One element: element_blocks consecutive blocks, then advance by
+    // the stride.
+    for (unsigned b = 0; b < params_.element_blocks; ++b) {
+        const Addr addr = pos_ + static_cast<Addr>(b) * kBlockSize;
+        if (rng_.chance(params_.store_prob))
+            emitStore(pc_base_ + 0x20 + b * 4, addr);
+        else
+            emitLoad(pc_base_ + b * 4, addr);
+        emitAlu(static_cast<unsigned>(
+            rng_.range(params_.alu_min, params_.alu_max)));
+    }
+    pos_ += static_cast<Addr>(params_.stride_blocks) * kBlockSize;
+}
+
+} // namespace bingo

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Reusable access-pattern generators. The concrete workloads
+ * (server_apps.cpp, spec_kernels.cpp) are parameterizations of these
+ * three archetypes, which span the locality classes the prefetcher
+ * literature distinguishes:
+ *
+ *  - RecordStoreApp: object/record accesses with per-class spatial
+ *    footprints, a Zipf-hot revisited set, cold uniform traffic and
+ *    occasional sequential scans. The archetype of database/server
+ *    heaps — the regime where PPH (footprint) prefetchers shine.
+ *  - PointerChaseApp: deterministic pointer chains with no spatial
+ *    structure — temporally but not spatially predictable.
+ *  - StreamApp: sequential/strided sweeps over large arrays —
+ *    compulsory-miss-dominated, friendly to every prefetcher.
+ */
+
+#ifndef BINGO_WORKLOAD_PATTERNS_HPP
+#define BINGO_WORKLOAD_PATTERNS_HPP
+
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace bingo
+{
+
+/** Parameters of a RecordStoreApp. */
+struct RecordStoreParams
+{
+    Addr base = 0;                 ///< Start of this core's data heap.
+    std::uint64_t num_regions = 64 * 1024;
+    std::uint64_t hot_regions = 8 * 1024;  ///< Zipf-revisited subset.
+    double zipf_skew = 0.7;
+    double hot_fraction = 0.65;    ///< P(visit drawn from the hot set).
+    double scan_fraction = 0.05;   ///< P(start a sequential scan).
+    unsigned scan_min = 16;        ///< Scan length in regions.
+    unsigned scan_max = 96;
+    unsigned num_classes = 6;
+    unsigned trigger_sites = 2;    ///< Trigger events shared by classes.
+    unsigned min_fields = 5;
+    unsigned max_fields = 14;
+    double field_skip_prob = 0.08; ///< Per-visit footprint noise.
+    double extra_field_prob = 0.08;
+    double store_prob = 0.15;
+    unsigned alu_min = 4;          ///< Filler instructions per field.
+    unsigned alu_max = 12;
+    unsigned stack_accesses = 2;   ///< L1-resident accesses per field.
+};
+
+/** Record-store workload archetype. */
+class RecordStoreApp : public BurstSource
+{
+  public:
+    RecordStoreApp(const RecordStoreParams &params, std::uint64_t seed);
+
+  protected:
+    void refill() override;
+
+  private:
+    /** Emit one record visit in region `region`. */
+    void visitRegion(std::uint64_t region);
+
+    RecordStoreParams params_;
+    std::vector<RecordClass> classes_;
+    std::uint64_t scan_pos_ = 0;
+    unsigned scan_remaining_ = 0;
+    std::uint64_t stack_pos_ = 0;
+};
+
+/** Parameters of a PointerChaseApp. */
+struct PointerChaseParams
+{
+    Addr base = 0;
+    std::uint64_t num_nodes = 2 * 1024 * 1024;
+    unsigned node_blocks = 1;      ///< Blocks touched per node (1..2).
+    unsigned nodes_per_region = 8; ///< Allocation density.
+    unsigned chase_min = 8;        ///< Nodes per chase burst.
+    unsigned chase_max = 24;
+    unsigned alu_min = 6;
+    unsigned alu_max = 16;
+    double hot_visit_prob = 0.3;   ///< P(burst touches the hot area).
+    std::uint64_t hot_regions = 256; ///< Small cache-resident area.
+};
+
+/** Pointer-chasing workload archetype. */
+class PointerChaseApp : public BurstSource
+{
+  public:
+    PointerChaseApp(const PointerChaseParams &params, std::uint64_t seed);
+
+  protected:
+    void refill() override;
+
+  private:
+    Addr nodeAddr(std::uint64_t node) const;
+
+    PointerChaseParams params_;
+    std::uint64_t current_node_;
+};
+
+/** Parameters of a StreamApp. */
+struct StreamParams
+{
+    Addr base = 0;
+    std::uint64_t footprint_regions = 64 * 1024; ///< Array size.
+    unsigned element_blocks = 1;   ///< Blocks per element.
+    unsigned stride_blocks = 1;    ///< Distance between elements.
+    unsigned segment_min = 32;     ///< Regions before re-seeking.
+    unsigned segment_max = 256;
+    double store_prob = 0.1;
+    unsigned alu_min = 2;
+    unsigned alu_max = 8;
+    bool random_seek = true;       ///< Jump to a random segment start.
+    double seek_zipf_skew = 0.0;   ///< >0: popular content is re-read
+                                   ///< (media libraries have hits).
+    double skip_prob = 0.0;        ///< P(skip an element) — chunking
+                                   ///< gaps that perturb delta streams.
+};
+
+/** Sequential/strided stream archetype. */
+class StreamApp : public BurstSource
+{
+  public:
+    StreamApp(const StreamParams &params, std::uint64_t seed);
+
+  protected:
+    void refill() override;
+
+  private:
+    void seek();
+
+    StreamParams params_;
+    Addr pos_ = 0;          ///< Current element address.
+    Addr segment_end_ = 0;
+    Addr pc_base_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_WORKLOAD_PATTERNS_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The paper's five server/scientific workloads (Table II), modelled per
+ * the substitution table in DESIGN.md. Every factory takes the base
+ * address of the core's private heap and a seed; all cores of a server
+ * workload run the same application.
+ */
+
+#ifndef BINGO_WORKLOAD_SERVER_APPS_HPP
+#define BINGO_WORKLOAD_SERVER_APPS_HPP
+
+#include <memory>
+
+#include "workload/generator.hpp"
+
+namespace bingo
+{
+
+/**
+ * Data Serving (Cassandra + YCSB): concurrent record reads/updates over
+ * a large buffer pool with a Zipf-popular hot set, several record
+ * schemas (classes) and occasional range scans.
+ */
+std::unique_ptr<TraceSource> makeDataServing(Addr base,
+                                             std::uint64_t seed);
+
+/**
+ * SAT Solver (Cloud9): mostly cache-resident clause/watch-list
+ * structures with many distinct record layouts behind one trigger
+ * event — the lowest-redundancy workload of Fig. 4.
+ */
+std::unique_ptr<TraceSource> makeSatSolver(Addr base,
+                                           std::uint64_t seed);
+
+/**
+ * Streaming (Darwin, 7500 clients): many concurrent sequential media
+ * streams — compulsory-miss dominated, spatially dense.
+ */
+std::unique_ptr<TraceSource> makeStreaming(Addr base,
+                                           std::uint64_t seed);
+
+/**
+ * Zeus web server: pointer-chasing request handling; temporally but
+ * not spatially correlated (the workload where spatial prefetching
+ * gains least, Section VI-C).
+ */
+std::unique_ptr<TraceSource> makeZeus(Addr base, std::uint64_t seed);
+
+/**
+ * em3d (400 K nodes, degree 2, span 5, 15 % remote): electromagnetic
+ * wave propagation on a bipartite graph; array sweeps with near
+ * neighbors — the highest-MPKI, most prefetcher-friendly workload.
+ */
+std::unique_ptr<TraceSource> makeEm3d(Addr base, std::uint64_t seed);
+
+} // namespace bingo
+
+#endif // BINGO_WORKLOAD_SERVER_APPS_HPP

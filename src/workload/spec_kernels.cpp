@@ -1,0 +1,356 @@
+#include "workload/spec_kernels.hpp"
+
+#include <stdexcept>
+
+#include "workload/patterns.hpp"
+
+namespace bingo
+{
+
+namespace
+{
+
+std::unique_ptr<TraceSource>
+interleaveStreams(std::vector<StreamParams> stream_params,
+                  unsigned min_run, unsigned max_run,
+                  std::uint64_t seed)
+{
+    std::vector<std::unique_ptr<TraceSource>> subs;
+    subs.reserve(stream_params.size());
+    for (std::size_t i = 0; i < stream_params.size(); ++i) {
+        subs.push_back(std::make_unique<StreamApp>(stream_params[i],
+                                                   seed * 53 + i + 1));
+    }
+    return std::make_unique<InterleavedSource>(std::move(subs), min_run,
+                                               max_run, seed ^ 0x5bec);
+}
+
+/** lbm: fluid-dynamics stencil; two grid sweeps, 2 blocks per cell. */
+std::unique_ptr<TraceSource>
+makeLbm(Addr base, std::uint64_t seed)
+{
+    StreamParams src;
+    src.base = base;
+    src.footprint_regions = 128 * 1024;
+    src.element_blocks = 2;
+    src.stride_blocks = 2;
+    src.segment_min = 128;
+    src.segment_max = 512;
+    src.store_prob = 0.05;
+    src.alu_min = 36;
+    src.alu_max = 80;
+    src.random_seek = false;
+    src.skip_prob = 0.05;
+    StreamParams dst = src;
+    dst.base = base + (1ULL << 36);
+    dst.store_prob = 0.85;
+    return interleaveStreams({src, dst}, 2, 6, seed);
+}
+
+/** libquantum: long sequential sweeps over one huge register vector. */
+std::unique_ptr<TraceSource>
+makeLibquantum(Addr base, std::uint64_t seed)
+{
+    StreamParams params;
+    params.base = base;
+    params.footprint_regions = 96 * 1024;
+    params.element_blocks = 1;
+    params.stride_blocks = 1;
+    params.segment_min = 512;
+    params.segment_max = 2048;
+    params.store_prob = 0.30;
+    params.alu_min = 40;
+    params.alu_max = 90;
+    params.random_seek = false;
+    return std::make_unique<StreamApp>(params, seed);
+}
+
+/** sphinx3: gaussian-table scans plus random senone lookups. */
+std::unique_ptr<TraceSource>
+makeSphinx3(Addr base, std::uint64_t seed)
+{
+    StreamParams scan;
+    scan.base = base;
+    scan.footprint_regions = 48 * 1024;
+    scan.element_blocks = 1;
+    scan.stride_blocks = 1;
+    scan.segment_min = 16;
+    scan.segment_max = 128;
+    scan.store_prob = 0.02;
+    scan.alu_min = 44;
+    scan.alu_max = 96;
+
+    RecordStoreParams lookups;
+    lookups.base = base + (1ULL << 36);
+    lookups.num_regions = 8 * 1024;
+    lookups.hot_regions = 1024;
+    lookups.hot_fraction = 0.8;
+    lookups.num_classes = 16;
+    lookups.trigger_sites = 16;
+    lookups.min_fields = 2;
+    lookups.max_fields = 5;
+    lookups.scan_fraction = 0.0;
+    lookups.alu_min = 28;
+    lookups.alu_max = 60;
+
+    std::vector<std::unique_ptr<TraceSource>> subs;
+    subs.push_back(std::make_unique<StreamApp>(scan, seed * 59 + 1));
+    subs.push_back(std::make_unique<StreamApp>(scan, seed * 59 + 2));
+    subs.push_back(
+        std::make_unique<RecordStoreApp>(lookups, seed * 59 + 3));
+    return std::make_unique<InterleavedSource>(std::move(subs), 4, 16,
+                                               seed ^ 0x5f13);
+}
+
+/** omnetpp: discrete-event simulation; pointer-heavy event queue. */
+std::unique_ptr<TraceSource>
+makeOmnetpp(Addr base, std::uint64_t seed)
+{
+    PointerChaseParams params;
+    params.base = base;
+    params.num_nodes = 2 * 1024 * 1024;
+    params.node_blocks = 1;
+    params.nodes_per_region = 8;
+    params.chase_min = 6;
+    params.chase_max = 18;
+    params.alu_min = 22;
+    params.alu_max = 48;
+    params.hot_visit_prob = 0.25;
+    params.hot_regions = 192;
+    return std::make_unique<PointerChaseApp>(params, seed);
+}
+
+/** soplex: sparse LP solver; short column runs plus index gathers. */
+std::unique_ptr<TraceSource>
+makeSoplex(Addr base, std::uint64_t seed)
+{
+    StreamParams columns;
+    columns.base = base;
+    columns.footprint_regions = 64 * 1024;
+    columns.element_blocks = 1;
+    columns.stride_blocks = 1;
+    columns.segment_min = 2;     // Columns are short runs.
+    columns.segment_max = 12;
+    columns.store_prob = 0.10;
+    columns.alu_min = 16;
+    columns.alu_max = 36;
+
+    PointerChaseParams gathers;
+    gathers.base = base + (1ULL << 36);
+    gathers.num_nodes = 1024 * 1024;
+    gathers.node_blocks = 1;
+    gathers.nodes_per_region = 16;
+    gathers.chase_min = 4;
+    gathers.chase_max = 10;
+    gathers.alu_min = 16;
+    gathers.alu_max = 36;
+    gathers.hot_visit_prob = 0.2;
+
+    std::vector<std::unique_ptr<TraceSource>> subs;
+    subs.push_back(std::make_unique<StreamApp>(columns, seed * 61 + 1));
+    subs.push_back(std::make_unique<StreamApp>(columns, seed * 61 + 2));
+    subs.push_back(
+        std::make_unique<PointerChaseApp>(gathers, seed * 61 + 3));
+    return std::make_unique<InterleavedSource>(std::move(subs), 3, 12,
+                                               seed ^ 0x50b7);
+}
+
+/** milc: lattice QCD; regular strided sweeps (su3 matrix spacing). */
+std::unique_ptr<TraceSource>
+makeMilc(Addr base, std::uint64_t seed)
+{
+    StreamParams params;
+    params.base = base;
+    params.footprint_regions = 96 * 1024;
+    params.element_blocks = 2;
+    params.stride_blocks = 3;
+    params.segment_min = 64;
+    params.segment_max = 256;
+    params.store_prob = 0.20;
+    params.alu_min = 18;
+    params.alu_max = 40;
+    params.random_seek = false;
+    return std::make_unique<StreamApp>(params, seed);
+}
+
+/** perlbench: interpreter; small hot hash/string working set. */
+std::unique_ptr<TraceSource>
+makePerlbench(Addr base, std::uint64_t seed)
+{
+    RecordStoreParams params;
+    params.base = base;
+    params.num_regions = 6 * 1024;
+    params.hot_regions = 768;
+    params.zipf_skew = 0.9;
+    params.hot_fraction = 0.95;
+    params.scan_fraction = 0.002;
+    params.scan_min = 4;
+    params.scan_max = 16;
+    params.num_classes = 24;
+    params.trigger_sites = 12;
+    params.min_fields = 2;
+    params.max_fields = 5;
+    params.store_prob = 0.25;
+    params.alu_min = 40;
+    params.alu_max = 90;
+    return std::make_unique<RecordStoreApp>(params, seed);
+}
+
+/** astar: path finding; clustered irregular neighborhood expansion. */
+std::unique_ptr<TraceSource>
+makeAstar(Addr base, std::uint64_t seed)
+{
+    RecordStoreParams params;
+    params.base = base;
+    params.num_regions = 32 * 1024;
+    params.hot_regions = 4 * 1024;
+    params.zipf_skew = 0.7;
+    params.hot_fraction = 0.55;
+    params.scan_fraction = 0.0;
+    params.num_classes = 16;
+    params.trigger_sites = 16;       // Per-node-type access paths.
+    params.min_fields = 3;
+    params.max_fields = 7;
+    params.store_prob = 0.20;
+    params.alu_min = 34;
+    params.alu_max = 72;
+    return std::make_unique<RecordStoreApp>(params, seed);
+}
+
+/** tonto: quantum chemistry; hot blocked math plus periodic streams. */
+std::unique_ptr<TraceSource>
+makeTonto(Addr base, std::uint64_t seed)
+{
+    RecordStoreParams blocked;
+    blocked.base = base;
+    blocked.num_regions = 8 * 1024;
+    blocked.hot_regions = 1024;
+    blocked.zipf_skew = 0.85;
+    blocked.hot_fraction = 0.9;
+    blocked.scan_fraction = 0.0;
+    blocked.num_classes = 9;
+    blocked.trigger_sites = 9;
+    blocked.min_fields = 6;
+    blocked.max_fields = 12;
+    blocked.alu_min = 32;
+    blocked.alu_max = 70;
+
+    StreamParams sweep;
+    sweep.base = base + (1ULL << 36);
+    sweep.footprint_regions = 24 * 1024;
+    sweep.element_blocks = 1;
+    sweep.stride_blocks = 1;
+    sweep.segment_min = 32;
+    sweep.segment_max = 128;
+    sweep.alu_min = 24;
+    sweep.alu_max = 52;
+
+    std::vector<std::unique_ptr<TraceSource>> subs;
+    subs.push_back(
+        std::make_unique<RecordStoreApp>(blocked, seed * 67 + 1));
+    subs.push_back(std::make_unique<StreamApp>(sweep, seed * 67 + 2));
+    return std::make_unique<InterleavedSource>(std::move(subs), 8, 32,
+                                               seed ^ 0x707f);
+}
+
+/** gromacs: molecular dynamics; clustered neighbor-list accesses. */
+std::unique_ptr<TraceSource>
+makeGromacs(Addr base, std::uint64_t seed)
+{
+    RecordStoreParams params;
+    params.base = base;
+    params.num_regions = 48 * 1024;
+    params.hot_regions = 6 * 1024;
+    params.zipf_skew = 0.6;
+    params.hot_fraction = 0.5;
+    params.scan_fraction = 0.03;
+    params.scan_min = 8;
+    params.scan_max = 48;
+    params.num_classes = 12;
+    params.trigger_sites = 12;
+    params.min_fields = 8;
+    params.max_fields = 16;   // Dense neighbor clusters.
+    params.store_prob = 0.15;
+    params.alu_min = 30;
+    params.alu_max = 66;
+    return std::make_unique<RecordStoreApp>(params, seed);
+}
+
+/** GemsFDTD: finite-difference time domain; six field-array streams. */
+std::unique_ptr<TraceSource>
+makeGemsFdtd(Addr base, std::uint64_t seed)
+{
+    std::vector<StreamParams> streams;
+    for (unsigned i = 0; i < 6; ++i) {
+        StreamParams params;
+        params.base = base + (static_cast<Addr>(i) << 36);
+        params.footprint_regions = 32 * 1024;
+        params.element_blocks = 2;
+        params.stride_blocks = 2;
+        params.segment_min = 64;
+        params.segment_max = 256;
+        params.store_prob = i < 3 ? 0.05 : 0.5;
+        params.skip_prob = 0.06;
+        params.alu_min = 60;
+        params.alu_max = 140;
+        params.random_seek = false;
+        streams.push_back(params);
+    }
+    return interleaveStreams(std::move(streams), 2, 8, seed);
+}
+
+/** zeusmp: astrophysical CFD; three stencil streams. */
+std::unique_ptr<TraceSource>
+makeZeusmp(Addr base, std::uint64_t seed)
+{
+    std::vector<StreamParams> streams;
+    for (unsigned i = 0; i < 3; ++i) {
+        StreamParams params;
+        params.base = base + (static_cast<Addr>(i) << 36);
+        params.footprint_regions = 64 * 1024;
+        params.element_blocks = 1;
+        params.stride_blocks = 1;
+        params.segment_min = 128;
+        params.segment_max = 512;
+        params.store_prob = i == 2 ? 0.6 : 0.08;
+        params.alu_min = 30;
+        params.alu_max = 70;
+        params.random_seek = false;
+        streams.push_back(params);
+    }
+    return interleaveStreams(std::move(streams), 3, 10, seed);
+}
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+makeSpecKernelAt(const std::string &name, Addr base, std::uint64_t seed)
+{
+    if (name == "lbm")
+        return makeLbm(base, seed);
+    if (name == "libquantum")
+        return makeLibquantum(base, seed);
+    if (name == "sphinx3")
+        return makeSphinx3(base, seed);
+    if (name == "omnetpp")
+        return makeOmnetpp(base, seed);
+    if (name == "soplex")
+        return makeSoplex(base, seed);
+    if (name == "milc")
+        return makeMilc(base, seed);
+    if (name == "perlbench")
+        return makePerlbench(base, seed);
+    if (name == "astar")
+        return makeAstar(base, seed);
+    if (name == "tonto")
+        return makeTonto(base, seed);
+    if (name == "gromacs")
+        return makeGromacs(base, seed);
+    if (name == "GemsFDTD")
+        return makeGemsFdtd(base, seed);
+    if (name == "zeusmp")
+        return makeZeusmp(base, seed);
+    throw std::invalid_argument("unknown SPEC kernel: " + name);
+}
+
+} // namespace bingo

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Synthetic kernels standing in for the SPEC CPU2006 programs of the
+ * paper's mix workloads (Table II). Each kernel reproduces the
+ * program's dominant memory-locality class as reported by the SPEC
+ * characterization literature; see DESIGN.md for the substitution
+ * rationale.
+ */
+
+#ifndef BINGO_WORKLOAD_SPEC_KERNELS_HPP
+#define BINGO_WORKLOAD_SPEC_KERNELS_HPP
+
+#include <memory>
+#include <string>
+
+#include "workload/generator.hpp"
+
+namespace bingo
+{
+
+/**
+ * Build SPEC kernel `name` (e.g. "lbm", "omnetpp") with its private
+ * heap at `base`. Throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<TraceSource> makeSpecKernelAt(const std::string &name,
+                                              Addr base,
+                                              std::uint64_t seed);
+
+} // namespace bingo
+
+#endif // BINGO_WORKLOAD_SPEC_KERNELS_HPP

@@ -1,0 +1,115 @@
+#include "workload/trace_file.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace bingo
+{
+
+namespace
+{
+
+void
+putU64(std::FILE *f, std::uint64_t v)
+{
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    if (std::fwrite(buf, 1, 8, f) != 8)
+        throw std::runtime_error("trace write failed");
+}
+
+/** Read 8 bytes; returns false only at a clean end-of-file. */
+bool
+getU64(std::FILE *f, std::uint64_t &v)
+{
+    unsigned char buf[8];
+    const std::size_t n = std::fread(buf, 1, 8, f);
+    if (n == 0)
+        return false;
+    if (n != 8)
+        throw std::runtime_error("truncated trace record");
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return true;
+}
+
+} // namespace
+
+void
+writeTrace(const std::string &path,
+           const std::vector<TraceRecord> &records)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        throw std::runtime_error("cannot open trace for writing: " +
+                                 path);
+    try {
+        for (const TraceRecord &rec : records) {
+            putU64(f, rec.pc);
+            putU64(f, rec.addr);
+            const auto type = static_cast<unsigned char>(rec.type);
+            if (std::fwrite(&type, 1, 1, f) != 1)
+                throw std::runtime_error("trace write failed");
+        }
+    } catch (...) {
+        std::fclose(f);
+        throw;
+    }
+    std::fclose(f);
+}
+
+std::vector<TraceRecord>
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        throw std::runtime_error("cannot open trace: " + path);
+    std::vector<TraceRecord> records;
+    std::uint64_t pc;
+    try {
+      while (getU64(f, pc)) {
+        TraceRecord rec;
+        rec.pc = pc;
+        unsigned char type;
+        if (!getU64(f, rec.addr) || std::fread(&type, 1, 1, f) != 1)
+            throw std::runtime_error("truncated trace record in " +
+                                     path);
+        if (type > static_cast<unsigned char>(InstrType::Branch))
+            throw std::runtime_error("corrupt instruction type in " +
+                                     path);
+        rec.type = static_cast<InstrType>(type);
+        records.push_back(rec);
+      }
+    } catch (...) {
+        std::fclose(f);
+        throw;
+    }
+    std::fclose(f);
+    return records;
+}
+
+FileTraceSource::FileTraceSource(const std::string &path)
+    : records_(readTrace(path))
+{
+    if (records_.empty())
+        throw std::runtime_error("empty trace: " + path);
+}
+
+FileTraceSource::FileTraceSource(std::vector<TraceRecord> records)
+    : records_(std::move(records))
+{
+    if (records_.empty())
+        throw std::runtime_error("empty trace record list");
+}
+
+TraceRecord
+FileTraceSource::next()
+{
+    TraceRecord rec = records_[pos_];
+    pos_ = (pos_ + 1) % records_.size();
+    return rec;
+}
+
+} // namespace bingo

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * On-disk trace support: lets downstream users drive the simulator with
+ * their own traces instead of the synthetic generators.
+ *
+ * The format is a flat sequence of 17-byte little-endian records:
+ * pc (8) | addr (8) | type (1, InstrType). FileTraceSource loads the
+ * file once and replays it cyclically (traces are typically much
+ * shorter than a simulation run).
+ */
+
+#ifndef BINGO_WORKLOAD_TRACE_FILE_HPP
+#define BINGO_WORKLOAD_TRACE_FILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace bingo
+{
+
+/** Write `records` to `path`. Throws std::runtime_error on I/O error. */
+void writeTrace(const std::string &path,
+                const std::vector<TraceRecord> &records);
+
+/** Read all records of `path`. Throws std::runtime_error on error. */
+std::vector<TraceRecord> readTrace(const std::string &path);
+
+/** TraceSource replaying a trace file cyclically. */
+class FileTraceSource : public TraceSource
+{
+  public:
+    explicit FileTraceSource(const std::string &path);
+
+    /** Wrap an in-memory record list (tests). */
+    explicit FileTraceSource(std::vector<TraceRecord> records);
+
+    TraceRecord next() override;
+
+    std::size_t size() const { return records_.size(); }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace bingo
+
+#endif // BINGO_WORKLOAD_TRACE_FILE_HPP

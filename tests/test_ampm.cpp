@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the AMPM prefetcher: access-map stride matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prefetch/ampm.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::regionBlock;
+
+PrefetcherConfig
+ampmConfig()
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::Ampm;
+    return config;
+}
+
+PrefetchAccess
+at(Addr addr)
+{
+    PrefetchAccess a;
+    a.pc = 0x400;
+    a.block = blockAlign(addr);
+    return a;
+}
+
+TEST(Ampm, DetectsForwardUnitStride)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> out;
+    pf.onAccess(at(regionBlock(1, 0)), out);
+    pf.onAccess(at(regionBlock(1, 1)), out);
+    out.clear();
+    pf.onAccess(at(regionBlock(1, 2)), out);
+    // b-1 and b-2 accessed -> prefetch b+1 (and possibly more strides).
+    EXPECT_NE(std::find(out.begin(), out.end(), regionBlock(1, 3)),
+              out.end());
+}
+
+TEST(Ampm, DetectsBackwardStride)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> out;
+    pf.onAccess(at(regionBlock(1, 20)), out);
+    pf.onAccess(at(regionBlock(1, 19)), out);
+    out.clear();
+    pf.onAccess(at(regionBlock(1, 18)), out);
+    EXPECT_NE(std::find(out.begin(), out.end(), regionBlock(1, 17)),
+              out.end());
+}
+
+TEST(Ampm, DetectsLargerStride)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> out;
+    pf.onAccess(at(regionBlock(1, 0)), out);
+    pf.onAccess(at(regionBlock(1, 4)), out);
+    out.clear();
+    pf.onAccess(at(regionBlock(1, 8)), out);
+    EXPECT_NE(std::find(out.begin(), out.end(), regionBlock(1, 12)),
+              out.end());
+}
+
+TEST(Ampm, TwoAccessesAreNotEnough)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> out;
+    pf.onAccess(at(regionBlock(1, 0)), out);
+    pf.onAccess(at(regionBlock(1, 1)), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Ampm, RespectsDegree)
+{
+    PrefetcherConfig config = ampmConfig();
+    config.ampm_degree = 2;
+    AmpmPrefetcher pf(config);
+    std::vector<Addr> out;
+    for (unsigned b = 0; b < 8; ++b) {
+        out.clear();
+        pf.onAccess(at(regionBlock(1, b)), out);
+    }
+    EXPECT_LE(out.size(), 2u);
+}
+
+TEST(Ampm, DoesNotReprefetchCoveredBlocks)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> all;
+    std::vector<Addr> out;
+    for (unsigned b = 0; b < 8; ++b) {
+        out.clear();
+        pf.onAccess(at(regionBlock(1, b)), out);
+        all.insert(all.end(), out.begin(), out.end());
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+        << "AMPM issued a duplicate prefetch";
+}
+
+TEST(Ampm, StaysInsideZone)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> out;
+    pf.onAccess(at(regionBlock(1, 29)), out);
+    pf.onAccess(at(regionBlock(1, 30)), out);
+    out.clear();
+    pf.onAccess(at(regionBlock(1, 31)), out);
+    for (Addr target : out)
+        EXPECT_EQ(regionNumber(target), 1u);
+}
+
+TEST(Ampm, ZonesAreIndependent)
+{
+    AmpmPrefetcher pf(ampmConfig());
+    std::vector<Addr> out;
+    pf.onAccess(at(regionBlock(1, 5)), out);
+    pf.onAccess(at(regionBlock(1, 6)), out);
+    out.clear();
+    // Accesses in another zone see no history from zone 1.
+    pf.onAccess(at(regionBlock(2, 7)), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.name(), "AMPM");
+}
+
+} // namespace
+} // namespace bingo

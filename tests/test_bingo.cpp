@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the Bingo prefetcher — the paper's contribution. These
+ * pin down the single-unified-table semantics of Section IV:
+ * short-event indexing, long-event tagging, two-phase lookup, the 20%
+ * vote, and end-to-end trigger/train/prefetch behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "prefetch/bingo.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::regionBlock;
+
+PrefetcherConfig
+bingoConfig()
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::Bingo;
+    return config;
+}
+
+PrefetchAccess
+access(Addr pc, Addr addr, bool hit = false)
+{
+    PrefetchAccess a;
+    a.pc = pc;
+    a.block = blockAlign(addr);
+    a.hit = hit;
+    return a;
+}
+
+/** Feed one full generation (trigger + blocks + eviction). */
+void
+feedGeneration(BingoPrefetcher &pf, Addr pc, Addr region,
+               const std::vector<unsigned> &offsets)
+{
+    std::vector<Addr> out;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+        pf.onAccess(access(pc + i * 4, regionBlock(region, offsets[i])),
+                    out);
+        out.clear();
+    }
+    pf.onEviction(regionBlock(region, offsets[0]));
+}
+
+TEST(Bingo, LongEventMatchReturnsExactFootprint)
+{
+    BingoPrefetcher pf(bingoConfig());
+    Footprint fp = Footprint::fromRaw(0b10110);
+    pf.insertHistory(0x400, regionBlock(7, 1), fp);
+
+    auto pred = pf.lookup(0x400, regionBlock(9, 1));
+    ASSERT_TRUE(pred.has_value());
+    // Same PC+Offset (offset 1), different address: short match.
+    EXPECT_FALSE(pred->long_match);
+
+    auto exact = pf.lookup(0x400, regionBlock(7, 1));
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_TRUE(exact->long_match);
+    EXPECT_EQ(exact->footprint, fp);
+}
+
+TEST(Bingo, NoMatchWithoutHistory)
+{
+    BingoPrefetcher pf(bingoConfig());
+    EXPECT_FALSE(pf.lookup(0x400, regionBlock(1, 0)).has_value());
+}
+
+TEST(Bingo, DifferentOffsetDoesNotShortMatch)
+{
+    BingoPrefetcher pf(bingoConfig());
+    pf.insertHistory(0x400, regionBlock(7, 1),
+                     Footprint::fromRaw(0b10));
+    EXPECT_FALSE(pf.lookup(0x400, regionBlock(9, 2)).has_value());
+}
+
+TEST(Bingo, DifferentPcDoesNotShortMatch)
+{
+    BingoPrefetcher pf(bingoConfig());
+    pf.insertHistory(0x400, regionBlock(7, 1),
+                     Footprint::fromRaw(0b10));
+    EXPECT_FALSE(pf.lookup(0x500, regionBlock(9, 1)).has_value());
+}
+
+TEST(Bingo, ShortMatchVotesAcrossEntries)
+{
+    BingoPrefetcher pf(bingoConfig());
+    // Three regions, same trigger event (pc, offset 0): blocks 1 and 2
+    // are popular; block 30 appears once (1/3 >= 20% -> included).
+    pf.insertHistory(0x400, regionBlock(10, 0),
+                     Footprint::fromRaw(0b0111));
+    pf.insertHistory(0x400, regionBlock(11, 0),
+                     Footprint::fromRaw(0b0111));
+    pf.insertHistory(0x400, regionBlock(12, 0),
+                     (Footprint::fromRaw(0b0011) |
+                      Footprint::fromRaw(1u << 30)));
+
+    auto pred = pf.lookup(0x400, regionBlock(99, 0));
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_FALSE(pred->long_match);
+    EXPECT_EQ(pred->short_matches, 3u);
+    EXPECT_TRUE(pred->footprint.test(1));
+    EXPECT_TRUE(pred->footprint.test(2));
+    EXPECT_TRUE(pred->footprint.test(30));  // 1/3 >= 20%.
+}
+
+TEST(Bingo, VoteThresholdExcludesRareBlocks)
+{
+    PrefetcherConfig config = bingoConfig();
+    config.vote_threshold = 0.5;
+    BingoPrefetcher pf(config);
+    pf.insertHistory(0x400, regionBlock(10, 0),
+                     Footprint::fromRaw(0b011));
+    pf.insertHistory(0x400, regionBlock(11, 0),
+                     Footprint::fromRaw(0b011));
+    pf.insertHistory(0x400, regionBlock(12, 0),
+                     Footprint::fromRaw(0b101));
+    auto pred = pf.lookup(0x400, regionBlock(99, 0));
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_TRUE(pred->footprint.test(0));   // 3/3.
+    EXPECT_TRUE(pred->footprint.test(1));   // 2/3.
+    EXPECT_FALSE(pred->footprint.test(2));  // 1/3 < 50%.
+}
+
+TEST(Bingo, LongMatchPreemptsVoting)
+{
+    BingoPrefetcher pf(bingoConfig());
+    pf.insertHistory(0x400, regionBlock(10, 0),
+                     Footprint::fromRaw(0b0110));
+    pf.insertHistory(0x400, regionBlock(11, 0),
+                     Footprint::fromRaw(0b1000));
+    // Exact address recurrence: the long match must return region 10's
+    // own footprint, not a blend.
+    auto pred = pf.lookup(0x400, regionBlock(10, 0));
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_TRUE(pred->long_match);
+    EXPECT_EQ(pred->footprint, Footprint::fromRaw(0b0110));
+}
+
+TEST(Bingo, ReinsertionOverwritesSameLongEvent)
+{
+    // Section IV: "a metadata footprint is stored once with its
+    // PC+Address tag" — redundancy elimination.
+    BingoPrefetcher pf(bingoConfig());
+    pf.insertHistory(0x400, regionBlock(10, 0),
+                     Footprint::fromRaw(0b01));
+    pf.insertHistory(0x400, regionBlock(10, 0),
+                     Footprint::fromRaw(0b11));
+    auto pred = pf.lookup(0x400, regionBlock(10, 0));
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->footprint, Footprint::fromRaw(0b11));
+    EXPECT_EQ(pf.historyOccupancy(), 1u);
+}
+
+TEST(Bingo, ShortAndLongEventsShareASet)
+{
+    // The design invariant that makes one table possible: every entry
+    // a short-event lookup must see lives in the set indexed by the
+    // short event. Insert many same-short-event generations and check
+    // they are all visible to the short lookup (up to associativity).
+    PrefetcherConfig config = bingoConfig();
+    config.pht_entries = 64;
+    config.pht_ways = 4;
+    BingoPrefetcher pf(config);
+    for (Addr r = 0; r < 4; ++r) {
+        pf.insertHistory(0x400, regionBlock(r, 5),
+                         Footprint::fromRaw(1ULL << r));
+    }
+    auto pred = pf.lookup(0x400, regionBlock(100, 5));
+    ASSERT_TRUE(pred.has_value());
+    EXPECT_EQ(pred->short_matches, 4u);
+}
+
+TEST(Bingo, EndToEndLearnsAndPrefetches)
+{
+    BingoPrefetcher pf(bingoConfig());
+    // Teach the footprint {0, 4, 9} on region 1 and close it.
+    feedGeneration(pf, 0x400, 1, {0, 4, 9});
+
+    // A trigger with the same PC+Offset on a fresh region prefetches
+    // the learned blocks (minus the trigger itself).
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(2, 0)), out);
+    std::vector<Addr> expected = {regionBlock(2, 4), regionBlock(2, 9)};
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, expected);
+}
+
+TEST(Bingo, NoPrefetchOnRecordedAccesses)
+{
+    BingoPrefetcher pf(bingoConfig());
+    feedGeneration(pf, 0x400, 1, {0, 4});
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(2, 0)), out);
+    out.clear();
+    // Subsequent accesses inside the open generation never prefetch.
+    pf.onAccess(access(0x555, regionBlock(2, 4)), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Bingo, AddressRecurrenceBeatsGeneralization)
+{
+    BingoPrefetcher pf(bingoConfig());
+    // Two record classes behind one trigger event: region 1 uses
+    // {0,1,2}, region 2 uses {0,20,21}.
+    feedGeneration(pf, 0x400, 1, {0, 1, 2});
+    feedGeneration(pf, 0x400, 2, {0, 20, 21});
+
+    // Revisiting region 1 must reproduce region 1's own footprint.
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(1, 0)), out);
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(1, 1),
+                                      regionBlock(1, 2)}));
+    EXPECT_EQ(pf.stats().get("long_matches"), 1u);
+}
+
+TEST(Bingo, StatsCountTriggersAndInserts)
+{
+    BingoPrefetcher pf(bingoConfig());
+    feedGeneration(pf, 0x400, 1, {0, 1});
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(2, 0)), out);
+    EXPECT_EQ(pf.stats().get("triggers"), 2u);
+    EXPECT_EQ(pf.stats().get("history_inserts"), 1u);
+    EXPECT_EQ(pf.name(), "Bingo");
+}
+
+/** Property: lookup never returns the trigger-only footprint blocks
+ *  outside the region, and insert/lookup round-trips for random
+ *  events. */
+class BingoRoundTripTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BingoRoundTripTest, InsertThenLongLookupRoundTrips)
+{
+    BingoPrefetcher pf(bingoConfig());
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        const Addr pc = 0x400 + rng.below(64) * 4;
+        const Addr block =
+            regionBlock(rng.below(1000), static_cast<unsigned>(
+                                             rng.below(32)));
+        const Footprint fp = Footprint::fromRaw(rng.next() | 1);
+        pf.insertHistory(pc, block, fp);
+        auto pred = pf.lookup(pc, block);
+        ASSERT_TRUE(pred.has_value());
+        ASSERT_TRUE(pred->long_match);
+        ASSERT_EQ(pred->footprint, fp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BingoRoundTripTest,
+                         ::testing::Range(1u, 9u));
+
+} // namespace
+} // namespace bingo

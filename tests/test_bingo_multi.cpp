@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the naive multi-table TAGE-like variant used by the
+ * Fig. 3 number-of-events study.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "prefetch/bingo_multi.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::regionBlock;
+
+PrefetcherConfig
+multiConfig(unsigned num_events)
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::BingoMulti;
+    config.num_events = num_events;
+    return config;
+}
+
+PrefetchAccess
+access(Addr pc, Addr addr)
+{
+    PrefetchAccess a;
+    a.pc = pc;
+    a.block = blockAlign(addr);
+    return a;
+}
+
+void
+feedGeneration(BingoMultiPrefetcher &pf, Addr pc, Addr region,
+               std::vector<unsigned> offsets)
+{
+    std::vector<Addr> out;
+    for (unsigned off : offsets) {
+        pf.onAccess(access(pc, regionBlock(region, off)), out);
+        out.clear();
+    }
+    pf.onEviction(regionBlock(region, offsets[0]));
+}
+
+TEST(BingoMulti, OneEventOnlyMatchesExactAddress)
+{
+    BingoMultiPrefetcher pf(multiConfig(1));
+    feedGeneration(pf, 0x400, 1, {0, 5});
+
+    // Same PC+Offset, different region: no match with only the
+    // PC+Address table.
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(2, 0)), out);
+    EXPECT_TRUE(out.empty());
+
+    // Revisit of the same region (address recurrence) matches. End the
+    // open generation on region 2 first.
+    pf.onEviction(regionBlock(2, 0));
+    out.clear();
+    pf.onAccess(access(0x400, regionBlock(1, 0)), out);
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(1, 5)}));
+}
+
+TEST(BingoMulti, TwoEventsGeneralizeAcrossRegions)
+{
+    BingoMultiPrefetcher pf(multiConfig(2));
+    feedGeneration(pf, 0x400, 1, {0, 5});
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(2, 0)), out);
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(2, 5)}));
+    EXPECT_EQ(pf.stats().get("matches_event_1"), 1u);
+}
+
+TEST(BingoMulti, LongestMatchingTableWins)
+{
+    BingoMultiPrefetcher pf(multiConfig(2));
+    // Train region 1 with footprint {0,5}; then retrain the same
+    // region with {0,9}: the PC+Address table now says {0,9} while the
+    // PC+Offset entry was also overwritten to {0,9}. Add a different
+    // region with the same short event and footprint {0,7} afterward.
+    feedGeneration(pf, 0x400, 1, {0, 5});
+    feedGeneration(pf, 0x400, 2, {0, 7});
+    // The short table now holds region 2's {0,7}; region 1's long
+    // entry still holds {0,5}.
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(1, 0)), out);
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(1, 5)}));
+    EXPECT_EQ(pf.stats().get("matches_event_0"), 1u);
+}
+
+TEST(BingoMulti, FiveEventsFallBackToOffset)
+{
+    BingoMultiPrefetcher pf(multiConfig(5));
+    feedGeneration(pf, 0x400, 1, {3, 8});
+    // Different PC and different region, same offset: only the Offset
+    // table (event 4) can match.
+    std::vector<Addr> out;
+    pf.onAccess(access(0x900, regionBlock(7, 3)), out);
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(7, 8)}));
+    EXPECT_EQ(pf.stats().get("matches_event_4"), 1u);
+}
+
+/** Property: more events never reduce the match opportunity. */
+class BingoMultiEventCountTest
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(BingoMultiEventCountTest, MatchesMonotonicInEventCount)
+{
+    const unsigned events = GetParam();
+    BingoMultiPrefetcher narrow(multiConfig(1));
+    BingoMultiPrefetcher wide(multiConfig(events));
+
+    Rng rng(events);
+    std::uint64_t narrow_prefetches = 0;
+    std::uint64_t wide_prefetches = 0;
+    for (int i = 0; i < 300; ++i) {
+        const Addr pc = 0x400 + rng.below(4) * 4;
+        const Addr region = rng.below(64);
+        const auto off = static_cast<unsigned>(rng.below(8));
+        std::vector<Addr> out;
+        narrow.onAccess(access(pc, regionBlock(region, off)), out);
+        narrow_prefetches += out.size();
+        out.clear();
+        wide.onAccess(access(pc, regionBlock(region, off)), out);
+        wide_prefetches += out.size();
+        if (rng.chance(0.3)) {
+            narrow.onEviction(regionBlock(region, off));
+            wide.onEviction(regionBlock(region, off));
+        }
+    }
+    EXPECT_GE(wide_prefetches, narrow_prefetches);
+}
+
+INSTANTIATE_TEST_SUITE_P(Events, BingoMultiEventCountTest,
+                         ::testing::Values(2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace bingo

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the small common utilities: address geometry, hashing,
+ * RNG, saturating counters, stats helpers, and the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/event_queue.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "common/sat_counter.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+TEST(Geometry, BlockHelpers)
+{
+    const Addr addr = 0x12345;
+    EXPECT_EQ(blockAlign(addr), 0x12340u);
+    EXPECT_EQ(blockNumber(addr), 0x12345u >> 6);
+    EXPECT_EQ(blockAlign(blockAlign(addr)), blockAlign(addr));
+}
+
+TEST(Geometry, RegionHelpers)
+{
+    EXPECT_EQ(kRegionSize, 2048u);
+    EXPECT_EQ(kBlocksPerRegion, 32u);
+    const Addr addr = 3 * kRegionSize + 5 * kBlockSize + 7;
+    EXPECT_EQ(regionNumber(addr), 3u);
+    EXPECT_EQ(regionOffset(addr), 5u);
+    EXPECT_EQ(regionAlign(addr), 3 * kRegionSize);
+}
+
+TEST(Geometry, RegionInsideOsPage)
+{
+    // Spatial regions must never straddle OS pages, or translation
+    // would tear them apart.
+    EXPECT_EQ(kOsPageSize % kRegionSize, 0u);
+}
+
+TEST(Hash, Mix64IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+    // Nearby inputs should produce far-apart outputs (avalanche).
+    std::set<std::uint64_t> lows;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        lows.insert(mix64(i) & 0xfff);
+    EXPECT_GT(lows.size(), 700u);
+}
+
+TEST(Hash, FoldBitsStaysInRange)
+{
+    for (unsigned bits = 1; bits <= 32; ++bits) {
+        const std::uint64_t folded = foldBits(0xdeadbeefcafebabeULL,
+                                              bits);
+        EXPECT_LT(folded, 1ULL << bits) << "bits=" << bits;
+    }
+    EXPECT_EQ(foldBits(0x1234, 64), 0x1234u);
+}
+
+TEST(Hash, CombineIsOrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowIsBounded)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(5);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZipfBoundedAndSkewed)
+{
+    Rng rng(17);
+    std::uint64_t rank0 = 0;
+    std::uint64_t tail = 0;
+    for (int i = 0; i < 20000; ++i) {
+        const auto r = rng.zipf(100, 0.8);
+        ASSERT_LT(r, 100u);
+        rank0 += r == 0;
+        tail += r >= 50;
+    }
+    // Rank 0 must be far more popular than the tail half combined is
+    // per-rank.
+    EXPECT_GT(rank0, 1000u);
+    EXPECT_LT(tail, 10000u);
+}
+
+TEST(SatCounter, SaturatesBothEnds)
+{
+    SatCounter c(2);
+    EXPECT_EQ(c.max(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, TakenAboveMidpoint)
+{
+    SatCounter c(2);
+    EXPECT_FALSE(c.taken());
+    c.increment();
+    EXPECT_FALSE(c.taken());  // 1 of 3.
+    c.increment();
+    EXPECT_TRUE(c.taken());   // 2 of 3.
+}
+
+TEST(SatCounter, FractionSpansUnitInterval)
+{
+    SatCounter c(3, 7);
+    EXPECT_DOUBLE_EQ(c.fraction(), 1.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.fraction(), 0.0);
+}
+
+TEST(Stats, MeanAndGeomean)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentFormatting)
+{
+    EXPECT_EQ(percent(0.634), "63.4%");
+    EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+TEST(Stats, StatSetAccumulatesAndMerges)
+{
+    StatSet a;
+    a.add("x");
+    a.add("x", 2);
+    a.set("y", 10);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("missing"), 0u);
+
+    StatSet b;
+    b.add("x", 5);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 8u);
+    EXPECT_EQ(a.get("y"), 10u);
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(3); });
+    q.runDue(15);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    q.runDue(20);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoWithinSameCycle)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.runDue(7);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(1, [&] {
+        ++fired;
+        q.schedule(1, [&] { ++fired; });
+    });
+    q.runDue(1);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventCycle(), ~Cycle{0});
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextEventCycle(), 42u);
+    EXPECT_EQ(q.size(), 1u);
+    q.runDue(42);
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace bingo

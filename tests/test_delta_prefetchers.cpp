@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Tests for the SHH baselines: BOP, SPP, and VLDP, plus the simple
+ * next-line and stride reference prefetchers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "prefetch/bop.hpp"
+#include "prefetch/nextline.hpp"
+#include "prefetch/spp.hpp"
+#include "prefetch/stride.hpp"
+#include "prefetch/vldp.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+PrefetchAccess
+missAt(Addr pc, Addr addr)
+{
+    PrefetchAccess a;
+    a.pc = pc;
+    a.block = blockAlign(addr);
+    a.hit = false;
+    return a;
+}
+
+PrefetcherConfig
+configFor(PrefetcherKind kind)
+{
+    PrefetcherConfig config;
+    config.kind = kind;
+    return config;
+}
+
+// ---------------------------------------------------------------- BOP
+
+TEST(Bop, OffsetListIs235Smooth)
+{
+    const auto &offsets = BopPrefetcher::offsetList();
+    EXPECT_EQ(offsets.size(), 52u);
+    EXPECT_EQ(offsets.front(), 1);
+    EXPECT_EQ(offsets.back(), 256);
+    for (std::int64_t offset : offsets) {
+        std::int64_t m = offset;
+        for (std::int64_t p : {2, 3, 5}) {
+            while (m % p == 0)
+                m /= p;
+        }
+        EXPECT_EQ(m, 1) << "offset " << offset;
+    }
+    // 7 is not smooth; it must be absent.
+    EXPECT_EQ(std::count(offsets.begin(), offsets.end(), 7), 0);
+}
+
+TEST(Bop, LearnsAPlantedOffset)
+{
+    BopPrefetcher pf(configFor(PrefetcherKind::Bop));
+    // Feed a stream with stride 3 blocks inside one page, long enough
+    // for scoring to converge.
+    std::vector<Addr> out;
+    Addr addr = 0;
+    for (int i = 0; i < 4000; ++i) {
+        pf.onAccess(missAt(0x400, addr), out);
+        out.clear();
+        addr += 3 * kBlockSize;
+        if ((addr >> kOsPageBits) != 0)
+            addr = 0;  // Stay in one page; RR entries keep matching.
+    }
+    EXPECT_EQ(pf.currentOffset(), 3);
+
+    out.clear();
+    pf.onAccess(missAt(0x400, 0), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 3 * kBlockSize);
+}
+
+TEST(Bop, StopsAtPageBoundary)
+{
+    BopPrefetcher pf(configFor(PrefetcherKind::Bop));
+    std::vector<Addr> out;
+    Addr addr = 0;
+    for (int i = 0; i < 4000; ++i) {
+        pf.onAccess(missAt(0x400, addr), out);
+        out.clear();
+        addr += 3 * kBlockSize;
+        if ((addr >> kOsPageBits) != 0)
+            addr = 0;
+    }
+    // Trigger near the end of the page: the target crosses, so no
+    // prefetch may be issued.
+    const Addr near_end = kOsPageSize - kBlockSize;
+    out.clear();
+    pf.onAccess(missAt(0x400, near_end), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Bop, RandomTrafficTurnsPrefetchOff)
+{
+    BopPrefetcher pf(configFor(PrefetcherKind::Bop));
+    Rng rng(5);
+    std::vector<Addr> out;
+    // Uniform random blocks: no offset scores above BAD_SCORE, so after
+    // a few rounds BOP goes quiet.
+    for (int i = 0; i < 60000; ++i) {
+        pf.onAccess(missAt(0x400, blockAlign(rng.next() & 0x3fffffff)),
+                    out);
+        out.clear();
+    }
+    pf.onAccess(missAt(0x400, 0), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.currentOffset(), 0);
+}
+
+TEST(Bop, AggressiveDegreeIssuesMultiples)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Bop);
+    config.bop_degree = 4;
+    BopPrefetcher pf(config);
+    std::vector<Addr> out;
+    Addr addr = 0;
+    for (int i = 0; i < 4000; ++i) {
+        pf.onAccess(missAt(0x400, addr), out);
+        out.clear();
+        addr += kBlockSize;
+        if ((addr >> kOsPageBits) != 0)
+            addr = 0;
+    }
+    out.clear();
+    pf.onAccess(missAt(0x400, 0), out);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_EQ(pf.name(), "BOP");
+}
+
+// ---------------------------------------------------------------- SPP
+
+TEST(Spp, SignatureAdvanceMixesDeltas)
+{
+    const std::uint16_t s1 = SppPrefetcher::advanceSignature(0, 1);
+    const std::uint16_t s2 = SppPrefetcher::advanceSignature(0, 2);
+    EXPECT_NE(s1, s2);
+    EXPECT_LT(SppPrefetcher::advanceSignature(0xfff, -3), 0x1000);
+    // Positive and negative deltas of the same magnitude differ.
+    EXPECT_NE(SppPrefetcher::advanceSignature(5, 4),
+              SppPrefetcher::advanceSignature(5, -4));
+}
+
+TEST(Spp, LearnsStridedPageAndLooksAhead)
+{
+    SppPrefetcher pf(configFor(PrefetcherKind::Spp));
+    std::vector<Addr> out;
+    // Train several pages with stride 1 so the signature path gains
+    // confidence, then expect lookahead prefetches on a fresh page.
+    for (Addr page = 0; page < 6; ++page) {
+        for (unsigned b = 0; b + 1 < 64; ++b) {
+            out.clear();
+            pf.onAccess(missAt(0x400, page * kOsPageSize +
+                                          b * kBlockSize),
+                        out);
+        }
+    }
+    out.clear();
+    pf.onAccess(missAt(0x400, 100 * kOsPageSize), out);
+    out.clear();
+    pf.onAccess(missAt(0x400, 100 * kOsPageSize + kBlockSize), out);
+    EXPECT_GE(out.size(), 1u);
+    // All prefetches stay inside the page.
+    for (Addr target : out)
+        EXPECT_EQ(target >> kOsPageBits, 100u);
+}
+
+TEST(Spp, FilterSuppressesDuplicates)
+{
+    SppPrefetcher pf(configFor(PrefetcherKind::Spp));
+    std::vector<Addr> out;
+    for (Addr page = 0; page < 6; ++page) {
+        for (unsigned b = 0; b + 1 < 64; ++b) {
+            out.clear();
+            pf.onAccess(missAt(0x400, page * kOsPageSize +
+                                          b * kBlockSize),
+                        out);
+        }
+    }
+    out.clear();
+    pf.onAccess(missAt(0x400, 100 * kOsPageSize), out);
+    pf.onAccess(missAt(0x400, 100 * kOsPageSize + kBlockSize), out);
+    const std::size_t first = out.size();
+    // Re-access the same block: previously issued targets are
+    // filtered.
+    pf.onAccess(missAt(0x400, 100 * kOsPageSize + kBlockSize), out);
+    EXPECT_EQ(out.size(), first);
+    EXPECT_EQ(pf.name(), "SPP");
+}
+
+TEST(Spp, LowConfidenceThresholdPrefetchesDeeper)
+{
+    PrefetcherConfig strict = configFor(PrefetcherKind::Spp);
+    strict.spp_confidence_threshold = 0.9;
+    PrefetcherConfig loose = configFor(PrefetcherKind::Spp);
+    loose.spp_confidence_threshold = 0.01;
+    loose.spp_max_depth = 32;
+
+    SppPrefetcher strict_pf(strict);
+    SppPrefetcher loose_pf(loose);
+    std::uint64_t strict_count = 0;
+    std::uint64_t loose_count = 0;
+    std::vector<Addr> out;
+    for (Addr page = 0; page < 8; ++page) {
+        for (unsigned b = 0; b + 1 < 64; ++b) {
+            const Addr addr = page * kOsPageSize + b * kBlockSize;
+            out.clear();
+            strict_pf.onAccess(missAt(0x400, addr), out);
+            strict_count += out.size();
+            out.clear();
+            loose_pf.onAccess(missAt(0x400, addr), out);
+            loose_count += out.size();
+        }
+    }
+    EXPECT_GT(loose_count, strict_count);
+}
+
+// --------------------------------------------------------------- VLDP
+
+TEST(Vldp, LearnsDeltaPatternPerPage)
+{
+    VldpPrefetcher pf(configFor(PrefetcherKind::Vldp));
+    std::vector<Addr> out;
+    // Train pages with the repeating delta 2.
+    for (Addr page = 0; page < 4; ++page) {
+        for (unsigned b = 0; b < 60; b += 2) {
+            out.clear();
+            pf.onAccess(missAt(0x400, page * kOsPageSize +
+                                          b * kBlockSize),
+                        out);
+        }
+    }
+    // On a fresh page, after two accesses establishing the delta, the
+    // DPTs predict the stream.
+    out.clear();
+    pf.onAccess(missAt(0x400, 50 * kOsPageSize), out);
+    out.clear();
+    pf.onAccess(missAt(0x400, 50 * kOsPageSize + 2 * kBlockSize), out);
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], 50 * kOsPageSize + 4 * kBlockSize);
+}
+
+TEST(Vldp, DegreeBoundsLookahead)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Vldp);
+    config.vldp_degree = 2;
+    VldpPrefetcher pf(config);
+    std::vector<Addr> out;
+    for (Addr page = 0; page < 4; ++page) {
+        for (unsigned b = 0; b < 60; ++b) {
+            out.clear();
+            pf.onAccess(missAt(0x400, page * kOsPageSize +
+                                          b * kBlockSize),
+                        out);
+        }
+    }
+    out.clear();
+    pf.onAccess(missAt(0x400, 50 * kOsPageSize), out);
+    out.clear();
+    pf.onAccess(missAt(0x400, 50 * kOsPageSize + kBlockSize), out);
+    EXPECT_LE(out.size(), 2u);
+    EXPECT_EQ(pf.name(), "VLDP");
+}
+
+TEST(Vldp, StaysInsidePage)
+{
+    VldpPrefetcher pf(configFor(PrefetcherKind::Vldp));
+    std::vector<Addr> out;
+    for (Addr page = 0; page < 4; ++page) {
+        for (unsigned b = 0; b < 64; ++b) {
+            pf.onAccess(missAt(0x400, page * kOsPageSize +
+                                          b * kBlockSize),
+                        out);
+        }
+    }
+    for (Addr target : out)
+        EXPECT_LT(target % kOsPageSize, kOsPageSize);
+}
+
+// ---------------------------------------------------- simple baselines
+
+TEST(NextLine, PrefetchesSuccessorOnMiss)
+{
+    NextLinePrefetcher pf(configFor(PrefetcherKind::NextLine));
+    std::vector<Addr> out;
+    pf.onAccess(missAt(0x400, 0x1000), out);
+    EXPECT_EQ(out, (std::vector<Addr>{0x1000 + kBlockSize}));
+    out.clear();
+    PrefetchAccess hit = missAt(0x400, 0x1000);
+    hit.hit = true;
+    pf.onAccess(hit, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Stride, DetectsPerPcStride)
+{
+    StridePrefetcher pf(configFor(PrefetcherKind::Stride));
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; ++i) {
+        out.clear();
+        pf.onAccess(missAt(0x400, i * 5 * kBlockSize), out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0], (5 * 5 + 5) * kBlockSize);
+}
+
+TEST(Stride, DistinctPcsTrackIndependently)
+{
+    StridePrefetcher pf(configFor(PrefetcherKind::Stride));
+    std::vector<Addr> out;
+    for (int i = 0; i < 6; ++i) {
+        out.clear();
+        pf.onAccess(missAt(0x400, i * 2 * kBlockSize), out);
+        out.clear();
+        pf.onAccess(missAt(0x800, 0x100000 + i * 3 * kBlockSize), out);
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_EQ(out[0] - (0x100000 + 5 * 3 * kBlockSize),
+              3 * kBlockSize);
+}
+
+TEST(Stride, IrregularPcStaysQuiet)
+{
+    StridePrefetcher pf(configFor(PrefetcherKind::Stride));
+    Rng rng(9);
+    std::vector<Addr> out;
+    std::size_t issued = 0;
+    for (int i = 0; i < 500; ++i) {
+        out.clear();
+        pf.onAccess(missAt(0x400,
+                           blockAlign(rng.next() & 0xffffff)), out);
+        issued += out.size();
+    }
+    EXPECT_LT(issued, 100u);
+}
+
+} // namespace
+} // namespace bingo

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the event-study observer behind Figs. 2 and 4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/event_study.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::regionBlock;
+
+PrefetcherConfig
+studyConfig()
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::EventStudy;
+    return config;
+}
+
+PrefetchAccess
+at(Addr pc, Addr addr)
+{
+    PrefetchAccess a;
+    a.pc = pc;
+    a.block = blockAlign(addr);
+    return a;
+}
+
+void
+generation(EventStudyObserver &obs, Addr pc, Addr region,
+           std::vector<unsigned> offsets)
+{
+    std::vector<Addr> out;
+    for (unsigned off : offsets)
+        obs.onAccess(at(pc, regionBlock(region, off)), out);
+    obs.onEviction(regionBlock(region, offsets[0]));
+}
+
+TEST(EventStudy, NeverPrefetches)
+{
+    EventStudyObserver obs(studyConfig());
+    std::vector<Addr> out;
+    obs.onAccess(at(0x400, regionBlock(1, 0)), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(EventStudy, CountsTriggersPerEvent)
+{
+    EventStudyObserver obs(studyConfig());
+    generation(obs, 0x400, 1, {0, 3});
+    generation(obs, 0x400, 2, {0, 3});
+    for (unsigned e = 0; e < kNumEventKinds; ++e) {
+        EXPECT_EQ(obs.result(static_cast<EventKind>(e)).triggers, 2u)
+            << eventKindName(static_cast<EventKind>(e));
+    }
+}
+
+TEST(EventStudy, ShortEventsMatchAcrossRegionsLongDoesNot)
+{
+    EventStudyObserver obs(studyConfig());
+    generation(obs, 0x400, 1, {0, 3});
+    generation(obs, 0x400, 2, {0, 3});  // Same PC+Offset, new address.
+
+    EXPECT_EQ(obs.result(EventKind::PcAddress).matches, 0u);
+    EXPECT_EQ(obs.result(EventKind::PcOffset).matches, 1u);
+    EXPECT_EQ(obs.result(EventKind::Pc).matches, 1u);
+    EXPECT_EQ(obs.result(EventKind::Offset).matches, 1u);
+}
+
+TEST(EventStudy, AddressRecurrenceMatchesLongEvent)
+{
+    EventStudyObserver obs(studyConfig());
+    generation(obs, 0x400, 1, {0, 3});
+    generation(obs, 0x400, 1, {0, 3});  // Same region again.
+    EXPECT_EQ(obs.result(EventKind::PcAddress).matches, 1u);
+    EXPECT_EQ(obs.result(EventKind::PcAddress).matchProbability(), 0.5);
+}
+
+TEST(EventStudy, AccuracyComparesPredictionWithActual)
+{
+    EventStudyObserver obs(studyConfig());
+    generation(obs, 0x400, 1, {0, 3, 5});
+    // Second generation differs in one block: the PC+Offset prediction
+    // {0,3,5} overlaps the actual {0,3,9} in 2 of 3 predicted blocks.
+    generation(obs, 0x400, 2, {0, 3, 9});
+    const auto &res = obs.result(EventKind::PcOffset);
+    EXPECT_EQ(res.predicted_blocks, 3u);
+    EXPECT_EQ(res.correct_blocks, 2u);
+    EXPECT_NEAR(res.accuracy(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(EventStudy, RedundancyCountsIdenticalDualPredictions)
+{
+    EventStudyObserver obs(studyConfig());
+    // Region 1 trained twice: long and short agree on the revisit.
+    generation(obs, 0x400, 1, {0, 3});
+    generation(obs, 0x400, 1, {0, 3});
+    // Now train region 2 (same short event, different footprint), then
+    // revisit region 1: long says {0,3}, short says {0,7} -> disagree.
+    generation(obs, 0x400, 2, {0, 7});
+    generation(obs, 0x400, 1, {0, 3});
+
+    EXPECT_EQ(obs.bothMatched(), 2u);
+    EXPECT_EQ(obs.identicalPredictions(), 1u);
+    EXPECT_DOUBLE_EQ(obs.redundancy(), 0.5);
+}
+
+TEST(EventStudy, OpenGenerationsAreNotScored)
+{
+    EventStudyObserver obs(studyConfig());
+    std::vector<Addr> out;
+    obs.onAccess(at(0x400, regionBlock(1, 0)), out);
+    // No eviction: nothing learned, nothing scored.
+    EXPECT_EQ(obs.result(EventKind::PcOffset).predicted_blocks, 0u);
+    obs.onAccess(at(0x400, regionBlock(2, 0)), out);
+    EXPECT_EQ(obs.result(EventKind::PcOffset).matches, 0u);
+}
+
+} // namespace
+} // namespace bingo

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+TEST(Mshr, AllocateFindRelease)
+{
+    MshrFile mshrs(2);
+    EXPECT_EQ(mshrs.find(0x40), nullptr);
+    MshrEntry &entry = mshrs.allocate(0x40, false, 1);
+    EXPECT_EQ(entry.block, 0x40u);
+    EXPECT_EQ(entry.core, 1u);
+    EXPECT_FALSE(entry.prefetch_origin);
+    ASSERT_NE(mshrs.find(0x40), nullptr);
+
+    MshrEntry released = mshrs.release(0x40);
+    EXPECT_EQ(released.block, 0x40u);
+    EXPECT_EQ(mshrs.find(0x40), nullptr);
+    EXPECT_EQ(mshrs.size(), 0u);
+}
+
+TEST(Mshr, FullAtCapacity)
+{
+    MshrFile mshrs(2);
+    mshrs.allocate(0x40, false, 0);
+    EXPECT_FALSE(mshrs.full());
+    mshrs.allocate(0x80, true, 0);
+    EXPECT_TRUE(mshrs.full());
+    mshrs.release(0x40);
+    EXPECT_FALSE(mshrs.full());
+}
+
+TEST(Mshr, CallbacksTravelWithRelease)
+{
+    MshrFile mshrs(1);
+    MshrEntry &entry = mshrs.allocate(0x40, false, 0);
+    int called = 0;
+    entry.callbacks.push_back([&](Cycle) { ++called; });
+    entry.callbacks.push_back([&](Cycle) { ++called; });
+
+    MshrEntry released = mshrs.release(0x40);
+    for (FillCallback &cb : released.callbacks)
+        cb(10);
+    EXPECT_EQ(called, 2);
+}
+
+TEST(Mshr, MergeFlagsPersist)
+{
+    MshrFile mshrs(1);
+    MshrEntry &entry = mshrs.allocate(0x40, true, 0);
+    entry.demand_merged = true;
+    entry.store_merged = true;
+    MshrEntry released = mshrs.release(0x40);
+    EXPECT_TRUE(released.prefetch_origin);
+    EXPECT_TRUE(released.demand_merged);
+    EXPECT_TRUE(released.store_merged);
+}
+
+TEST(Mshr, ClearEmptiesFile)
+{
+    MshrFile mshrs(4);
+    mshrs.allocate(0x40, false, 0);
+    mshrs.allocate(0x80, false, 0);
+    mshrs.clear();
+    EXPECT_EQ(mshrs.size(), 0u);
+    EXPECT_EQ(mshrs.find(0x40), nullptr);
+}
+
+} // namespace
+} // namespace bingo

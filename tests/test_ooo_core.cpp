@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for the out-of-order core model: retire width, load latency
+ * exposure, LSQ and ROB occupancy limits, dependent-load
+ * serialization, and measurement bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ooo_core.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::FakeLower;
+using test::ScriptedSource;
+using test::alu;
+using test::load;
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    /** Run `cycles` cycles of one core over `script`. */
+    std::unique_ptr<OooCore>
+    makeCore(std::vector<TraceRecord> script, Cycle mem_latency = 50,
+             CoreConfig config = CoreConfig{})
+    {
+        source_ = std::make_unique<ScriptedSource>(std::move(script));
+        lower_ = std::make_unique<FakeLower>(events_, mem_latency);
+        CacheConfig l1;
+        l1.size_bytes = 4 * 1024;
+        l1.ways = 4;
+        l1.mshr_entries = 8;
+        l1_ = std::make_unique<Cache>("L1", l1, events_, *lower_);
+        return std::make_unique<OooCore>(0, config, *l1_, *source_);
+    }
+
+    void
+    run(OooCore &core, Cycle cycles)
+    {
+        for (Cycle c = 0; c < cycles; ++c) {
+            events_.runDue(c);
+            core.step(c);
+        }
+    }
+
+    EventQueue events_;
+    std::unique_ptr<ScriptedSource> source_;
+    std::unique_ptr<FakeLower> lower_;
+    std::unique_ptr<Cache> l1_;
+};
+
+TEST_F(CoreTest, AluOnlyRetiresAtFullWidth)
+{
+    auto core = makeCore({});
+    core->startMeasurement(4000, 0);
+    run(*core, 1100);
+    EXPECT_TRUE(core->measurementDone());
+    // 4000 instructions at width 4 take ~1001 cycles (1-cycle ramp).
+    EXPECT_NEAR(core->ipc(), 4.0, 0.1);
+}
+
+TEST_F(CoreTest, LoadMissStallsRetirement)
+{
+    std::vector<TraceRecord> script = {load(0x400, 0x1000)};
+    for (int i = 0; i < 100; ++i)
+        script.push_back(alu());
+    auto core = makeCore(std::move(script), /*mem_latency=*/200);
+    core->startMeasurement(101, 0);
+    run(*core, 1000);
+    ASSERT_TRUE(core->measurementDone());
+    // The load's ~200-cycle miss dominates: 101 instructions can only
+    // retire after its data returns.
+    EXPECT_GT(core->completionCycle(), 200u);
+}
+
+TEST_F(CoreTest, IndependentLoadsOverlap)
+{
+    // Eight independent loads to distinct blocks: completion near one
+    // latency, not eight.
+    std::vector<TraceRecord> script;
+    for (int i = 0; i < 8; ++i)
+        script.push_back(load(0x400, 0x1000 + i * kBlockSize));
+    auto core = makeCore(std::move(script), 200);
+    core->startMeasurement(8, 0);
+    run(*core, 4000);
+    ASSERT_TRUE(core->measurementDone());
+    EXPECT_LT(core->completionCycle(), 2 * 210u);
+}
+
+TEST_F(CoreTest, DependentLoadsSerialize)
+{
+    // Four chained loads: completion ~4 latencies.
+    std::vector<TraceRecord> script;
+    script.push_back(load(0x400, 0x1000));
+    for (int i = 1; i < 4; ++i) {
+        script.push_back(
+            load(0x400, 0x1000 + i * kBlockSize, /*dependent=*/true));
+    }
+    auto core = makeCore(std::move(script), 200);
+    core->startMeasurement(4, 0);
+    run(*core, 4000);
+    ASSERT_TRUE(core->measurementDone());
+    EXPECT_GT(core->completionCycle(), 4 * 200u);
+}
+
+TEST_F(CoreTest, DependentLoadOnCompletedPredecessorIssuesNow)
+{
+    // If the previous load already finished, a dependent load must not
+    // wait forever.
+    std::vector<TraceRecord> script;
+    script.push_back(load(0x400, 0x1000));
+    for (int i = 0; i < 400; ++i)
+        script.push_back(alu());
+    script.push_back(load(0x400, 0x2000, /*dependent=*/true));
+    auto core = makeCore(std::move(script), 50);
+    core->startMeasurement(402, 0);
+    run(*core, 2000);
+    EXPECT_TRUE(core->measurementDone());
+}
+
+TEST_F(CoreTest, StoresRetireWithoutWaiting)
+{
+    std::vector<TraceRecord> script = {test::store(0x400, 0x1000)};
+    for (int i = 0; i < 20; ++i)
+        script.push_back(alu());
+    auto core = makeCore(std::move(script), 500);
+    core->startMeasurement(21, 0);
+    run(*core, 200);
+    // All 21 instructions retire long before the store's 500-cycle
+    // write completes.
+    EXPECT_TRUE(core->measurementDone());
+    EXPECT_LT(core->completionCycle(), 100u);
+}
+
+TEST_F(CoreTest, LsqLimitsOutstandingMemOps)
+{
+    CoreConfig config;
+    config.lsq_entries = 2;
+    std::vector<TraceRecord> script;
+    for (int i = 0; i < 16; ++i)
+        script.push_back(load(0x400, 0x1000 + i * kBlockSize));
+    auto core = makeCore(std::move(script), 100, config);
+    core->startMeasurement(16, 0);
+    run(*core, 5000);
+    ASSERT_TRUE(core->measurementDone());
+    // 16 loads at <=2 outstanding and 100-cycle latency: at least
+    // 8 serialized rounds.
+    EXPECT_GT(core->completionCycle(), 700u);
+    EXPECT_GT(core->stats().lsq_full_cycles, 0u);
+}
+
+TEST_F(CoreTest, RobLimitsInFlightInstructions)
+{
+    CoreConfig config;
+    config.rob_entries = 8;
+    // A long-latency load followed by many ALUs: the ROB fills behind
+    // the load.
+    std::vector<TraceRecord> script = {load(0x400, 0x1000)};
+    for (int i = 0; i < 100; ++i)
+        script.push_back(alu());
+    auto core = makeCore(std::move(script), 300, config);
+    core->startMeasurement(101, 0);
+    run(*core, 2000);
+    EXPECT_GT(core->stats().rob_full_cycles, 0u);
+}
+
+TEST_F(CoreTest, L1HitIsFast)
+{
+    std::vector<TraceRecord> script = {
+        load(0x400, 0x1000),  // Miss: warms the block.
+        load(0x400, 0x1000),  // Hit.
+    };
+    auto core = makeCore(std::move(script), 100);
+    core->startMeasurement(2, 0);
+    run(*core, 1000);
+    ASSERT_TRUE(core->measurementDone());
+    // Both loads complete around one miss latency: the second hits or
+    // merges.
+    EXPECT_LT(core->completionCycle(), 150u);
+    EXPECT_EQ(core->stats().loads, 2u);
+}
+
+TEST_F(CoreTest, MeasurementCountsExactly)
+{
+    auto core = makeCore({});
+    core->startMeasurement(100, 0);
+    run(*core, 100);
+    EXPECT_TRUE(core->measurementDone());
+    EXPECT_GE(core->measuredInstructions(), 100u);
+    // Restarting the measurement resets the counters.
+    core->startMeasurement(50, 100);
+    EXPECT_FALSE(core->measurementDone());
+}
+
+TEST_F(CoreTest, TypeCountersTrack)
+{
+    std::vector<TraceRecord> script = {
+        load(0x400, 0x1000),
+        test::store(0x401, 0x2000),
+        TraceRecord{0x402, 0, InstrType::Branch},
+        alu(),
+    };
+    auto core = makeCore(std::move(script));
+    core->startMeasurement(4, 0);
+    run(*core, 500);
+    EXPECT_EQ(core->stats().loads, 1u);
+    EXPECT_EQ(core->stats().stores, 1u);
+    EXPECT_EQ(core->stats().branches, 1u);
+}
+
+} // namespace
+} // namespace bingo

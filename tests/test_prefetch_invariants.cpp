@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Cross-cutting fuzz invariants over the prefetcher implementations:
+ * properties that must hold for any access stream, checked under
+ * randomized traffic with interleaved evictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "prefetch/prefetcher.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+/** Random access streams with region locality knobs. */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(std::uint64_t seed) : rng_(seed) {}
+
+    PrefetchAccess
+    next()
+    {
+        PrefetchAccess access;
+        access.pc = 0x400 + rng_.below(16) * 4;
+        const Addr region =
+            rng_.chance(0.5) ? rng_.below(8) : rng_.below(100000);
+        access.block = region * kRegionSize +
+                       rng_.below(kBlocksPerRegion) * kBlockSize;
+        access.hit = rng_.chance(0.3);
+        access.type = rng_.chance(0.2) ? AccessType::Store
+                                       : AccessType::Load;
+        return access;
+    }
+
+    bool chance(double p) { return rng_.chance(p); }
+
+  private:
+    Rng rng_;
+};
+
+using KindParam = ::testing::TestWithParam<PrefetcherKind>;
+
+class PrefetcherFuzzTest : public KindParam
+{
+};
+
+TEST_P(PrefetcherFuzzTest, CandidatesAreAlwaysBlockAligned)
+{
+    PrefetcherConfig config;
+    config.kind = GetParam();
+    auto pf = makePrefetcher(config);
+    ASSERT_NE(pf, nullptr);
+    Fuzzer fuzz(17);
+    std::vector<Addr> out;
+    for (int i = 0; i < 20000; ++i) {
+        const PrefetchAccess access = fuzz.next();
+        out.clear();
+        pf->onAccess(access, out);
+        for (Addr target : out)
+            ASSERT_EQ(target % kBlockSize, 0u);
+        if (fuzz.chance(0.1))
+            pf->onEviction(access.block);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrefetchers, PrefetcherFuzzTest,
+    ::testing::Values(PrefetcherKind::NextLine, PrefetcherKind::Stride,
+                      PrefetcherKind::Bop, PrefetcherKind::Spp,
+                      PrefetcherKind::Vldp, PrefetcherKind::Ampm,
+                      PrefetcherKind::Sms, PrefetcherKind::Bingo,
+                      PrefetcherKind::BingoMulti));
+
+/** PPH prefetchers never prefetch outside the trigger's region. */
+class RegionBoundFuzzTest : public KindParam
+{
+};
+
+TEST_P(RegionBoundFuzzTest, CandidatesStayInTriggerRegion)
+{
+    PrefetcherConfig config;
+    config.kind = GetParam();
+    auto pf = makePrefetcher(config);
+    Fuzzer fuzz(23);
+    std::vector<Addr> out;
+    for (int i = 0; i < 20000; ++i) {
+        const PrefetchAccess access = fuzz.next();
+        out.clear();
+        pf->onAccess(access, out);
+        for (Addr target : out) {
+            ASSERT_EQ(regionNumber(target),
+                      regionNumber(access.block))
+                << prefetcherName(GetParam());
+            ASSERT_NE(blockAlign(target), access.block)
+                << "prefetched the trigger block itself";
+        }
+        if (fuzz.chance(0.1))
+            pf->onEviction(access.block);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PphPrefetchers, RegionBoundFuzzTest,
+    ::testing::Values(PrefetcherKind::Ampm, PrefetcherKind::Sms,
+                      PrefetcherKind::Bingo,
+                      PrefetcherKind::BingoMulti));
+
+/** Page-bounded SHH prefetchers never cross the OS page. */
+class PageBoundFuzzTest : public KindParam
+{
+};
+
+TEST_P(PageBoundFuzzTest, CandidatesStayInTriggerPage)
+{
+    PrefetcherConfig config;
+    config.kind = GetParam();
+    config.bop_degree = 8;  // Stress the multi-degree paths too.
+    config.vldp_degree = 16;
+    config.spp_confidence_threshold = 0.01;
+    auto pf = makePrefetcher(config);
+    Fuzzer fuzz(29);
+    std::vector<Addr> out;
+    for (int i = 0; i < 20000; ++i) {
+        const PrefetchAccess access = fuzz.next();
+        out.clear();
+        pf->onAccess(access, out);
+        for (Addr target : out) {
+            ASSERT_EQ(target >> kOsPageBits,
+                      access.block >> kOsPageBits)
+                << prefetcherName(GetParam());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShhPrefetchers, PageBoundFuzzTest,
+                         ::testing::Values(PrefetcherKind::Bop,
+                                           PrefetcherKind::Spp,
+                                           PrefetcherKind::Vldp));
+
+/** The observer never emits candidates no matter the traffic. */
+TEST(EventStudyFuzz, NeverEmits)
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::EventStudy;
+    auto pf = makePrefetcher(config);
+    Fuzzer fuzz(31);
+    std::vector<Addr> out;
+    for (int i = 0; i < 5000; ++i) {
+        pf->onAccess(fuzz.next(), out);
+        ASSERT_TRUE(out.empty());
+    }
+}
+
+} // namespace
+} // namespace bingo

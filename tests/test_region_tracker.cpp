@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the page-generation tracker shared by SMS and Bingo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prefetch/region_tracker.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::regionBlock;
+
+TEST(RegionTracker, FirstAccessIsTrigger)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    EXPECT_EQ(tracker.onAccess(0x400, regionBlock(5, 3)),
+              RegionTracker::Outcome::Trigger);
+    EXPECT_TRUE(tracker.tracks(5));
+}
+
+TEST(RegionTracker, RepeatToTriggerBlockIsRecorded)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    tracker.onAccess(0x400, regionBlock(5, 3));
+    EXPECT_EQ(tracker.onAccess(0x401, regionBlock(5, 3)),
+              RegionTracker::Outcome::Recorded);
+}
+
+TEST(RegionTracker, SecondBlockPromotesAndAccumulates)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    tracker.onAccess(0x400, regionBlock(5, 3));
+    tracker.onAccess(0x401, regionBlock(5, 7));
+    tracker.onAccess(0x402, regionBlock(5, 9));
+    tracker.onEviction(regionBlock(5, 0));
+
+    auto harvested = tracker.drainHarvested();
+    ASSERT_EQ(harvested.size(), 1u);
+    const auto &gen = harvested[0];
+    EXPECT_EQ(gen.region, 5u);
+    EXPECT_EQ(gen.trigger_pc, 0x400u);
+    EXPECT_EQ(gen.trigger_block, regionBlock(5, 3));
+    EXPECT_TRUE(gen.footprint.test(3));
+    EXPECT_TRUE(gen.footprint.test(7));
+    EXPECT_TRUE(gen.footprint.test(9));
+    EXPECT_EQ(gen.footprint.count(), 3u);
+}
+
+TEST(RegionTracker, SingleBlockGenerationIsDiscarded)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    tracker.onAccess(0x400, regionBlock(5, 3));
+    tracker.onEviction(regionBlock(5, 3));
+    EXPECT_TRUE(tracker.drainHarvested().empty());
+    EXPECT_FALSE(tracker.tracks(5));
+}
+
+TEST(RegionTracker, EvictionEndsGenerationAndRetriggering)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    tracker.onAccess(0x400, regionBlock(5, 3));
+    tracker.onAccess(0x401, regionBlock(5, 7));
+    tracker.onEviction(regionBlock(5, 7));
+    EXPECT_FALSE(tracker.tracks(5));
+    // The region can start a fresh generation.
+    EXPECT_EQ(tracker.onAccess(0x500, regionBlock(5, 1)),
+              RegionTracker::Outcome::Trigger);
+}
+
+TEST(RegionTracker, EvictionOfUntrackedRegionIsIgnored)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    tracker.onEviction(regionBlock(99, 0));
+    EXPECT_TRUE(tracker.drainHarvested().empty());
+}
+
+TEST(RegionTracker, IndependentRegionsTrackIndependently)
+{
+    RegionTracker tracker(64, 64, kBlocksPerRegion);
+    for (Addr r = 0; r < 8; ++r) {
+        tracker.onAccess(0x400 + r, regionBlock(r, 0));
+        tracker.onAccess(0x500 + r, regionBlock(r, r % 32));
+    }
+    for (Addr r = 0; r < 8; ++r)
+        tracker.onEviction(regionBlock(r, 0));
+    auto harvested = tracker.drainHarvested();
+    EXPECT_EQ(harvested.size(), 7u);  // Region 0 had one distinct block.
+}
+
+TEST(RegionTracker, AccumulationCapacityHarvestsVictim)
+{
+    // Tiny accumulation table: overflow must harvest, not drop.
+    RegionTracker tracker(1024, 8, kBlocksPerRegion);
+    for (Addr r = 0; r < 64; ++r) {
+        tracker.onAccess(0x400, regionBlock(r, 0));
+        tracker.onAccess(0x401, regionBlock(r, 1));
+    }
+    const auto harvested = tracker.drainHarvested();
+    EXPECT_GT(harvested.size(), 32u);
+    for (const auto &gen : harvested)
+        EXPECT_EQ(gen.footprint.count(), 2u);
+}
+
+TEST(RegionTracker, DrainMovesOwnership)
+{
+    RegionTracker tracker(16, 16, kBlocksPerRegion);
+    tracker.onAccess(0x400, regionBlock(1, 0));
+    tracker.onAccess(0x401, regionBlock(1, 1));
+    tracker.onEviction(regionBlock(1, 0));
+    EXPECT_EQ(tracker.drainHarvested().size(), 1u);
+    EXPECT_TRUE(tracker.drainHarvested().empty());
+}
+
+} // namespace
+} // namespace bingo

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the cache replacement policies (LRU / SRRIP / Random).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::FakeLower;
+
+CacheConfig
+policyConfig(ReplacementKind kind)
+{
+    CacheConfig config;
+    config.size_bytes = 8 * 1024;  // 64 sets x 2 ways.
+    config.ways = 2;
+    config.hit_latency = 4;
+    config.mshr_entries = 8;
+    config.replacement = kind;
+    return config;
+}
+
+/** Drain events up to `cycle`. */
+void
+drain(EventQueue &events, Cycle cycle)
+{
+    for (Cycle c = 0; c <= cycle; ++c)
+        events.runDue(c);
+}
+
+MemAccess
+loadAt(Addr block)
+{
+    MemAccess access;
+    access.block = blockAlign(block);
+    access.type = AccessType::Load;
+    return access;
+}
+
+TEST(Replacement, SrripEvictsScanBeforeReusedBlock)
+{
+    EventQueue events;
+    FakeLower lower(events, 10);
+    Cache cache("srrip", policyConfig(ReplacementKind::Srrip), events,
+                lower);
+    const Addr stride = 64 * kBlockSize;  // Same set.
+
+    // Install block 0 and hit it repeatedly (rrpv -> 0).
+    cache.access(loadAt(0), 0, [](Cycle) {});
+    drain(events, 50);
+    cache.access(loadAt(0), 50, [](Cycle) {});
+    drain(events, 60);
+
+    // Stream two scan blocks through the set: they should victimize
+    // each other (rrpv 2 ages to 3 first), keeping block 0 resident.
+    cache.access(loadAt(stride), 60, [](Cycle) {});
+    drain(events, 100);
+    cache.access(loadAt(2 * stride), 100, [](Cycle) {});
+    drain(events, 150);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(stride));
+}
+
+TEST(Replacement, LruEvictsColdestInsteadOfScan)
+{
+    // The contrast case to the SRRIP test: under LRU the same sequence
+    // evicts block 0 once two newer blocks arrive... unless 0 was
+    // touched last. Verify plain recency order.
+    EventQueue events;
+    FakeLower lower(events, 10);
+    Cache cache("lru", policyConfig(ReplacementKind::Lru), events,
+                lower);
+    const Addr stride = 64 * kBlockSize;
+    cache.access(loadAt(0), 0, [](Cycle) {});
+    drain(events, 50);
+    cache.access(loadAt(stride), 50, [](Cycle) {});
+    drain(events, 100);
+    cache.access(loadAt(2 * stride), 100, [](Cycle) {});
+    drain(events, 150);
+    EXPECT_FALSE(cache.contains(0));  // Oldest goes first.
+    EXPECT_TRUE(cache.contains(stride));
+}
+
+TEST(Replacement, RandomKeepsCapacityInvariant)
+{
+    EventQueue events;
+    FakeLower lower(events, 5);
+    CacheConfig config = policyConfig(ReplacementKind::Random);
+    Cache cache("rand", config, events, lower);
+    Rng rng(3);
+    Cycle now = 0;
+    for (int i = 0; i < 2000; ++i) {
+        events.runDue(now);
+        cache.access(loadAt(rng.below(512) * kBlockSize), now,
+                     [](Cycle) {});
+        now += 2;
+        ASSERT_LE(cache.residentBlocks(), config.numBlocks());
+    }
+    drain(events, now + 100);
+    EXPECT_GT(cache.stats().evictions, 100u);
+}
+
+/** All policies must keep a cache functionally correct under traffic. */
+class PolicyTrafficTest
+    : public ::testing::TestWithParam<ReplacementKind>
+{
+};
+
+TEST_P(PolicyTrafficTest, AccountingStaysConsistent)
+{
+    EventQueue events;
+    FakeLower lower(events, 20);
+    Cache cache("p", policyConfig(GetParam()), events, lower);
+    Rng rng(11);
+    std::uint64_t completions = 0;
+    Cycle now = 0;
+    for (int i = 0; i < 3000; ++i) {
+        events.runDue(now);
+        MemAccess access = loadAt(rng.below(256) * kBlockSize);
+        if (rng.chance(0.25))
+            access.type = AccessType::Store;
+        cache.access(access, now, [&](Cycle) { ++completions; });
+        now += 1;
+    }
+    drain(events, now + 200);
+    const CacheStats &s = cache.stats();
+    EXPECT_EQ(completions, s.demand_accesses);
+    EXPECT_EQ(s.demand_accesses, s.demand_hits + s.demand_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyTrafficTest,
+                         ::testing::Values(ReplacementKind::Lru,
+                                           ReplacementKind::Srrip,
+                                           ReplacementKind::Random));
+
+} // namespace
+} // namespace bingo

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the SMS baseline: single-event (PC+Offset) footprint
+ * learning and streaming.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "prefetch/sms.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+using test::regionBlock;
+
+PrefetcherConfig
+smsConfig()
+{
+    PrefetcherConfig config;
+    config.kind = PrefetcherKind::Sms;
+    return config;
+}
+
+PrefetchAccess
+access(Addr pc, Addr addr)
+{
+    PrefetchAccess a;
+    a.pc = pc;
+    a.block = blockAlign(addr);
+    return a;
+}
+
+TEST(Sms, LearnsFootprintAndStreamsIt)
+{
+    SmsPrefetcher pf(smsConfig());
+    std::vector<Addr> out;
+    // Generation on region 1: blocks {2, 5, 11}.
+    pf.onAccess(access(0x400, regionBlock(1, 2)), out);
+    pf.onAccess(access(0x401, regionBlock(1, 5)), out);
+    pf.onAccess(access(0x402, regionBlock(1, 11)), out);
+    pf.onEviction(regionBlock(1, 2));
+
+    out.clear();
+    pf.onAccess(access(0x400, regionBlock(3, 2)), out);
+    std::sort(out.begin(), out.end());
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(3, 5),
+                                      regionBlock(3, 11)}));
+}
+
+TEST(Sms, DifferentTriggerOffsetMisses)
+{
+    SmsPrefetcher pf(smsConfig());
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(1, 2)), out);
+    pf.onAccess(access(0x401, regionBlock(1, 5)), out);
+    pf.onEviction(regionBlock(1, 2));
+
+    out.clear();
+    pf.onAccess(access(0x400, regionBlock(3, 4)), out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Sms, LatestFootprintWinsPerEvent)
+{
+    // SMS keeps one footprint per event: the newer generation
+    // overwrites the older one (this is what Bingo's voting fixes).
+    SmsPrefetcher pf(smsConfig());
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(1, 0)), out);
+    pf.onAccess(access(0x401, regionBlock(1, 7)), out);
+    pf.onEviction(regionBlock(1, 0));
+    pf.onAccess(access(0x400, regionBlock(2, 0)), out);
+    pf.onAccess(access(0x401, regionBlock(2, 9)), out);
+    pf.onEviction(regionBlock(2, 0));
+
+    out.clear();
+    pf.onAccess(access(0x400, regionBlock(5, 0)), out);
+    EXPECT_EQ(out, (std::vector<Addr>{regionBlock(5, 9)}));
+}
+
+TEST(Sms, NoPrefetchWithoutHistory)
+{
+    SmsPrefetcher pf(smsConfig());
+    std::vector<Addr> out;
+    pf.onAccess(access(0x400, regionBlock(1, 0)), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(pf.stats().get("triggers"), 1u);
+    EXPECT_EQ(pf.stats().get("pht_hits"), 0u);
+}
+
+TEST(Sms, PhtOccupancyGrowsWithGenerations)
+{
+    SmsPrefetcher pf(smsConfig());
+    std::vector<Addr> out;
+    for (Addr r = 0; r < 10; ++r) {
+        pf.onAccess(access(0x400 + r * 8, regionBlock(r, 0)), out);
+        pf.onAccess(access(0x777, regionBlock(r, 3)), out);
+        pf.onEviction(regionBlock(r, 0));
+    }
+    EXPECT_EQ(pf.phtOccupancy(), 10u);
+    EXPECT_EQ(pf.name(), "SMS");
+}
+
+} // namespace
+} // namespace bingo

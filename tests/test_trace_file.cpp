@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the on-disk trace format and its replaying source.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/trace_file.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "bingo_trace_test.bin";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+TEST_F(TraceFileTest, RoundTrip)
+{
+    const std::vector<TraceRecord> records = {
+        {0x400, 0x1000, InstrType::Load},
+        {0x404, 0x2040, InstrType::Store},
+        {0x408, 0, InstrType::Alu},
+        {0x40c, 0, InstrType::Branch},
+    };
+    writeTrace(path_, records);
+    const std::vector<TraceRecord> read = readTrace(path_);
+    ASSERT_EQ(read.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(read[i].pc, records[i].pc);
+        EXPECT_EQ(read[i].addr, records[i].addr);
+        EXPECT_EQ(static_cast<int>(read[i].type),
+                  static_cast<int>(records[i].type));
+    }
+}
+
+TEST_F(TraceFileTest, SourceReplaysCyclically)
+{
+    writeTrace(path_, {{0x1, 0x100, InstrType::Load},
+                       {0x2, 0, InstrType::Alu}});
+    FileTraceSource source(path_);
+    EXPECT_EQ(source.size(), 2u);
+    EXPECT_EQ(source.next().pc, 0x1u);
+    EXPECT_EQ(source.next().pc, 0x2u);
+    EXPECT_EQ(source.next().pc, 0x1u);  // Wrapped.
+}
+
+TEST_F(TraceFileTest, MissingFileThrows)
+{
+    EXPECT_THROW(readTrace("/nonexistent/path/trace.bin"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceFileTest, TruncatedRecordThrows)
+{
+    writeTrace(path_, {{0x1, 0x100, InstrType::Load}});
+    // Append garbage shorter than a record.
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc(0x42, f);
+    std::fclose(f);
+    EXPECT_THROW(readTrace(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, CorruptTypeThrows)
+{
+    writeTrace(path_, {{0x1, 0x100, InstrType::Load}});
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 16, SEEK_SET);
+    std::fputc(0x7f, f);  // Invalid InstrType.
+    std::fclose(f);
+    EXPECT_THROW(readTrace(path_), std::runtime_error);
+}
+
+TEST_F(TraceFileTest, EmptyTraceRejected)
+{
+    writeTrace(path_, {});
+    EXPECT_THROW(FileTraceSource{path_}, std::runtime_error);
+    EXPECT_THROW(FileTraceSource{std::vector<TraceRecord>{}},
+                 std::runtime_error);
+}
+
+TEST_F(TraceFileTest, InMemoryConstructor)
+{
+    FileTraceSource source(
+        std::vector<TraceRecord>{{0x9, 0x900, InstrType::Load}});
+    EXPECT_EQ(source.next().addr, 0x900u);
+}
+
+} // namespace
+} // namespace bingo

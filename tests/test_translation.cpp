@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the random first-touch address translation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/translation.hpp"
+#include "test_util.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+TEST(Translation, PreservesPageOffset)
+{
+    AddressTranslator translator(42);
+    for (Addr addr : {0x1234ULL, 0xdeadbeefULL, (1ULL << 42) + 0x7ff}) {
+        const Addr phys = translator.translate(addr);
+        EXPECT_EQ(phys & (kOsPageSize - 1), addr & (kOsPageSize - 1));
+    }
+}
+
+TEST(Translation, DeterministicPerSeed)
+{
+    AddressTranslator a(7);
+    AddressTranslator b(7);
+    AddressTranslator c(8);
+    int diff = 0;
+    for (Addr page = 0; page < 100; ++page) {
+        const Addr addr = page << kOsPageBits;
+        EXPECT_EQ(a.translate(addr), b.translate(addr));
+        diff += a.translate(addr) != c.translate(addr);
+    }
+    EXPECT_GT(diff, 90);
+}
+
+TEST(Translation, PreservesRegionContiguity)
+{
+    // Blocks of one spatial region stay contiguous: they share the OS
+    // page, so translation moves them together.
+    AddressTranslator translator(3);
+    const Addr region_base = (77ULL << kOsPageBits);
+    const Addr phys_base = translator.translate(region_base);
+    for (unsigned b = 1; b < kBlocksPerRegion; ++b) {
+        EXPECT_EQ(translator.translate(region_base + b * kBlockSize),
+                  phys_base + b * kBlockSize);
+    }
+}
+
+TEST(Translation, ScramblesConsecutivePages)
+{
+    AddressTranslator translator(3);
+    // Consecutive virtual pages land far apart: no two adjacent.
+    int adjacent = 0;
+    Addr prev = translator.translate(0);
+    for (Addr page = 1; page < 200; ++page) {
+        const Addr cur = translator.translate(page << kOsPageBits);
+        if (cur == prev + kOsPageSize)
+            ++adjacent;
+        prev = cur;
+    }
+    EXPECT_LT(adjacent, 3);
+}
+
+TEST(Translation, FewCollisionsAcrossManyPages)
+{
+    AddressTranslator translator(5);
+    std::set<Addr> phys_pages;
+    const int pages = 100000;
+    for (Addr page = 0; page < pages; ++page) {
+        phys_pages.insert(translator.translate(page << kOsPageBits) >>
+                          kOsPageBits);
+    }
+    EXPECT_GT(phys_pages.size(), static_cast<std::size_t>(pages - 5));
+}
+
+TEST(Translation, SourceAdapterTranslatesOnlyMemOps)
+{
+    AddressTranslator translator(9);
+    test::ScriptedSource inner({test::load(0x400, 0x12345),
+                                test::alu()});
+    auto owned = std::make_unique<test::ScriptedSource>(
+        std::vector<TraceRecord>{test::load(0x400, 0x12345),
+                                 test::alu()});
+    TranslatingSource source(std::move(owned), translator);
+    const TraceRecord mem = source.next();
+    EXPECT_EQ(mem.addr, translator.translate(0x12345));
+    EXPECT_EQ(mem.pc, 0x400u);  // PCs are never translated.
+    const TraceRecord alu_rec = source.next();
+    EXPECT_EQ(alu_rec.addr, 0u);
+}
+
+} // namespace
+} // namespace bingo

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Shared test fixtures: a scriptable trace source, a controllable
+ * fake memory level, and small builders for common configurations.
+ */
+
+#ifndef BINGO_TESTS_TEST_UTIL_HPP
+#define BINGO_TESTS_TEST_UTIL_HPP
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+#include "core/ooo_core.hpp"
+
+namespace bingo::test
+{
+
+/** TraceSource replaying a fixed script, then padding with ALU ops. */
+class ScriptedSource : public TraceSource
+{
+  public:
+    explicit ScriptedSource(std::vector<TraceRecord> script)
+        : script_(std::move(script))
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (pos_ < script_.size())
+            return script_[pos_++];
+        return TraceRecord{0x1000, 0, InstrType::Alu};
+    }
+
+    /** Whether the script has been fully consumed. */
+    bool exhausted() const { return pos_ >= script_.size(); }
+
+  private:
+    std::vector<TraceRecord> script_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * MemoryLower with a fixed latency that remembers every fetch and
+ * writeback, for driving a Cache directly.
+ */
+class FakeLower : public MemoryLower
+{
+  public:
+    explicit FakeLower(EventQueue &events, Cycle latency = 100)
+        : events_(events), latency_(latency)
+    {
+    }
+
+    void
+    fetch(const MemAccess &access, Cycle now, FillCallback done) override
+    {
+        fetches.push_back(access);
+        const Cycle fill = now + latency_;
+        events_.schedule(fill, [done = std::move(done), fill] {
+            done(fill);
+        });
+    }
+
+    void
+    writeback(Addr block, CoreId core, Cycle now) override
+    {
+        (void)core;
+        (void)now;
+        writebacks.push_back(block);
+    }
+
+    std::vector<MemAccess> fetches;
+    std::vector<Addr> writebacks;
+
+  private:
+    EventQueue &events_;
+    Cycle latency_;
+};
+
+/** Load record helper. */
+inline TraceRecord
+load(Addr pc, Addr addr, bool dependent = false)
+{
+    return TraceRecord{pc, addr, InstrType::Load, dependent};
+}
+
+/** Store record helper. */
+inline TraceRecord
+store(Addr pc, Addr addr)
+{
+    return TraceRecord{pc, addr, InstrType::Store};
+}
+
+/** ALU record helper. */
+inline TraceRecord
+alu()
+{
+    return TraceRecord{0x1000, 0, InstrType::Alu};
+}
+
+/** Byte address of block `n` within region `region`. */
+inline Addr
+regionBlock(Addr region, unsigned offset)
+{
+    return region * kRegionSize + static_cast<Addr>(offset) * kBlockSize;
+}
+
+} // namespace bingo::test
+
+#endif // BINGO_TESTS_TEST_UTIL_HPP
