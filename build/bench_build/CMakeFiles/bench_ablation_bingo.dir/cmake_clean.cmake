@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_bingo"
+  "../bench/bench_ablation_bingo.pdb"
+  "CMakeFiles/bench_ablation_bingo.dir/bench_ablation_bingo.cpp.o"
+  "CMakeFiles/bench_ablation_bingo.dir/bench_ablation_bingo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bingo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

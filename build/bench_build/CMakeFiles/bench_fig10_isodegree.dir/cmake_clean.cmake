@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_isodegree"
+  "../bench/bench_fig10_isodegree.pdb"
+  "CMakeFiles/bench_fig10_isodegree.dir/bench_fig10_isodegree.cpp.o"
+  "CMakeFiles/bench_fig10_isodegree.dir/bench_fig10_isodegree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_isodegree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_events"
+  "../bench/bench_fig2_events.pdb"
+  "CMakeFiles/bench_fig2_events.dir/bench_fig2_events.cpp.o"
+  "CMakeFiles/bench_fig2_events.dir/bench_fig2_events.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_num_events"
+  "../bench/bench_fig3_num_events.pdb"
+  "CMakeFiles/bench_fig3_num_events.dir/bench_fig3_num_events.cpp.o"
+  "CMakeFiles/bench_fig3_num_events.dir/bench_fig3_num_events.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_num_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_coverage"
+  "../bench/bench_fig7_coverage.pdb"
+  "CMakeFiles/bench_fig7_coverage.dir/bench_fig7_coverage.cpp.o"
+  "CMakeFiles/bench_fig7_coverage.dir/bench_fig7_coverage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

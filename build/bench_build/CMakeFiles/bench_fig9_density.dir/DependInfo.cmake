@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_density.cpp" "bench_build/CMakeFiles/bench_fig9_density.dir/bench_fig9_density.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig9_density.dir/bench_fig9_density.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bingo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_mpki"
+  "../bench/bench_table2_mpki.pdb"
+  "CMakeFiles/bench_table2_mpki.dir/bench_table2_mpki.cpp.o"
+  "CMakeFiles/bench_table2_mpki.dir/bench_table2_mpki.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

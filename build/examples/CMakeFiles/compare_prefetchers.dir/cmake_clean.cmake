@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_prefetchers.dir/compare_prefetchers.cpp.o"
+  "CMakeFiles/compare_prefetchers.dir/compare_prefetchers.cpp.o.d"
+  "compare_prefetchers"
+  "compare_prefetchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_prefetchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_cache.dir/cache/cache.cpp.o"
+  "CMakeFiles/bingo_cache.dir/cache/cache.cpp.o.d"
+  "CMakeFiles/bingo_cache.dir/cache/mshr.cpp.o"
+  "CMakeFiles/bingo_cache.dir/cache/mshr.cpp.o.d"
+  "libbingo_cache.a"
+  "libbingo_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbingo_cache.a"
+)

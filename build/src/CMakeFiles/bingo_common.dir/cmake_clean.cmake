@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_common.dir/common/config.cpp.o"
+  "CMakeFiles/bingo_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/bingo_common.dir/common/footprint.cpp.o"
+  "CMakeFiles/bingo_common.dir/common/footprint.cpp.o.d"
+  "CMakeFiles/bingo_common.dir/common/stats.cpp.o"
+  "CMakeFiles/bingo_common.dir/common/stats.cpp.o.d"
+  "libbingo_common.a"
+  "libbingo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

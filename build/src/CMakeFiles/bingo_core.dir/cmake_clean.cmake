@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_core.dir/core/ooo_core.cpp.o"
+  "CMakeFiles/bingo_core.dir/core/ooo_core.cpp.o.d"
+  "libbingo_core.a"
+  "libbingo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

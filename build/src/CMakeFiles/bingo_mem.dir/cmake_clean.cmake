@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/bingo_mem.dir/mem/dram.cpp.o.d"
+  "libbingo_mem.a"
+  "libbingo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

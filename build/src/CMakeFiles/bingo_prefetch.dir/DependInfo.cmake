@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/ampm.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/ampm.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/ampm.cpp.o.d"
+  "/root/repo/src/prefetch/bingo.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/bingo.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/bingo.cpp.o.d"
+  "/root/repo/src/prefetch/bingo_multi.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/bingo_multi.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/bingo_multi.cpp.o.d"
+  "/root/repo/src/prefetch/bop.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/bop.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/bop.cpp.o.d"
+  "/root/repo/src/prefetch/event_study.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/event_study.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/event_study.cpp.o.d"
+  "/root/repo/src/prefetch/factory.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/factory.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/factory.cpp.o.d"
+  "/root/repo/src/prefetch/nextline.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/nextline.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/nextline.cpp.o.d"
+  "/root/repo/src/prefetch/prefetcher.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/prefetcher.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/prefetcher.cpp.o.d"
+  "/root/repo/src/prefetch/sms.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/sms.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/sms.cpp.o.d"
+  "/root/repo/src/prefetch/spp.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/spp.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/spp.cpp.o.d"
+  "/root/repo/src/prefetch/stride.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/stride.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/stride.cpp.o.d"
+  "/root/repo/src/prefetch/vldp.cpp" "src/CMakeFiles/bingo_prefetch.dir/prefetch/vldp.cpp.o" "gcc" "src/CMakeFiles/bingo_prefetch.dir/prefetch/vldp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bingo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

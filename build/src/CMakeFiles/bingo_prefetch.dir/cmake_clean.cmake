@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_prefetch.dir/prefetch/ampm.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/ampm.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/bingo.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/bingo.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/bingo_multi.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/bingo_multi.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/bop.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/bop.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/event_study.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/event_study.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/factory.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/factory.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/nextline.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/nextline.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/prefetcher.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/prefetcher.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/sms.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/sms.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/spp.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/spp.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/stride.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/stride.cpp.o.d"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/vldp.cpp.o"
+  "CMakeFiles/bingo_prefetch.dir/prefetch/vldp.cpp.o.d"
+  "libbingo_prefetch.a"
+  "libbingo_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

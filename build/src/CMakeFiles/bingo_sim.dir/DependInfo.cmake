@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/area_model.cpp" "src/CMakeFiles/bingo_sim.dir/sim/area_model.cpp.o" "gcc" "src/CMakeFiles/bingo_sim.dir/sim/area_model.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/bingo_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/bingo_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/bingo_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/bingo_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/bingo_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/bingo_sim.dir/sim/report.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/CMakeFiles/bingo_sim.dir/sim/system.cpp.o" "gcc" "src/CMakeFiles/bingo_sim.dir/sim/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bingo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_sim.dir/sim/area_model.cpp.o"
+  "CMakeFiles/bingo_sim.dir/sim/area_model.cpp.o.d"
+  "CMakeFiles/bingo_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/bingo_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/bingo_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/bingo_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/bingo_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/bingo_sim.dir/sim/report.cpp.o.d"
+  "CMakeFiles/bingo_sim.dir/sim/system.cpp.o"
+  "CMakeFiles/bingo_sim.dir/sim/system.cpp.o.d"
+  "libbingo_sim.a"
+  "libbingo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/CMakeFiles/bingo_workload.dir/workload/generator.cpp.o" "gcc" "src/CMakeFiles/bingo_workload.dir/workload/generator.cpp.o.d"
+  "/root/repo/src/workload/mixes.cpp" "src/CMakeFiles/bingo_workload.dir/workload/mixes.cpp.o" "gcc" "src/CMakeFiles/bingo_workload.dir/workload/mixes.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/CMakeFiles/bingo_workload.dir/workload/patterns.cpp.o" "gcc" "src/CMakeFiles/bingo_workload.dir/workload/patterns.cpp.o.d"
+  "/root/repo/src/workload/server_apps.cpp" "src/CMakeFiles/bingo_workload.dir/workload/server_apps.cpp.o" "gcc" "src/CMakeFiles/bingo_workload.dir/workload/server_apps.cpp.o.d"
+  "/root/repo/src/workload/spec_kernels.cpp" "src/CMakeFiles/bingo_workload.dir/workload/spec_kernels.cpp.o" "gcc" "src/CMakeFiles/bingo_workload.dir/workload/spec_kernels.cpp.o.d"
+  "/root/repo/src/workload/trace_file.cpp" "src/CMakeFiles/bingo_workload.dir/workload/trace_file.cpp.o" "gcc" "src/CMakeFiles/bingo_workload.dir/workload/trace_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bingo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bingo_workload.dir/workload/generator.cpp.o"
+  "CMakeFiles/bingo_workload.dir/workload/generator.cpp.o.d"
+  "CMakeFiles/bingo_workload.dir/workload/mixes.cpp.o"
+  "CMakeFiles/bingo_workload.dir/workload/mixes.cpp.o.d"
+  "CMakeFiles/bingo_workload.dir/workload/patterns.cpp.o"
+  "CMakeFiles/bingo_workload.dir/workload/patterns.cpp.o.d"
+  "CMakeFiles/bingo_workload.dir/workload/server_apps.cpp.o"
+  "CMakeFiles/bingo_workload.dir/workload/server_apps.cpp.o.d"
+  "CMakeFiles/bingo_workload.dir/workload/spec_kernels.cpp.o"
+  "CMakeFiles/bingo_workload.dir/workload/spec_kernels.cpp.o.d"
+  "CMakeFiles/bingo_workload.dir/workload/trace_file.cpp.o"
+  "CMakeFiles/bingo_workload.dir/workload/trace_file.cpp.o.d"
+  "libbingo_workload.a"
+  "libbingo_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bingo_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

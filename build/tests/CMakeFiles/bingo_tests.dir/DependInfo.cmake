@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ampm.cpp" "tests/CMakeFiles/bingo_tests.dir/test_ampm.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_ampm.cpp.o.d"
+  "/root/repo/tests/test_bingo.cpp" "tests/CMakeFiles/bingo_tests.dir/test_bingo.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_bingo.cpp.o.d"
+  "/root/repo/tests/test_bingo_multi.cpp" "tests/CMakeFiles/bingo_tests.dir/test_bingo_multi.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_bingo_multi.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/bingo_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/bingo_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_delta_prefetchers.cpp" "tests/CMakeFiles/bingo_tests.dir/test_delta_prefetchers.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_delta_prefetchers.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/bingo_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/bingo_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_event_study.cpp" "tests/CMakeFiles/bingo_tests.dir/test_event_study.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_event_study.cpp.o.d"
+  "/root/repo/tests/test_footprint.cpp" "tests/CMakeFiles/bingo_tests.dir/test_footprint.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_footprint.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/bingo_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/bingo_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_mshr.cpp" "tests/CMakeFiles/bingo_tests.dir/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_mshr.cpp.o.d"
+  "/root/repo/tests/test_ooo_core.cpp" "tests/CMakeFiles/bingo_tests.dir/test_ooo_core.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_ooo_core.cpp.o.d"
+  "/root/repo/tests/test_prefetch_invariants.cpp" "tests/CMakeFiles/bingo_tests.dir/test_prefetch_invariants.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_prefetch_invariants.cpp.o.d"
+  "/root/repo/tests/test_region_tracker.cpp" "tests/CMakeFiles/bingo_tests.dir/test_region_tracker.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_region_tracker.cpp.o.d"
+  "/root/repo/tests/test_replacement.cpp" "tests/CMakeFiles/bingo_tests.dir/test_replacement.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_replacement.cpp.o.d"
+  "/root/repo/tests/test_sms.cpp" "tests/CMakeFiles/bingo_tests.dir/test_sms.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_sms.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/bingo_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/bingo_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_trace_file.cpp" "tests/CMakeFiles/bingo_tests.dir/test_trace_file.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_trace_file.cpp.o.d"
+  "/root/repo/tests/test_translation.cpp" "tests/CMakeFiles/bingo_tests.dir/test_translation.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_translation.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/bingo_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/bingo_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bingo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bingo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
