@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -34,35 +35,59 @@ struct Aggregate
     std::vector<double> speedups;
 };
 
-Aggregate
-evaluate(const SystemConfig &config, const ExperimentOptions &options)
+/** One labelled configuration of an ablation sweep. */
+using Variant = std::pair<std::string, SystemConfig>;
+
+/** Run every (variant x subset workload) cell as one parallel sweep. */
+std::vector<Aggregate>
+evaluateAll(const std::vector<Variant> &variants,
+            const ExperimentOptions &options)
 {
-    Aggregate agg;
-    for (const std::string &workload : kWorkloads) {
-        const RunResult &baseline =
-            baselineFor(workload, SystemConfig{}, options);
-        const RunResult result = runWorkload(workload, config, options);
-        const PrefetchMetrics metrics =
-            computeMetrics(baseline, result);
-        agg.coverage += metrics.coverage;
-        agg.accuracy += metrics.accuracy;
-        agg.overprediction += metrics.overprediction;
-        agg.speedups.push_back(speedup(baseline, result));
+    std::vector<SweepJob> jobs;
+    for (const Variant &variant : variants) {
+        for (const std::string &workload : kWorkloads) {
+            jobs.push_back({workload, variant.second, options,
+                            /*compare_baseline=*/true});
+        }
     }
-    const auto n = static_cast<double>(kWorkloads.size());
-    agg.coverage /= n;
-    agg.accuracy /= n;
-    agg.overprediction /= n;
-    return agg;
+    const std::vector<RunResult> results = runSweep(jobs);
+
+    std::vector<Aggregate> aggregates(variants.size());
+    std::size_t job = 0;
+    for (Aggregate &agg : aggregates) {
+        for (const std::string &workload : kWorkloads) {
+            const RunResult &baseline =
+                baselineFor(workload, SystemConfig{}, options);
+            const RunResult &result = results[job++];
+            const PrefetchMetrics metrics =
+                computeMetrics(baseline, result);
+            agg.coverage += metrics.coverage;
+            agg.accuracy += metrics.accuracy;
+            agg.overprediction += metrics.overprediction;
+            agg.speedups.push_back(speedup(baseline, result));
+        }
+        const auto n = static_cast<double>(kWorkloads.size());
+        agg.coverage /= n;
+        agg.accuracy /= n;
+        agg.overprediction /= n;
+    }
+    return aggregates;
 }
 
 void
-addRow(TextTable &table, const std::string &label, const Aggregate &agg)
+printTable(const std::vector<Variant> &variants,
+           const std::vector<Aggregate> &aggregates)
 {
-    table.addRow({label, fmtPercent(agg.coverage),
-                  fmtPercent(agg.accuracy),
-                  fmtPercent(agg.overprediction),
-                  fmtPercent(geomean(agg.speedups) - 1.0, 0)});
+    TextTable table({"Config", "Coverage", "Accuracy",
+                     "Overprediction", "Speedup"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const Aggregate &agg = aggregates[i];
+        table.addRow({variants[i].first, fmtPercent(agg.coverage),
+                      fmtPercent(agg.accuracy),
+                      fmtPercent(agg.overprediction),
+                      fmtPercent(geomean(agg.speedups) - 1.0, 0)});
+    }
+    table.print();
 }
 
 void
@@ -70,16 +95,14 @@ ablateVoteThreshold(const ExperimentOptions &options)
 {
     std::printf("\n-- Vote threshold (paper: block prefetched if in "
                 ">=20%% of matching footprints)\n");
-    TextTable table({"Threshold", "Coverage", "Accuracy",
-                     "Overprediction", "Speedup"});
+    std::vector<Variant> variants;
     for (double threshold : {0.0, 0.1, 0.2, 0.35, 0.5, 1.0}) {
         SystemConfig config = benchutil::configFor(
             PrefetcherKind::Bingo);
         config.prefetcher.vote_threshold = threshold;
-        addRow(table, fmtPercent(threshold, 0),
-               evaluate(config, options));
+        variants.emplace_back(fmtPercent(threshold, 0), config);
     }
-    table.print();
+    printTable(variants, evaluateAll(variants, options));
 }
 
 void
@@ -87,11 +110,10 @@ ablateUnifiedVsMultiTable(const ExperimentOptions &options)
 {
     std::printf("\n-- Unified single table vs naive two tables at "
                 "equal total capacity (Section IV's storage claim)\n");
-    TextTable table({"Design", "Coverage", "Accuracy",
-                     "Overprediction", "Speedup"});
+    std::vector<Variant> variants;
 
-    SystemConfig unified = benchutil::configFor(PrefetcherKind::Bingo);
-    addRow(table, "Unified 16K (119 KB)", evaluate(unified, options));
+    variants.emplace_back("Unified 16K (119 KB)",
+                          benchutil::configFor(PrefetcherKind::Bingo));
 
     // Two full tables at half the entries each: the same storage
     // budget spent the naive way.
@@ -99,35 +121,34 @@ ablateUnifiedVsMultiTable(const ExperimentOptions &options)
         PrefetcherKind::BingoMulti);
     multi.prefetcher.num_events = 2;
     multi.prefetcher.pht_entries = 8 * 1024;
-    addRow(table, "2 tables x 8K (~same KB)", evaluate(multi, options));
+    variants.emplace_back("2 tables x 8K (~same KB)", multi);
 
     // And the naive design at full per-table capacity (twice the
     // storage) for reference.
     SystemConfig big_multi = multi;
     big_multi.prefetcher.pht_entries = 16 * 1024;
-    addRow(table, "2 tables x 16K (2x KB)",
-           evaluate(big_multi, options));
-    table.print();
+    variants.emplace_back("2 tables x 16K (2x KB)", big_multi);
+
+    printTable(variants, evaluateAll(variants, options));
 }
 
 void
 ablateReplacement(const ExperimentOptions &options)
 {
     std::printf("\n-- LLC replacement policy under Bingo\n");
-    TextTable table({"Policy", "Coverage", "Accuracy",
-                     "Overprediction", "Speedup"});
     const std::pair<const char *, ReplacementKind> policies[] = {
         {"LRU", ReplacementKind::Lru},
         {"SRRIP", ReplacementKind::Srrip},
         {"Random", ReplacementKind::Random},
     };
+    std::vector<Variant> variants;
     for (const auto &[name, kind] : policies) {
         SystemConfig config = benchutil::configFor(
             PrefetcherKind::Bingo);
         config.llc.replacement = kind;
-        addRow(table, name, evaluate(config, options));
+        variants.emplace_back(name, config);
     }
-    table.print();
+    printTable(variants, evaluateAll(variants, options));
 }
 
 } // namespace
@@ -136,6 +157,7 @@ int
 main()
 {
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Bingo design ablations (subset: Data Serving, "
                 "Streaming, em3d, Mix 2)\n");
     printConfigHeader(SystemConfig{});
@@ -149,5 +171,6 @@ main()
                 "(unanimity) the reverse — 20%% is the knee. The "
                 "unified table matches or beats two half-size tables "
                 "at equal storage.\n");
+    timer.report();
     return 0;
 }

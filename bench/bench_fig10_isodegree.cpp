@@ -20,6 +20,7 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 10: iso-degree comparison (Orig vs Aggr)\n");
     printConfigHeader(SystemConfig{});
 
@@ -40,24 +41,34 @@ main()
     entries.push_back({"Bingo", benchutil::configFor(
                                     PrefetcherKind::Bingo)});
 
+    const auto &workloads = workloadNames();
+    std::vector<SweepJob> jobs;
+    for (const Entry &entry : entries) {
+        for (const std::string &workload : workloads) {
+            jobs.push_back({workload, entry.config, options,
+                            /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
+
     TextTable table({"Prefetcher", "Speedup (gmean)",
                      "Coverage (avg)", "Overprediction (avg)"});
+    std::size_t job = 0;
     for (const Entry &entry : entries) {
         std::vector<double> speedups;
         double cov = 0.0;
         double over = 0.0;
-        for (const std::string &workload : workloadNames()) {
+        for (const std::string &workload : workloads) {
             const RunResult &baseline =
                 baselineFor(workload, SystemConfig{}, options);
-            const RunResult result =
-                runWorkload(workload, entry.config, options);
+            const RunResult &result = results[job++];
             speedups.push_back(speedup(baseline, result));
             const PrefetchMetrics metrics =
                 computeMetrics(baseline, result);
             cov += metrics.coverage;
             over += metrics.overprediction;
         }
-        const auto n = static_cast<double>(workloadNames().size());
+        const auto n = static_cast<double>(workloads.size());
         table.addRow({entry.label,
                       fmtPercent(geomean(speedups) - 1.0, 0),
                       fmtPercent(cov / n, 0), fmtPercent(over / n, 0)});
@@ -68,5 +79,6 @@ main()
     std::printf("\nPaper shape check: Aggr variants gain a little "
                 "speedup but multiply overprediction (e.g. paper BOP "
                 "26%% -> 79%%); Bingo still outperforms all.\n");
+    timer.report();
     return 0;
 }

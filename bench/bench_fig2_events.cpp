@@ -6,11 +6,14 @@
  *
  * Uses the EventStudy observer: a non-prefetching attachment that
  * simulates one history table per heuristic over the unperturbed
- * baseline access stream (see prefetch/event_study.hpp).
+ * baseline access stream (see prefetch/event_study.hpp). The
+ * per-workload systems run in parallel through runSweepSystems; each
+ * worker aggregates its own workload's observers into a private slot.
  */
 
 #include <array>
 #include <cstdio>
+#include <vector>
 
 #include "prefetch/event_study.hpp"
 #include "sim/experiment.hpp"
@@ -23,9 +26,45 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 2: accuracy and match probability per event "
                 "heuristic (averaged over workloads)\n");
     printConfigHeader(SystemConfig{});
+
+    struct EventCounts
+    {
+        std::uint64_t triggers = 0;
+        std::uint64_t matches = 0;
+        std::uint64_t predicted = 0;
+        std::uint64_t correct = 0;
+    };
+    using WorkloadCounts = std::array<EventCounts, kNumEventKinds>;
+
+    const auto &workloads = workloadNames();
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
+        SystemConfig config;
+        config.prefetcher.kind = PrefetcherKind::EventStudy;
+        jobs.push_back({workload, config, options});
+    }
+
+    std::vector<WorkloadCounts> counts(jobs.size());
+    runSweepSystems(jobs, [&](std::size_t i, System &system) {
+        // Aggregate the per-core observers into this job's slot.
+        for (unsigned e = 0; e < kNumEventKinds; ++e) {
+            EventCounts &c = counts[i][e];
+            for (CoreId core = 0; core < system.numCores(); ++core) {
+                const auto &observer = static_cast<EventStudyObserver &>(
+                    *system.prefetcher(core));
+                const auto &res =
+                    observer.result(static_cast<EventKind>(e));
+                c.triggers += res.triggers;
+                c.matches += res.matches;
+                c.predicted += res.predicted_blocks;
+                c.correct += res.correct_blocks;
+            }
+        }
+    });
 
     struct Totals
     {
@@ -34,47 +73,26 @@ main()
         double match = 0.0;
     };
     std::array<Totals, kNumEventKinds> totals{};
-
-    for (const std::string &workload : workloadNames()) {
-        SystemConfig config;
-        config.prefetcher.kind = PrefetcherKind::EventStudy;
-        config.seed = options.seed;
-        System system(config, workload);
-        system.run(options.warmup_instructions,
-                   options.measure_instructions);
-
-        // Aggregate the per-core observers.
+    for (const WorkloadCounts &workload_counts : counts) {
         for (unsigned e = 0; e < kNumEventKinds; ++e) {
-            std::uint64_t triggers = 0;
-            std::uint64_t matches = 0;
-            std::uint64_t predicted = 0;
-            std::uint64_t correct = 0;
-            for (CoreId c = 0; c < system.numCores(); ++c) {
-                const auto &observer = static_cast<EventStudyObserver &>(
-                    *system.prefetcher(c));
-                const auto &res =
-                    observer.result(static_cast<EventKind>(e));
-                triggers += res.triggers;
-                matches += res.matches;
-                predicted += res.predicted_blocks;
-                correct += res.correct_blocks;
-            }
+            const EventCounts &c = workload_counts[e];
             totals[e].match +=
-                triggers == 0 ? 0.0
-                              : static_cast<double>(matches) /
-                                    static_cast<double>(triggers);
+                c.triggers == 0 ? 0.0
+                                : static_cast<double>(c.matches) /
+                                      static_cast<double>(c.triggers);
             // Accuracy is undefined for workloads where this event
             // never produced a prediction; exclude them rather than
             // average in zeros.
-            if (predicted > 0) {
-                totals[e].accuracy += static_cast<double>(correct) /
-                                      static_cast<double>(predicted);
+            if (c.predicted > 0) {
+                totals[e].accuracy +=
+                    static_cast<double>(c.correct) /
+                    static_cast<double>(c.predicted);
                 ++totals[e].accuracy_samples;
             }
         }
     }
 
-    const auto n = static_cast<double>(workloadNames().size());
+    const auto n = static_cast<double>(workloads.size());
     TextTable table({"Event (longest..shortest)", "Accuracy",
                      "Match probability"});
     for (unsigned e = 0; e < kNumEventKinds; ++e) {
@@ -92,5 +110,6 @@ main()
     std::printf("\nPaper shape check: accuracy decreases and match "
                 "probability increases from the longest event "
                 "(PC+Address) to the shortest (Offset).\n");
+    timer.report();
     return 0;
 }

@@ -21,31 +21,42 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 3: TAGE-like prefetcher vs number of events\n");
     printConfigHeader(SystemConfig{});
 
+    const auto &workloads = workloadNames();
+    std::vector<SweepJob> jobs;
+    for (unsigned num_events = 1; num_events <= kNumEventKinds;
+         ++num_events) {
+        for (const std::string &workload : workloads) {
+            SystemConfig config =
+                benchutil::configFor(PrefetcherKind::BingoMulti);
+            config.prefetcher.num_events = num_events;
+            jobs.push_back({workload, config, options,
+                            /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
+
     TextTable table({"#Events", "Added event", "Coverage (avg)",
                      "Accuracy (avg)", "Overprediction (avg)"});
+    std::size_t job = 0;
     for (unsigned num_events = 1; num_events <= kNumEventKinds;
          ++num_events) {
         double cov = 0.0;
         double acc = 0.0;
         double over = 0.0;
-        for (const std::string &workload : workloadNames()) {
+        for (const std::string &workload : workloads) {
             const RunResult &baseline =
                 baselineFor(workload, SystemConfig{}, options);
-            SystemConfig config =
-                benchutil::configFor(PrefetcherKind::BingoMulti);
-            config.prefetcher.num_events = num_events;
-            const RunResult result =
-                runWorkload(workload, config, options);
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, result);
+                computeMetrics(baseline, results[job++]);
             cov += metrics.coverage;
             acc += metrics.accuracy;
             over += metrics.overprediction;
         }
-        const auto n = static_cast<double>(workloadNames().size());
+        const auto n = static_cast<double>(workloads.size());
         table.addRow({std::to_string(num_events),
                       eventKindName(
                           static_cast<EventKind>(num_events - 1)),
@@ -58,5 +69,6 @@ main()
     std::printf("\nPaper shape check: the largest coverage gain comes "
                 "from 1 -> 2 events; beyond two events the gain is "
                 "minor, motivating Bingo's two-event design.\n");
+    timer.report();
     return 0;
 }

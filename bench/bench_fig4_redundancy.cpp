@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "prefetch/event_study.hpp"
 #include "sim/experiment.hpp"
@@ -20,39 +21,49 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 4: redundancy of long/short event "
                 "predictions\n");
     printConfigHeader(SystemConfig{});
 
-    TextTable table({"Workload", "Redundancy", "Dual-match lookups"});
-    double sum = 0.0;
-    for (const std::string &workload : workloadNames()) {
+    const auto &workloads = workloadNames();
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
         SystemConfig config;
         config.prefetcher.kind = PrefetcherKind::EventStudy;
-        config.seed = options.seed;
-        System system(config, workload);
-        system.run(options.warmup_instructions,
-                   options.measure_instructions);
+        jobs.push_back({workload, config, options});
+    }
 
+    struct Redundancy
+    {
         std::uint64_t both = 0;
         std::uint64_t identical = 0;
+    };
+    std::vector<Redundancy> counts(jobs.size());
+    runSweepSystems(jobs, [&](std::size_t i, System &system) {
         for (CoreId c = 0; c < system.numCores(); ++c) {
             const auto &observer = static_cast<EventStudyObserver &>(
                 *system.prefetcher(c));
-            both += observer.bothMatched();
-            identical += observer.identicalPredictions();
+            counts[i].both += observer.bothMatched();
+            counts[i].identical += observer.identicalPredictions();
         }
+    });
+
+    TextTable table({"Workload", "Redundancy", "Dual-match lookups"});
+    double sum = 0.0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
         const double redundancy =
-            both == 0 ? 0.0
-                      : static_cast<double>(identical) /
-                            static_cast<double>(both);
+            counts[i].both == 0
+                ? 0.0
+                : static_cast<double>(counts[i].identical) /
+                      static_cast<double>(counts[i].both);
         sum += redundancy;
-        table.addRow({workload, fmtPercent(redundancy),
-                      std::to_string(both)});
+        table.addRow({workloads[i], fmtPercent(redundancy),
+                      std::to_string(counts[i].both)});
     }
     table.addRow({"Average",
                   fmtPercent(sum / static_cast<double>(
-                                       workloadNames().size())),
+                                       workloads.size())),
                   ""});
     table.print();
     table.maybeWriteCsv("fig4_redundancy");
@@ -61,5 +72,6 @@ main()
                 "everywhere (paper: 26%% on SAT Solver up to 93%% on "
                 "Mix 2), lowest on the many-layout server workloads "
                 "and highest on the stream-dominated mixes.\n");
+    timer.report();
     return 0;
 }

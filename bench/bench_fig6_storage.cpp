@@ -17,31 +17,41 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 6: Bingo miss coverage vs history table "
                 "entries\n");
     printConfigHeader(SystemConfig{});
 
     const std::vector<std::size_t> sizes = {
         1024, 2048, 4096, 8192, 16384, 32768, 65536};
+    const auto &workloads = workloadNames();
 
     std::vector<std::string> headers = {"Workload"};
     for (std::size_t size : sizes)
         headers.push_back(std::to_string(size / 1024) + "K");
     TextTable table(headers);
 
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
+        for (std::size_t size : sizes) {
+            SystemConfig config =
+                benchutil::configFor(PrefetcherKind::Bingo);
+            config.prefetcher.pht_entries = size;
+            jobs.push_back({workload, config, options,
+                            /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
+
     std::vector<double> averages(sizes.size(), 0.0);
-    for (const std::string &workload : workloadNames()) {
+    std::size_t job = 0;
+    for (const std::string &workload : workloads) {
         const RunResult &baseline =
             baselineFor(workload, SystemConfig{}, options);
         std::vector<std::string> row = {workload};
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            SystemConfig config =
-                benchutil::configFor(PrefetcherKind::Bingo);
-            config.prefetcher.pht_entries = sizes[i];
-            const RunResult result =
-                runWorkload(workload, config, options);
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, result);
+                computeMetrics(baseline, results[job++]);
             averages[i] += metrics.coverage;
             row.push_back(fmtPercent(metrics.coverage, 0));
         }
@@ -50,8 +60,7 @@ main()
     std::vector<std::string> avg_row = {"Average"};
     for (std::size_t i = 0; i < sizes.size(); ++i) {
         avg_row.push_back(fmtPercent(
-            averages[i] / static_cast<double>(workloadNames().size()),
-            0));
+            averages[i] / static_cast<double>(workloads.size()), 0));
     }
     table.addRow(std::move(avg_row));
     table.print();
@@ -59,5 +68,6 @@ main()
 
     std::printf("\nPaper shape check: coverage grows with capacity and "
                 "plateaus around 16K entries.\n");
+    timer.report();
     return 0;
 }

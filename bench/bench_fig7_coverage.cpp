@@ -17,27 +17,36 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 7: coverage / uncovered / overprediction "
                 "(%% of baseline misses)\n");
     printConfigHeader(SystemConfig{});
 
     const auto kinds = benchutil::competingPrefetchers();
+    const auto &workloads = workloadNames();
     TextTable table({"Workload", "Prefetcher", "Coverage", "Uncovered",
                      "Overprediction", "Accuracy"});
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
+        for (PrefetcherKind kind : kinds) {
+            jobs.push_back({workload, benchutil::configFor(kind),
+                            options, /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
 
     std::vector<double> avg_cov(kinds.size(), 0.0);
     std::vector<double> avg_over(kinds.size(), 0.0);
     std::vector<double> avg_acc(kinds.size(), 0.0);
 
-    for (const std::string &workload : workloadNames()) {
+    std::size_t job = 0;
+    for (const std::string &workload : workloads) {
         const RunResult &baseline =
             baselineFor(workload, SystemConfig{}, options);
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const SystemConfig config = benchutil::configFor(kinds[k]);
-            const RunResult result =
-                runWorkload(workload, config, options);
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, result);
+                computeMetrics(baseline, results[job++]);
             table.addRow({workload, prefetcherName(kinds[k]),
                           fmtPercent(metrics.coverage),
                           fmtPercent(metrics.uncovered),
@@ -49,7 +58,7 @@ main()
         }
     }
 
-    const auto n = static_cast<double>(workloadNames().size());
+    const auto n = static_cast<double>(workloads.size());
     for (std::size_t k = 0; k < kinds.size(); ++k) {
         table.addRow({"Average", prefetcherName(kinds[k]),
                       fmtPercent(avg_cov[k] / n),
@@ -63,5 +72,6 @@ main()
     std::printf("\nPaper shape check: Bingo has the highest coverage "
                 "(~63%% average, 8%% over the second best), with "
                 "overprediction on par with the others.\n");
+    timer.report();
     return 0;
 }

@@ -18,11 +18,22 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Figure 8: performance improvement over the "
                 "no-prefetcher baseline\n");
     printConfigHeader(SystemConfig{});
 
     const auto kinds = benchutil::competingPrefetchers();
+    const auto &workloads = workloadNames();
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
+        for (PrefetcherKind kind : kinds) {
+            jobs.push_back({workload, benchutil::configFor(kind),
+                            options, /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
 
     std::vector<std::string> headers = {"Workload"};
     for (PrefetcherKind kind : kinds)
@@ -30,15 +41,13 @@ main()
     TextTable table(headers);
 
     std::map<PrefetcherKind, std::vector<double>> speedups;
-    for (const std::string &workload : workloadNames()) {
+    std::size_t job = 0;
+    for (const std::string &workload : workloads) {
         const RunResult &baseline =
             baselineFor(workload, SystemConfig{}, options);
         std::vector<std::string> row = {workload};
         for (PrefetcherKind kind : kinds) {
-            const SystemConfig config = benchutil::configFor(kind);
-            const RunResult result =
-                runWorkload(workload, config, options);
-            const double s = speedup(baseline, result);
+            const double s = speedup(baseline, results[job++]);
             speedups[kind].push_back(s);
             row.push_back(fmtPercent(s - 1.0, 0));
         }
@@ -55,5 +64,6 @@ main()
     std::printf("\nPaper shape check: Bingo wins on every workload "
                 "(paper: +60%% gmean, +11%% over the best prior "
                 "prefetcher); Zeus gains least, em3d most.\n");
+    timer.report();
     return 0;
 }

@@ -5,7 +5,6 @@
  */
 
 #include <cstdio>
-#include <map>
 
 #include "bench_common.hpp"
 #include "common/stats.hpp"
@@ -19,6 +18,7 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     const AreaModel area;
 
     std::printf("Figure 9: performance-density improvement over the "
@@ -30,18 +30,27 @@ main()
                 area.interconnect_mm2, area.sram_kb_per_mm2);
 
     const auto kinds = benchutil::competingPrefetchers();
+    const auto &workloads = workloadNames();
     TextTable table({"Prefetcher", "Storage/core", "Speedup (gmean)",
                      "Perf density improvement"});
 
+    std::vector<SweepJob> jobs;
+    for (PrefetcherKind kind : kinds) {
+        for (const std::string &workload : workloads) {
+            jobs.push_back({workload, benchutil::configFor(kind),
+                            options, /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
+
+    std::size_t job = 0;
     for (PrefetcherKind kind : kinds) {
         const SystemConfig config = benchutil::configFor(kind);
         std::vector<double> speedups;
-        for (const std::string &workload : workloadNames()) {
+        for (const std::string &workload : workloads) {
             const RunResult &baseline =
                 baselineFor(workload, SystemConfig{}, options);
-            const RunResult result =
-                runWorkload(workload, config, options);
-            speedups.push_back(speedup(baseline, result));
+            speedups.push_back(speedup(baseline, results[job++]));
         }
         const double gm = geomean(speedups);
         const double density = area.densityImprovement(gm, config);
@@ -59,5 +68,6 @@ main()
     std::printf("\nPaper shape check: Bingo's density gain (~59%%) is "
                 "within 1%% of its raw speedup — the 119 KB history "
                 "table is a small fraction of chip area.\n");
+    timer.report();
     return 0;
 }

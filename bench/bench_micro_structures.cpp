@@ -10,7 +10,9 @@
 
 #include "cache/cache.hpp"
 #include "common/event_queue.hpp"
+#include "common/hash.hpp"
 #include "common/rng.hpp"
+#include "common/table.hpp"
 #include "mem/dram.hpp"
 #include "prefetch/bingo.hpp"
 #include "workload/generator.hpp"
@@ -79,6 +81,76 @@ BM_FootprintVote(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FootprintVote);
+
+void
+BM_TableShortEventScan(benchmark::State &state)
+{
+    // The Bingo phase-2 pattern: scan a PHT set with a partial-tag
+    // predicate and fold every match, via the template scan that
+    // replaced the std::function + std::vector findIf.
+    SetAssocTable<std::uint64_t> table(1024, 16);
+    Rng rng(23);
+    for (unsigned i = 0; i < 16 * 1024; ++i) {
+        const std::uint64_t short_key = rng.below(1024 * 64);
+        table.insert(table.setIndex(short_key), rng.next(), short_key);
+    }
+    std::uint64_t folded = 0;
+    for (auto _ : state) {
+        const std::uint64_t short_key = rng.below(1024 * 64);
+        const std::size_t set = table.setIndex(short_key);
+        table.forEachIf(
+            set,
+            [short_key](const auto &e) { return e.data == short_key; },
+            [&folded](const auto &e) { folded += e.tag; });
+        benchmark::DoNotOptimize(folded);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableShortEventScan);
+
+void
+BM_TableRecencySelect(benchmark::State &state)
+{
+    // The region-tracker victim pattern: occupancy + LRU pick in one
+    // pass (previously a per-insert vector build and sort).
+    SetAssocTable<std::uint64_t> table(64, 8);
+    Rng rng(29);
+    for (unsigned i = 0; i < 4096; ++i) {
+        const std::uint64_t tag = rng.next();
+        table.insert(table.setIndex(mix64(tag)), tag, tag);
+    }
+    for (auto _ : state) {
+        const std::size_t set = table.setIndex(mix64(rng.next()));
+        const auto *lru =
+            table.leastRecentIf(set, [](const auto &) { return true; });
+        benchmark::DoNotOptimize(lru);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableRecencySelect);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    // The cache fill/completion pattern: a capture-light callback
+    // scheduled a few cycles out, drained in order. Exercises the
+    // inline-storage schedule path that replaced per-event
+    // std::function allocation.
+    EventQueue events;
+    Cycle now = 0;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const Cycle ready = now + 4;
+        events.schedule(ready, [&sink, ready] { sink += ready; });
+        events.schedule(now + 2, [&sink] { ++sink; });
+        ++now;
+        events.runDue(now);
+    }
+    events.runDue(now + 8);
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
 
 void
 BM_DramService(benchmark::State &state)

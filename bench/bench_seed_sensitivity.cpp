@@ -43,10 +43,26 @@ int
 main()
 {
     ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     std::printf("Seed sensitivity: gmean speedup of SMS and Bingo "
                 "across %zu workload seeds\n",
                 std::size(kSeeds));
     printConfigHeader(SystemConfig{});
+
+    const auto &workloads = workloadNames();
+    std::vector<SweepJob> jobs;
+    for (std::uint64_t seed : kSeeds) {
+        options.seed = seed;
+        for (const std::string &workload : workloads) {
+            jobs.push_back({workload,
+                            benchutil::configFor(PrefetcherKind::Sms),
+                            options, /*compare_baseline=*/true});
+            jobs.push_back({workload,
+                            benchutil::configFor(PrefetcherKind::Bingo),
+                            options, /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<RunResult> results = runSweep(jobs);
 
     TextTable table({"Seed", "SMS gmean", "Bingo gmean",
                      "Bingo - SMS"});
@@ -54,21 +70,16 @@ main()
     Spread bingo_spread;
     Spread margin_spread;
 
+    std::size_t job = 0;
     for (std::uint64_t seed : kSeeds) {
         options.seed = seed;
         std::vector<double> sms_speedups;
         std::vector<double> bingo_speedups;
-        for (const std::string &workload : workloadNames()) {
+        for (const std::string &workload : workloads) {
             const RunResult &baseline =
                 baselineFor(workload, SystemConfig{}, options);
-            const RunResult sms = runWorkload(
-                workload, benchutil::configFor(PrefetcherKind::Sms),
-                options);
-            const RunResult bingo_run = runWorkload(
-                workload, benchutil::configFor(PrefetcherKind::Bingo),
-                options);
-            sms_speedups.push_back(speedup(baseline, sms));
-            bingo_speedups.push_back(speedup(baseline, bingo_run));
+            sms_speedups.push_back(speedup(baseline, results[job++]));
+            bingo_speedups.push_back(speedup(baseline, results[job++]));
         }
         const double sms_gm = geomean(sms_speedups);
         const double bingo_gm = geomean(bingo_speedups);
@@ -92,5 +103,6 @@ main()
                 "positive for every seed%s.\n",
                 margin_spread.min > 0 ? " — it does"
                                       : " — IT DOES NOT, investigate");
+    timer.report();
     return margin_spread.min > 0 ? 0 : 1;
 }

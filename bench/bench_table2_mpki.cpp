@@ -37,6 +37,7 @@ main()
     using namespace bingo;
 
     const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
     SystemConfig config;
     config.prefetcher.kind = PrefetcherKind::None;
 
@@ -44,13 +45,18 @@ main()
                 "(baseline system, no prefetcher)\n");
     printConfigHeader(config);
 
+    const auto &workloads = workloadNames();
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads)
+        jobs.push_back({workload, config, options});
+    const std::vector<RunResult> results = runSweep(jobs);
+
     TextTable table({"Application", "Description", "LLC MPKI (paper)",
                      "LLC MPKI (measured)", "IPC/core"});
-    for (const std::string &workload : workloadNames()) {
-        const RunResult result =
-            baselineFor(workload, config, options);
-        table.addRow({workload, workloadDescription(workload),
-                      fmtDouble(paperMpki(workload), 1),
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const RunResult &result = results[i];
+        table.addRow({workloads[i], workloadDescription(workloads[i]),
+                      fmtDouble(paperMpki(workloads[i]), 1),
                       fmtDouble(result.llcMpki(), 1),
                       fmtDouble(result.ipcSum() /
                                     static_cast<double>(
@@ -59,5 +65,6 @@ main()
     }
     table.print();
     table.maybeWriteCsv("table2_mpki");
+    timer.report();
     return 0;
 }

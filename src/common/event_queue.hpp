@@ -6,14 +6,25 @@
  * drains all events due at the current cycle before stepping the cores,
  * so memory completions are visible to the core in the cycle they
  * occur. Events scheduled for the same cycle run in insertion order.
+ *
+ * schedule() is a template over the callable and stores it in a
+ * fixed-size inline buffer: the simulator's callbacks (a completion
+ * callback plus a cycle or two of captured state) all fit, so the
+ * per-event heap allocation a std::function would make on this path —
+ * one per cache hit, fill and DRAM completion — never happens.
+ * Oversized callables transparently fall back to std::function.
  */
 
 #ifndef BINGO_COMMON_EVENT_QUEUE_HPP
 #define BINGO_COMMON_EVENT_QUEUE_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -21,17 +32,106 @@
 namespace bingo
 {
 
+/**
+ * Move-only type-erased void() callable with inline storage for
+ * capture-light callbacks.
+ */
+class InlineCallback
+{
+  public:
+    /** Callables up to this size (and max_align_t alignment) inline. */
+    static constexpr std::size_t kStorageBytes = 64;
+
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, InlineCallback>>>
+    InlineCallback(Fn &&fn)  // NOLINT(google-explicit-constructor)
+    {
+        using Decayed = std::decay_t<Fn>;
+        if constexpr (sizeof(Decayed) <= kStorageBytes &&
+                      alignof(Decayed) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Decayed>) {
+            emplace<Decayed>(std::forward<Fn>(fn));
+        } else {
+            emplace<std::function<void()>>(
+                std::function<void()>(std::forward<Fn>(fn)));
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    void operator()() { invoke_(buf_); }
+
+  private:
+    template <typename T, typename Arg>
+    void
+    emplace(Arg &&arg)
+    {
+        static_assert(sizeof(T) <= kStorageBytes);
+        ::new (static_cast<void *>(buf_)) T(std::forward<Arg>(arg));
+        invoke_ = [](void *p) { (*static_cast<T *>(p))(); };
+        relocate_ = [](void *dst, void *src) noexcept {
+            ::new (dst) T(std::move(*static_cast<T *>(src)));
+            static_cast<T *>(src)->~T();
+        };
+        destroy_ = [](void *p) noexcept { static_cast<T *>(p)->~T(); };
+    }
+
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        destroy_ = other.destroy_;
+        if (relocate_ != nullptr)
+            relocate_(buf_, other.buf_);
+        other.invoke_ = nullptr;
+        other.relocate_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (destroy_ != nullptr)
+            destroy_(buf_);
+        invoke_ = nullptr;
+        relocate_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kStorageBytes];
+    void (*invoke_)(void *) = nullptr;
+    void (*relocate_)(void *, void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
 /** Min-heap of (cycle, insertion-sequence, callback). */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
-
     /** Schedule `fn` to run at cycle `when` (must not be in the past). */
+    template <typename Fn>
     void
-    schedule(Cycle when, Callback fn)
+    schedule(Cycle when, Fn &&fn)
     {
-        heap_.push(Event{when, seq_++, std::move(fn)});
+        heap_.push(
+            Event{when, seq_++, InlineCallback(std::forward<Fn>(fn))});
     }
 
     /** Run every event with cycle <= `now`, in time then FIFO order. */
@@ -41,7 +141,8 @@ class EventQueue
         while (!heap_.empty() && heap_.top().when <= now) {
             // Moving out of the priority queue top is safe because the
             // element is popped immediately after.
-            Callback fn = std::move(const_cast<Event &>(heap_.top()).fn);
+            InlineCallback fn =
+                std::move(const_cast<Event &>(heap_.top()).fn);
             heap_.pop();
             fn();
         }
@@ -62,7 +163,7 @@ class EventQueue
     {
         Cycle when;
         std::uint64_t seq;
-        Callback fn;
+        InlineCallback fn;
 
         bool
         operator>(const Event &other) const

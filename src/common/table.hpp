@@ -11,7 +11,10 @@
  * Tags are 64-bit values supplied by the caller (typically a hash or a
  * packed event). The table never interprets them. Lookups can also scan
  * a set with a caller-supplied predicate, which is exactly what Bingo's
- * short-event (partial-tag) match needs.
+ * short-event (partial-tag) match needs. Predicates and visitors are
+ * template parameters, not std::function: these scans sit on the
+ * per-access hot path of every prefetcher, and the indirect call per
+ * way was a measurable fraction of lookup cost.
  */
 
 #ifndef BINGO_COMMON_TABLE_HPP
@@ -19,7 +22,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 namespace bingo
@@ -83,31 +85,60 @@ class SetAssocTable
     }
 
     /**
-     * Collect all valid entries in `set` satisfying `pred`, most
-     * recently used first. Does not update recency.
+     * Visit every valid entry in `set` satisfying `pred`, in way
+     * order. No allocation, no recency update; `pred` and `visit`
+     * inline.
      */
-    std::vector<const Entry *>
-    findIf(std::size_t set,
-           const std::function<bool(const Entry &)> &pred) const
+    template <typename Pred, typename Visit>
+    void
+    forEachIf(std::size_t set, const Pred &pred,
+              const Visit &visit) const
     {
-        std::vector<const Entry *> matches;
         const Entry *base = setBase(set);
         for (std::size_t w = 0; w < ways_; ++w) {
             const Entry &e = base[w];
             if (e.valid && pred(e))
-                matches.push_back(&e);
+                visit(e);
         }
-        // MRU-first order: sort by descending recency stamp.
-        for (std::size_t i = 1; i < matches.size(); ++i) {
-            const Entry *m = matches[i];
-            std::size_t j = i;
-            while (j > 0 && matches[j - 1]->lru < m->lru) {
-                matches[j] = matches[j - 1];
-                --j;
-            }
-            matches[j] = m;
-        }
-        return matches;
+    }
+
+    /** Number of valid entries in `set` satisfying `pred`. */
+    template <typename Pred>
+    std::size_t
+    countIf(std::size_t set, const Pred &pred) const
+    {
+        std::size_t n = 0;
+        forEachIf(set, pred, [&n](const Entry &) { ++n; });
+        return n;
+    }
+
+    /**
+     * Most recently used valid entry in `set` satisfying `pred`, found
+     * in one pass; nullptr when none matches. Does not update recency.
+     */
+    template <typename Pred>
+    const Entry *
+    mostRecentIf(std::size_t set, const Pred &pred) const
+    {
+        const Entry *best = nullptr;
+        forEachIf(set, pred, [&best](const Entry &e) {
+            if (best == nullptr || e.lru > best->lru)
+                best = &e;
+        });
+        return best;
+    }
+
+    /** One-pass LRU counterpart of mostRecentIf. */
+    template <typename Pred>
+    const Entry *
+    leastRecentIf(std::size_t set, const Pred &pred) const
+    {
+        const Entry *best = nullptr;
+        forEachIf(set, pred, [&best](const Entry &e) {
+            if (best == nullptr || e.lru < best->lru)
+                best = &e;
+        });
+        return best;
     }
 
     /**

@@ -53,21 +53,22 @@ BingoPrefetcher::lookup(Addr pc, Addr block)
     // Phase 2: same set, compare only the short-event bits. All
     // PC+Offset-compatible entries necessarily live here because the
     // set index is derived from the short event alone.
-    auto matches = history_.findIf(
-        set, [short_key](const auto &entry) {
-            return entry.data.short_key == short_key;
-        });
-    if (matches.empty())
+    const auto short_match = [short_key](const auto &entry) {
+        return entry.data.short_key == short_key;
+    };
+    const std::size_t matches = history_.countIf(set, short_match);
+    if (matches == 0)
         return std::nullopt;
 
     stats_.add("short_matches");
     FootprintVote vote(config_.region_blocks);
-    for (const auto *entry : matches)
-        vote.add(entry->data.footprint);
+    history_.forEachIf(set, short_match, [&vote](const auto &entry) {
+        vote.add(entry.data.footprint);
+    });
 
     Prediction pred;
     pred.footprint = vote.resolve(config_.vote_threshold);
-    pred.short_matches = static_cast<unsigned>(matches.size());
+    pred.short_matches = static_cast<unsigned>(matches);
     return pred;
 }
 

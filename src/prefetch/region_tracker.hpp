@@ -147,13 +147,19 @@ class RegionTracker
     {
         const std::size_t set = accumulation_.setIndex(key);
         // A capacity victim's generation is still worth learning from:
-        // harvest it instead of dropping the footprint.
-        auto matches = accumulation_.findIf(
-            set, [](const auto &) { return true; });
-        if (matches.size() >= kWays) {
-            const auto *lru = matches.back();
+        // harvest it instead of dropping the footprint. One pass finds
+        // both the set's occupancy and its LRU entry.
+        std::size_t live = 0;
+        const SetAssocTable<Generation>::Entry *lru = nullptr;
+        accumulation_.forEachIf(
+            set, [](const auto &) { return true; },
+            [&](const auto &e) {
+                ++live;
+                if (lru == nullptr || e.lru < lru->lru)
+                    lru = &e;
+            });
+        if (live >= kWays)
             harvested_.push_back(lru->data);
-        }
         accumulation_.insert(set, key, std::move(gen));
     }
 

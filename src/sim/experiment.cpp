@@ -1,8 +1,16 @@
 #include "sim/experiment.hpp"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "sim/thread_pool.hpp"
 
 namespace bingo
 {
@@ -22,6 +30,62 @@ envU64(const char *name, std::uint64_t fallback)
         return fallback;
     return parsed;
 }
+
+std::atomic<std::uint64_t> g_completed_runs{0};
+
+/** Cache key: the full identity of a baseline run. */
+std::string
+baselineKey(const std::string &workload,
+            const ExperimentOptions &options)
+{
+    return workload + "/" +
+           std::to_string(options.warmup_instructions) + "/" +
+           std::to_string(options.measure_instructions) + "/" +
+           std::to_string(options.seed);
+}
+
+/**
+ * Identity of everything in a SystemConfig except the prefetcher —
+ * baselines ignore the prefetcher knobs, but two different substrates
+ * must never share a cache entry.
+ */
+std::string
+substrateFingerprint(const SystemConfig &config)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%u|%.3f|%u|%u|%u|%u|%llu|%u|%u|%u|%u|%u|%llu|%u|%u|%u|%u|%u|"
+        "%u|%llu|%u|%u|%u|%u|%u|%u",
+        config.num_cores, config.frequency_ghz, config.core.width,
+        config.core.rob_entries, config.core.lsq_entries,
+        config.core.alu_latency,
+        static_cast<unsigned long long>(config.l1d.size_bytes),
+        config.l1d.ways, config.l1d.hit_latency,
+        config.l1d.mshr_entries, config.l1d.prefetch_queue,
+        static_cast<unsigned>(config.l1d.replacement),
+        static_cast<unsigned long long>(config.llc.size_bytes),
+        config.llc.ways, config.llc.hit_latency,
+        config.llc.mshr_entries, config.llc.prefetch_queue,
+        static_cast<unsigned>(config.llc.replacement),
+        config.dram.channels,
+        static_cast<unsigned long long>(config.dram.row_size_bytes),
+        config.dram.banks_per_channel, config.dram.controller_latency,
+        config.dram.t_cas, config.dram.t_rcd, config.dram.t_rp,
+        config.dram.data_transfer);
+    return buf;
+}
+
+struct BaselineSlot
+{
+    bool ready = false;
+    RunResult result;
+};
+
+std::mutex g_baseline_mutex;
+std::condition_variable g_baseline_cv;
+std::map<std::string, BaselineSlot> g_baseline_cache;
+std::string g_baseline_substrate;
 
 } // namespace
 
@@ -46,6 +110,7 @@ runWorkload(const std::string &workload, const SystemConfig &config,
     System system(cfg, workload);
     system.run(options.warmup_instructions,
                options.measure_instructions);
+    g_completed_runs.fetch_add(1, std::memory_order_relaxed);
     return collectResult(system, workload);
 }
 
@@ -53,18 +118,158 @@ const RunResult &
 baselineFor(const std::string &workload, SystemConfig config,
             const ExperimentOptions &options)
 {
-    static std::map<std::string, RunResult> cache;
-    const std::string key =
-        workload + "/" + std::to_string(options.measure_instructions) +
-        "/" + std::to_string(options.seed);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
+    const std::string key = baselineKey(workload, options);
+    const std::string substrate = substrateFingerprint(config);
 
-    config.prefetcher = PrefetcherConfig{};
-    config.prefetcher.kind = PrefetcherKind::None;
-    RunResult result = runWorkload(workload, config, options);
-    return cache.emplace(key, std::move(result)).first->second;
+    std::unique_lock<std::mutex> lock(g_baseline_mutex);
+    if (g_baseline_substrate.empty()) {
+        g_baseline_substrate = substrate;
+    } else if (g_baseline_substrate != substrate) {
+        throw std::logic_error(
+            "baselineFor: a second substrate config in one process — "
+            "the baseline cache assumes one (caches/cores/DRAM) "
+            "config per bench");
+    }
+
+    for (;;) {
+        auto [it, inserted] = g_baseline_cache.try_emplace(key);
+        if (!inserted) {
+            if (it->second.ready)
+                return it->second.result;
+            // Another thread is computing this baseline; wait for it.
+            g_baseline_cv.wait(lock);
+            continue;
+        }
+
+        // This thread owns the computation. std::map nodes are stable,
+        // so `it` survives the unlocked section and concurrent inserts.
+        lock.unlock();
+        config.prefetcher = PrefetcherConfig{};
+        config.prefetcher.kind = PrefetcherKind::None;
+        RunResult result;
+        try {
+            result = runWorkload(workload, config, options);
+        } catch (...) {
+            lock.lock();
+            g_baseline_cache.erase(it);
+            g_baseline_cv.notify_all();
+            throw;
+        }
+        lock.lock();
+        it->second.result = std::move(result);
+        it->second.ready = true;
+        g_baseline_cv.notify_all();
+        return it->second.result;
+    }
+}
+
+unsigned
+sweepJobCount()
+{
+    const std::uint64_t requested = envU64("BINGO_JOBS", 0);
+    if (requested >= 1)
+        return static_cast<unsigned>(requested);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+runSweepSystems(
+    const std::vector<SweepJob> &jobs,
+    const std::function<void(std::size_t, System &)> &collect,
+    unsigned num_threads)
+{
+    const auto runOne = [&](std::size_t i) {
+        const SweepJob &job = jobs[i];
+        SystemConfig cfg = job.config;
+        cfg.seed = job.options.seed;
+        System system(cfg, job.workload);
+        system.run(job.options.warmup_instructions,
+                   job.options.measure_instructions);
+        g_completed_runs.fetch_add(1, std::memory_order_relaxed);
+        collect(i, system);
+    };
+
+    // Distinct baselines requested by the jobs, deduplicated so each
+    // is submitted (and computed) once.
+    std::vector<std::size_t> baseline_of;  ///< Job index per baseline.
+    {
+        std::map<std::string, std::size_t> seen;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (!jobs[i].compare_baseline)
+                continue;
+            seen.try_emplace(
+                baselineKey(jobs[i].workload, jobs[i].options), i);
+        }
+        for (const auto &[key, index] : seen)
+            baseline_of.push_back(index);
+    }
+    // Baselines always run on the default substrate, matching the
+    // benches' direct baselineFor(workload, SystemConfig{}, options)
+    // calls — a job may sweep substrate knobs (e.g. LLC replacement)
+    // while its reference point stays the Table I machine.
+    const auto warmOne = [&](std::size_t i) {
+        baselineFor(jobs[i].workload, SystemConfig{}, jobs[i].options);
+    };
+
+    const unsigned threads =
+        num_threads > 0 ? num_threads : sweepJobCount();
+    if (threads <= 1) {
+        for (std::size_t i : baseline_of)
+            warmOne(i);
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            runOne(i);
+        return;
+    }
+
+    ThreadPool pool(threads);
+    // Baselines first: they gate the metrics of every job that set
+    // compare_baseline, so get them onto the workers before the bulk.
+    for (std::size_t i : baseline_of)
+        pool.submit([&warmOne, i] { warmOne(i); });
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        pool.submit([&runOne, i] { runOne(i); });
+    pool.wait();
+}
+
+std::vector<RunResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned num_threads)
+{
+    std::vector<RunResult> results(jobs.size());
+    runSweepSystems(
+        jobs,
+        [&](std::size_t i, System &system) {
+            results[i] = collectResult(system, jobs[i].workload);
+        },
+        num_threads);
+    return results;
+}
+
+std::uint64_t
+completedRuns()
+{
+    return g_completed_runs.load(std::memory_order_relaxed);
+}
+
+SweepTimer::SweepTimer()
+    : start_(std::chrono::steady_clock::now()),
+      runs_at_start_(completedRuns())
+{
+}
+
+void
+SweepTimer::report() const
+{
+    const auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start_);
+    const double seconds = elapsed.count();
+    const std::uint64_t runs = completedRuns() - runs_at_start_;
+    const double rate =
+        seconds > 0.0 ? static_cast<double>(runs) / seconds : 0.0;
+    std::printf("Sweep wall-clock: %.2f s, %llu runs "
+                "(%.2f runs/s, BINGO_JOBS=%u)\n",
+                seconds, static_cast<unsigned long long>(runs), rate,
+                sweepJobCount());
 }
 
 void

@@ -4,16 +4,27 @@
  * (workload, config) pair, runs warmup + measurement, and memoizes
  * no-prefetcher baselines so each bench pays for them once.
  *
+ * Sweeps (the figure benches' workload x prefetcher x config grids)
+ * run through runSweep(), which fans the independent simulations
+ * across a thread pool. Every run is deterministic and isolated in its
+ * own System, so results are bit-identical at any thread count; they
+ * are returned in job order regardless of completion order.
+ *
  * Instruction counts default to values that complete a full figure
  * sweep in minutes; override with the environment variables
  * BINGO_WARMUP_INSTRS and BINGO_MEASURE_INSTRS for higher fidelity.
+ * BINGO_JOBS sets the sweep thread count (default: all hardware
+ * threads; 1 restores fully serial execution).
  */
 
 #ifndef BINGO_SIM_EXPERIMENT_HPP
 #define BINGO_SIM_EXPERIMENT_HPP
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "sim/metrics.hpp"
 
@@ -38,12 +49,78 @@ RunResult runWorkload(const std::string &workload,
 
 /**
  * Memoized no-prefetcher baseline for `workload` under `config` with
- * its prefetcher disabled. Keyed by workload name and options; assumes
- * benches use one substrate config per process (they do).
+ * its prefetcher disabled. Keyed by workload name and options, safe to
+ * call from concurrent sweep workers (a missing entry is computed once
+ * and other callers block until it is ready). The substrate (cores,
+ * caches, DRAM — everything but the prefetcher) must be the same for
+ * every call in a process; a mismatch throws std::logic_error.
  */
 const RunResult &baselineFor(const std::string &workload,
                              SystemConfig config,
                              const ExperimentOptions &options);
+
+/** One independent simulation of a sweep. */
+struct SweepJob
+{
+    std::string workload;
+    SystemConfig config;
+    ExperimentOptions options;
+
+    /**
+     * Also warm baselineFor(workload, SystemConfig{}, options) inside
+     * the sweep, so a bench comparing against baselines computes them
+     * in parallel too instead of serially on first use.
+     */
+    bool compare_baseline = false;
+};
+
+/**
+ * Sweep thread count: BINGO_JOBS if set (minimum 1), otherwise
+ * std::thread::hardware_concurrency().
+ */
+unsigned sweepJobCount();
+
+/**
+ * Run every job (plus the distinct baselines of jobs with
+ * compare_baseline set) across `num_threads` workers and return the
+ * results in job order. `num_threads` 0 means sweepJobCount(); 1 runs
+ * everything serially on the calling thread with no pool at all.
+ */
+std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs,
+                                unsigned num_threads = 0);
+
+/**
+ * Like runSweep, but hands each finished System to `collect(index,
+ * system)` instead of snapshotting a RunResult — for benches that read
+ * observer state off the live System (Figs. 2 and 4). `collect` is
+ * invoked from worker threads, concurrently for distinct indices; it
+ * must only touch per-index state.
+ */
+void runSweepSystems(
+    const std::vector<SweepJob> &jobs,
+    const std::function<void(std::size_t, System &)> &collect,
+    unsigned num_threads = 0);
+
+/**
+ * Wall-clock + throughput reporter for a bench's sweeps. Construct at
+ * bench start; report() prints one line with elapsed seconds, the
+ * number of simulations finished process-wide since construction, and
+ * the thread count, e.g.
+ *   "Sweep wall-clock: 12.3 s, 70 runs (5.7 runs/s, BINGO_JOBS=8)".
+ */
+class SweepTimer
+{
+  public:
+    SweepTimer();
+    void report() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t runs_at_start_;
+};
+
+/** Simulations finished so far in this process (all threads). */
+std::uint64_t completedRuns();
 
 /** Print the Table I configuration header every bench starts with. */
 void printConfigHeader(const SystemConfig &config);

@@ -60,32 +60,55 @@ TEST(SetAssocTable, FindWithoutTouchDoesNotPromote)
     EXPECT_NE(table.find(0, 2), nullptr);
 }
 
-TEST(SetAssocTable, FindIfReturnsMruFirst)
+TEST(SetAssocTable, RecencyScansFindMruAndLruInOnePass)
 {
     SetAssocTable<int> table(1, 4);
     table.insert(0, 1, 10);
     table.insert(0, 2, 20);
     table.insert(0, 3, 30);
-    table.find(0, 1);  // 1 becomes MRU.
+    table.find(0, 1);  // 1 becomes MRU, 2 stays LRU.
 
-    auto matches = table.findIf(0, [](const auto &e) {
-        return e.data >= 10;
-    });
-    ASSERT_EQ(matches.size(), 3u);
-    EXPECT_EQ(matches[0]->data, 10);  // MRU first.
-    EXPECT_EQ(matches[2]->data, 20);  // LRU last.
+    const auto all = [](const auto &) { return true; };
+    const auto *mru = table.mostRecentIf(0, all);
+    ASSERT_NE(mru, nullptr);
+    EXPECT_EQ(mru->data, 10);
+    const auto *lru = table.leastRecentIf(0, all);
+    ASSERT_NE(lru, nullptr);
+    EXPECT_EQ(lru->data, 20);
 }
 
-TEST(SetAssocTable, FindIfFiltersByPredicate)
+TEST(SetAssocTable, RecencyScansIgnoreNonMatches)
 {
     SetAssocTable<int> table(1, 4);
     table.insert(0, 1, 1);
     table.insert(0, 2, 2);
     table.insert(0, 3, 3);
-    auto matches = table.findIf(0, [](const auto &e) {
-        return e.data % 2 == 1;
-    });
-    EXPECT_EQ(matches.size(), 2u);
+    const auto odd = [](const auto &e) { return e.data % 2 == 1; };
+    EXPECT_EQ(table.countIf(0, odd), 2u);
+    EXPECT_EQ(table.mostRecentIf(0, odd)->data, 3);
+    EXPECT_EQ(table.leastRecentIf(0, odd)->data, 1);
+    const auto none = [](const auto &e) { return e.data > 99; };
+    EXPECT_EQ(table.countIf(0, none), 0u);
+    EXPECT_EQ(table.mostRecentIf(0, none), nullptr);
+}
+
+TEST(SetAssocTable, ForEachIfVisitsEveryMatchOnce)
+{
+    SetAssocTable<int> table(1, 4);
+    table.insert(0, 1, 1);
+    table.insert(0, 2, 2);
+    table.insert(0, 3, 3);
+    table.erase(0, 2);
+    int sum = 0;
+    int visits = 0;
+    table.forEachIf(
+        0, [](const auto &) { return true; },
+        [&](const auto &e) {
+            sum += e.data;
+            ++visits;
+        });
+    EXPECT_EQ(visits, 2);
+    EXPECT_EQ(sum, 4);  // Erased entries are skipped.
 }
 
 TEST(SetAssocTable, EraseInvalidates)
