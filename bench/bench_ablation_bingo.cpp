@@ -29,9 +29,9 @@ const std::vector<std::string> kWorkloads = {
 
 struct Aggregate
 {
-    double coverage = 0.0;
-    double accuracy = 0.0;
-    double overprediction = 0.0;
+    benchutil::MeanAcc coverage;
+    benchutil::MeanAcc accuracy;
+    benchutil::MeanAcc overprediction;
     std::vector<double> speedups;
 };
 
@@ -50,27 +50,27 @@ evaluateAll(const std::vector<Variant> &variants,
                             /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     std::vector<Aggregate> aggregates(variants.size());
     std::size_t job = 0;
     for (Aggregate &agg : aggregates) {
         for (const std::string &workload : kWorkloads) {
-            const RunResult &baseline =
-                baselineFor(workload, SystemConfig{}, options);
-            const RunResult &result = results[job++];
+            const RunResult *baseline =
+                tryBaselineFor(workload, SystemConfig{}, options);
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok())
+                continue;
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, result);
-            agg.coverage += metrics.coverage;
-            agg.accuracy += metrics.accuracy;
-            agg.overprediction += metrics.overprediction;
-            agg.speedups.push_back(speedup(baseline, result));
+                computeMetrics(*baseline, outcome.result);
+            agg.coverage.add(metrics.coverage);
+            agg.accuracy.add(metrics.accuracy);
+            agg.overprediction.add(metrics.overprediction);
+            agg.speedups.push_back(
+                speedup(*baseline, outcome.result));
         }
-        const auto n = static_cast<double>(kWorkloads.size());
-        agg.coverage /= n;
-        agg.accuracy /= n;
-        agg.overprediction /= n;
     }
+    reportFailures(jobs, outcomes);
     return aggregates;
 }
 
@@ -82,9 +82,16 @@ printTable(const std::vector<Variant> &variants,
                      "Overprediction", "Speedup"});
     for (std::size_t i = 0; i < variants.size(); ++i) {
         const Aggregate &agg = aggregates[i];
-        table.addRow({variants[i].first, fmtPercent(agg.coverage),
-                      fmtPercent(agg.accuracy),
-                      fmtPercent(agg.overprediction),
+        if (agg.speedups.empty()) {
+            table.addRow({variants[i].first, benchutil::kFailCell,
+                          benchutil::kFailCell, benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
+        }
+        table.addRow({variants[i].first,
+                      fmtPercent(agg.coverage.mean()),
+                      fmtPercent(agg.accuracy.mean()),
+                      fmtPercent(agg.overprediction.mean()),
                       fmtPercent(geomean(agg.speedups) - 1.0, 0)});
     }
     table.print();

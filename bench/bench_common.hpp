@@ -2,18 +2,53 @@
  * @file
  * Shared helpers for the figure-reproduction benches: the competing
  * prefetcher lineup of the paper's evaluation (Section V-B) and their
- * aggressive Fig. 10 variants.
+ * aggressive Fig. 10 variants, plus the partial-table conventions of
+ * the fault-tolerant sweeps (failed jobs render as kFailCell and are
+ * excluded from averages via MeanAcc).
  */
 
 #ifndef BINGO_BENCH_COMMON_HPP
 #define BINGO_BENCH_COMMON_HPP
 
+#include <cstddef>
 #include <vector>
 
 #include "common/config.hpp"
 
 namespace bingo::benchutil
 {
+
+/** Table cell of a job that failed every retry. */
+inline constexpr const char *kFailCell = "FAIL";
+
+/**
+ * Mean over however many samples actually arrived — failed sweep jobs
+ * simply never add(), so suite averages cover the surviving jobs
+ * instead of dragging in zeros or aborting the bench.
+ */
+class MeanAcc
+{
+  public:
+    void
+    add(double value)
+    {
+        sum_ += value;
+        ++count_;
+    }
+
+    bool empty() const { return count_ == 0; }
+
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : sum_ / static_cast<double>(count_);
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::size_t count_ = 0;
+};
 
 /** The six competing prefetchers of Figs. 7-9, in figure order. */
 inline std::vector<PrefetcherKind>

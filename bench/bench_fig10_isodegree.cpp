@@ -49,32 +49,41 @@ main()
                             /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     TextTable table({"Prefetcher", "Speedup (gmean)",
                      "Coverage (avg)", "Overprediction (avg)"});
     std::size_t job = 0;
     for (const Entry &entry : entries) {
         std::vector<double> speedups;
-        double cov = 0.0;
-        double over = 0.0;
+        benchutil::MeanAcc cov;
+        benchutil::MeanAcc over;
         for (const std::string &workload : workloads) {
-            const RunResult &baseline =
-                baselineFor(workload, SystemConfig{}, options);
-            const RunResult &result = results[job++];
-            speedups.push_back(speedup(baseline, result));
+            const RunResult *baseline =
+                tryBaselineFor(workload, SystemConfig{}, options);
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok())
+                continue;
+            speedups.push_back(speedup(*baseline, outcome.result));
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, result);
-            cov += metrics.coverage;
-            over += metrics.overprediction;
+                computeMetrics(*baseline, outcome.result);
+            cov.add(metrics.coverage);
+            over.add(metrics.overprediction);
         }
-        const auto n = static_cast<double>(workloads.size());
+        if (speedups.empty()) {
+            table.addRow({entry.label, benchutil::kFailCell,
+                          benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
+        }
         table.addRow({entry.label,
                       fmtPercent(geomean(speedups) - 1.0, 0),
-                      fmtPercent(cov / n, 0), fmtPercent(over / n, 0)});
+                      fmtPercent(cov.mean(), 0),
+                      fmtPercent(over.mean(), 0)});
     }
     table.print();
     table.maybeWriteCsv("fig10_isodegree");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: Aggr variants gain a little "
                 "speedup but multiply overprediction (e.g. paper BOP "

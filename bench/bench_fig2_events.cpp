@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "prefetch/event_study.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -49,7 +50,7 @@ main()
     }
 
     std::vector<WorkloadCounts> counts(jobs.size());
-    runSweepSystems(jobs, [&](std::size_t i, System &system) {
+    const auto collect = [&](std::size_t i, System &system) {
         // Aggregate the per-core observers into this job's slot.
         for (unsigned e = 0; e < kNumEventKinds; ++e) {
             EventCounts &c = counts[i][e];
@@ -64,7 +65,9 @@ main()
                 c.correct += res.correct_blocks;
             }
         }
-    });
+    };
+    const std::vector<JobOutcome> outcomes =
+        runSweepSystemsOutcomes(jobs, collect);
 
     struct Totals
     {
@@ -73,9 +76,13 @@ main()
         double match = 0.0;
     };
     std::array<Totals, kNumEventKinds> totals{};
-    for (const WorkloadCounts &workload_counts : counts) {
+    std::size_t ok_workloads = 0;
+    for (std::size_t w = 0; w < counts.size(); ++w) {
+        if (!outcomes[w].ok())
+            continue;  // Failed job: its zero counts are not data.
+        ++ok_workloads;
         for (unsigned e = 0; e < kNumEventKinds; ++e) {
-            const EventCounts &c = workload_counts[e];
+            const EventCounts &c = counts[w][e];
             totals[e].match +=
                 c.triggers == 0 ? 0.0
                                 : static_cast<double>(c.matches) /
@@ -92,20 +99,27 @@ main()
         }
     }
 
-    const auto n = static_cast<double>(workloads.size());
     TextTable table({"Event (longest..shortest)", "Accuracy",
                      "Match probability"});
     for (unsigned e = 0; e < kNumEventKinds; ++e) {
+        if (ok_workloads == 0) {
+            table.addRow({eventKindName(static_cast<EventKind>(e)),
+                          benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
+        }
         const double accuracy =
             totals[e].accuracy_samples == 0
                 ? 0.0
                 : totals[e].accuracy / totals[e].accuracy_samples;
         table.addRow({eventKindName(static_cast<EventKind>(e)),
                       fmtPercent(accuracy),
-                      fmtPercent(totals[e].match / n)});
+                      fmtPercent(totals[e].match /
+                                 static_cast<double>(ok_workloads))});
     }
     table.print();
     table.maybeWriteCsv("fig2_events");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: accuracy decreases and match "
                 "probability increases from the longest event "

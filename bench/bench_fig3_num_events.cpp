@@ -37,34 +37,43 @@ main()
                             /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     TextTable table({"#Events", "Added event", "Coverage (avg)",
                      "Accuracy (avg)", "Overprediction (avg)"});
     std::size_t job = 0;
     for (unsigned num_events = 1; num_events <= kNumEventKinds;
          ++num_events) {
-        double cov = 0.0;
-        double acc = 0.0;
-        double over = 0.0;
+        benchutil::MeanAcc cov;
+        benchutil::MeanAcc acc;
+        benchutil::MeanAcc over;
         for (const std::string &workload : workloads) {
-            const RunResult &baseline =
-                baselineFor(workload, SystemConfig{}, options);
+            const RunResult *baseline =
+                tryBaselineFor(workload, SystemConfig{}, options);
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok())
+                continue;
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, results[job++]);
-            cov += metrics.coverage;
-            acc += metrics.accuracy;
-            over += metrics.overprediction;
+                computeMetrics(*baseline, outcome.result);
+            cov.add(metrics.coverage);
+            acc.add(metrics.accuracy);
+            over.add(metrics.overprediction);
         }
-        const auto n = static_cast<double>(workloads.size());
-        table.addRow({std::to_string(num_events),
-                      eventKindName(
-                          static_cast<EventKind>(num_events - 1)),
-                      fmtPercent(cov / n), fmtPercent(acc / n),
-                      fmtPercent(over / n)});
+        const std::string event_name =
+            eventKindName(static_cast<EventKind>(num_events - 1));
+        if (cov.empty()) {
+            table.addRow({std::to_string(num_events), event_name,
+                          benchutil::kFailCell, benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
+        }
+        table.addRow({std::to_string(num_events), event_name,
+                      fmtPercent(cov.mean()), fmtPercent(acc.mean()),
+                      fmtPercent(over.mean())});
     }
     table.print();
     table.maybeWriteCsv("fig3_num_events");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: the largest coverage gain comes "
                 "from 1 -> 2 events; beyond two events the gain is "

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "prefetch/event_study.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
@@ -40,33 +41,41 @@ main()
         std::uint64_t identical = 0;
     };
     std::vector<Redundancy> counts(jobs.size());
-    runSweepSystems(jobs, [&](std::size_t i, System &system) {
+    const auto collect = [&](std::size_t i, System &system) {
         for (CoreId c = 0; c < system.numCores(); ++c) {
             const auto &observer = static_cast<EventStudyObserver &>(
                 *system.prefetcher(c));
             counts[i].both += observer.bothMatched();
             counts[i].identical += observer.identicalPredictions();
         }
-    });
+    };
+    const std::vector<JobOutcome> outcomes =
+        runSweepSystemsOutcomes(jobs, collect);
 
     TextTable table({"Workload", "Redundancy", "Dual-match lookups"});
-    double sum = 0.0;
+    benchutil::MeanAcc average;
     for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (!outcomes[i].ok()) {
+            table.addRow({workloads[i], benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
+        }
         const double redundancy =
             counts[i].both == 0
                 ? 0.0
                 : static_cast<double>(counts[i].identical) /
                       static_cast<double>(counts[i].both);
-        sum += redundancy;
+        average.add(redundancy);
         table.addRow({workloads[i], fmtPercent(redundancy),
                       std::to_string(counts[i].both)});
     }
     table.addRow({"Average",
-                  fmtPercent(sum / static_cast<double>(
-                                       workloads.size())),
+                  average.empty() ? benchutil::kFailCell
+                                  : fmtPercent(average.mean()),
                   ""});
     table.print();
     table.maybeWriteCsv("fig4_redundancy");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: redundancy is considerable "
                 "everywhere (paper: 26%% on SAT Solver up to 93%% on "

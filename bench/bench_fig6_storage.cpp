@@ -41,30 +41,37 @@ main()
                             /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
-    std::vector<double> averages(sizes.size(), 0.0);
+    std::vector<benchutil::MeanAcc> averages(sizes.size());
     std::size_t job = 0;
     for (const std::string &workload : workloads) {
-        const RunResult &baseline =
-            baselineFor(workload, SystemConfig{}, options);
+        const RunResult *baseline =
+            tryBaselineFor(workload, SystemConfig{}, options);
         std::vector<std::string> row = {workload};
         for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok()) {
+                row.push_back(benchutil::kFailCell);
+                continue;
+            }
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, results[job++]);
-            averages[i] += metrics.coverage;
+                computeMetrics(*baseline, outcome.result);
+            averages[i].add(metrics.coverage);
             row.push_back(fmtPercent(metrics.coverage, 0));
         }
         table.addRow(std::move(row));
     }
     std::vector<std::string> avg_row = {"Average"};
     for (std::size_t i = 0; i < sizes.size(); ++i) {
-        avg_row.push_back(fmtPercent(
-            averages[i] / static_cast<double>(workloads.size()), 0));
+        avg_row.push_back(averages[i].empty()
+                              ? benchutil::kFailCell
+                              : fmtPercent(averages[i].mean(), 0));
     }
     table.addRow(std::move(avg_row));
     table.print();
     table.maybeWriteCsv("fig6_storage");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: coverage grows with capacity and "
                 "plateaus around 16K entries.\n");

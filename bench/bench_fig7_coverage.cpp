@@ -34,40 +34,55 @@ main()
                             options, /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
-    std::vector<double> avg_cov(kinds.size(), 0.0);
-    std::vector<double> avg_over(kinds.size(), 0.0);
-    std::vector<double> avg_acc(kinds.size(), 0.0);
+    std::vector<benchutil::MeanAcc> avg_cov(kinds.size());
+    std::vector<benchutil::MeanAcc> avg_over(kinds.size());
+    std::vector<benchutil::MeanAcc> avg_acc(kinds.size());
 
     std::size_t job = 0;
     for (const std::string &workload : workloads) {
-        const RunResult &baseline =
-            baselineFor(workload, SystemConfig{}, options);
+        const RunResult *baseline =
+            tryBaselineFor(workload, SystemConfig{}, options);
         for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok()) {
+                table.addRow({workload, prefetcherName(kinds[k]),
+                              benchutil::kFailCell,
+                              benchutil::kFailCell,
+                              benchutil::kFailCell,
+                              benchutil::kFailCell});
+                continue;
+            }
             const PrefetchMetrics metrics =
-                computeMetrics(baseline, results[job++]);
+                computeMetrics(*baseline, outcome.result);
             table.addRow({workload, prefetcherName(kinds[k]),
                           fmtPercent(metrics.coverage),
                           fmtPercent(metrics.uncovered),
                           fmtPercent(metrics.overprediction),
                           fmtPercent(metrics.accuracy)});
-            avg_cov[k] += metrics.coverage;
-            avg_over[k] += metrics.overprediction;
-            avg_acc[k] += metrics.accuracy;
+            avg_cov[k].add(metrics.coverage);
+            avg_over[k].add(metrics.overprediction);
+            avg_acc[k].add(metrics.accuracy);
         }
     }
 
-    const auto n = static_cast<double>(workloads.size());
     for (std::size_t k = 0; k < kinds.size(); ++k) {
+        if (avg_cov[k].empty()) {
+            table.addRow({"Average", prefetcherName(kinds[k]),
+                          benchutil::kFailCell, benchutil::kFailCell,
+                          benchutil::kFailCell, benchutil::kFailCell});
+            continue;
+        }
         table.addRow({"Average", prefetcherName(kinds[k]),
-                      fmtPercent(avg_cov[k] / n),
-                      fmtPercent(1.0 - avg_cov[k] / n),
-                      fmtPercent(avg_over[k] / n),
-                      fmtPercent(avg_acc[k] / n)});
+                      fmtPercent(avg_cov[k].mean()),
+                      fmtPercent(1.0 - avg_cov[k].mean()),
+                      fmtPercent(avg_over[k].mean()),
+                      fmtPercent(avg_acc[k].mean())});
     }
     table.print();
     table.maybeWriteCsv("fig7_coverage");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: Bingo has the highest coverage "
                 "(~63%% average, 8%% over the second best), with "

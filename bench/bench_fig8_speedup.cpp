@@ -33,7 +33,7 @@ main()
                             options, /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     std::vector<std::string> headers = {"Workload"};
     for (PrefetcherKind kind : kinds)
@@ -43,11 +43,16 @@ main()
     std::map<PrefetcherKind, std::vector<double>> speedups;
     std::size_t job = 0;
     for (const std::string &workload : workloads) {
-        const RunResult &baseline =
-            baselineFor(workload, SystemConfig{}, options);
+        const RunResult *baseline =
+            tryBaselineFor(workload, SystemConfig{}, options);
         std::vector<std::string> row = {workload};
         for (PrefetcherKind kind : kinds) {
-            const double s = speedup(baseline, results[job++]);
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok()) {
+                row.push_back(benchutil::kFailCell);
+                continue;
+            }
+            const double s = speedup(*baseline, outcome.result);
             speedups[kind].push_back(s);
             row.push_back(fmtPercent(s - 1.0, 0));
         }
@@ -55,11 +60,16 @@ main()
     }
 
     std::vector<std::string> gmean_row = {"GMean"};
-    for (PrefetcherKind kind : kinds)
-        gmean_row.push_back(fmtPercent(geomean(speedups[kind]) - 1.0, 0));
+    for (PrefetcherKind kind : kinds) {
+        gmean_row.push_back(
+            speedups[kind].empty()
+                ? benchutil::kFailCell
+                : fmtPercent(geomean(speedups[kind]) - 1.0, 0));
+    }
     table.addRow(std::move(gmean_row));
     table.print();
     table.maybeWriteCsv("fig8_speedup");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: Bingo wins on every workload "
                 "(paper: +60%% gmean, +11%% over the best prior "

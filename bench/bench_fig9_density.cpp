@@ -41,29 +41,40 @@ main()
                             options, /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     std::size_t job = 0;
     for (PrefetcherKind kind : kinds) {
         const SystemConfig config = benchutil::configFor(kind);
         std::vector<double> speedups;
         for (const std::string &workload : workloads) {
-            const RunResult &baseline =
-                baselineFor(workload, SystemConfig{}, options);
-            speedups.push_back(speedup(baseline, results[job++]));
+            const RunResult *baseline =
+                tryBaselineFor(workload, SystemConfig{}, options);
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok())
+                continue;
+            speedups.push_back(speedup(*baseline, outcome.result));
+        }
+        const std::string storage =
+            fmtDouble(static_cast<double>(
+                          config.prefetcher.storageBytes()) /
+                          1024.0,
+                      1) + " KB";
+        if (speedups.empty()) {
+            table.addRow({prefetcherName(kind), storage,
+                          benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
         }
         const double gm = geomean(speedups);
         const double density = area.densityImprovement(gm, config);
-        table.addRow({prefetcherName(kind),
-                      fmtDouble(static_cast<double>(
-                                    config.prefetcher.storageBytes()) /
-                                    1024.0,
-                                1) + " KB",
+        table.addRow({prefetcherName(kind), storage,
                       fmtPercent(gm - 1.0, 0),
                       fmtPercent(density - 1.0, 0)});
     }
     table.print();
     table.maybeWriteCsv("fig9_density");
+    reportFailures(jobs, outcomes);
 
     std::printf("\nPaper shape check: Bingo's density gain (~59%%) is "
                 "within 1%% of its raw speedup — the 119 KB history "

@@ -9,12 +9,15 @@
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hpp"
+#include "cache/mshr.hpp"
 #include "common/event_queue.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "mem/dram.hpp"
 #include "prefetch/bingo.hpp"
+#include "sim/experiment.hpp"
+#include "sim/journal.hpp"
 #include "workload/generator.hpp"
 
 namespace
@@ -211,6 +214,45 @@ BM_WorkloadGeneration(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_MshrAllocateRelease(benchmark::State &state)
+{
+    // The demand-miss fast path now tagged with cycle context for
+    // SimError reporting; this guards the added bookkeeping.
+    MshrFile mshrs(64, "bench.mshr");
+    Rng rng(31);
+    Cycle now = 0;
+    for (auto _ : state) {
+        const Addr block = blockAlign(rng.next() & 0xffffffULL);
+        if (mshrs.find(block) == nullptr && !mshrs.full())
+            mshrs.allocate(block, false, 0, now);
+        else if (const MshrEntry *hit = mshrs.find(block);
+                 hit != nullptr)
+            mshrs.release(block, now);
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MshrAllocateRelease);
+
+void
+BM_JobFingerprint(benchmark::State &state)
+{
+    // Journal fingerprinting runs once per sweep job at resume time;
+    // it should stay far below a simulation's cost.
+    SweepJob job;
+    job.workload = "Data Serving";
+    job.config.prefetcher.kind = PrefetcherKind::Bingo;
+    job.options = ExperimentOptions{};
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+        job.options.seed = 42 + (salt++ & 7);
+        benchmark::DoNotOptimize(jobFingerprint(job));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JobFingerprint);
 
 } // namespace
 

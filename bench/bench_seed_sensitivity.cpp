@@ -62,7 +62,7 @@ main()
                             options, /*compare_baseline=*/true});
         }
     }
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     TextTable table({"Seed", "SMS gmean", "Bingo gmean",
                      "Bingo - SMS"});
@@ -76,10 +76,23 @@ main()
         std::vector<double> sms_speedups;
         std::vector<double> bingo_speedups;
         for (const std::string &workload : workloads) {
-            const RunResult &baseline =
-                baselineFor(workload, SystemConfig{}, options);
-            sms_speedups.push_back(speedup(baseline, results[job++]));
-            bingo_speedups.push_back(speedup(baseline, results[job++]));
+            const RunResult *baseline =
+                tryBaselineFor(workload, SystemConfig{}, options);
+            const JobOutcome &sms_outcome = outcomes[job++];
+            const JobOutcome &bingo_outcome = outcomes[job++];
+            if (baseline == nullptr || !sms_outcome.ok() ||
+                !bingo_outcome.ok())
+                continue;  // Keep SMS/Bingo cells paired per workload.
+            sms_speedups.push_back(
+                speedup(*baseline, sms_outcome.result));
+            bingo_speedups.push_back(
+                speedup(*baseline, bingo_outcome.result));
+        }
+        if (sms_speedups.empty()) {
+            table.addRow({std::to_string(seed), benchutil::kFailCell,
+                          benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
         }
         const double sms_gm = geomean(sms_speedups);
         const double bingo_gm = geomean(bingo_speedups);
@@ -98,11 +111,13 @@ main()
                              1)});
     table.print();
     table.maybeWriteCsv("seed_sensitivity");
+    reportFailures(jobs, outcomes);
 
+    const bool robust =
+        !margin_spread.values.empty() && margin_spread.min > 0;
     std::printf("\nRobustness check: Bingo's margin over SMS must stay "
                 "positive for every seed%s.\n",
-                margin_spread.min > 0 ? " — it does"
-                                      : " — IT DOES NOT, investigate");
+                robust ? " — it does" : " — IT DOES NOT, investigate");
     timer.report();
-    return margin_spread.min > 0 ? 0 : 1;
+    return robust ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "sim/experiment.hpp"
 #include "sim/report.hpp"
 
@@ -49,12 +50,21 @@ main()
     std::vector<SweepJob> jobs;
     for (const std::string &workload : workloads)
         jobs.push_back({workload, config, options});
-    const std::vector<RunResult> results = runSweep(jobs);
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     TextTable table({"Application", "Description", "LLC MPKI (paper)",
                      "LLC MPKI (measured)", "IPC/core"});
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-        const RunResult &result = results[i];
+        const JobOutcome &outcome = outcomes[i];
+        if (!outcome.ok()) {
+            table.addRow({workloads[i],
+                          workloadDescription(workloads[i]),
+                          fmtDouble(paperMpki(workloads[i]), 1),
+                          benchutil::kFailCell,
+                          benchutil::kFailCell});
+            continue;
+        }
+        const RunResult &result = outcome.result;
         table.addRow({workloads[i], workloadDescription(workloads[i]),
                       fmtDouble(paperMpki(workloads[i]), 1),
                       fmtDouble(result.llcMpki(), 1),
@@ -65,6 +75,7 @@ main()
     }
     table.print();
     table.maybeWriteCsv("table2_mpki");
+    reportFailures(jobs, outcomes);
     timer.report();
     return 0;
 }

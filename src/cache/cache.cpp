@@ -1,7 +1,10 @@
 #include "cache/cache.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <unordered_set>
 
+#include "common/sim_check.hpp"
 #include "mem/dram.hpp"
 
 namespace bingo
@@ -11,9 +14,14 @@ Cache::Cache(std::string name, const CacheConfig &config,
              EventQueue &events, MemoryLower &lower)
     : name_(std::move(name)), config_(config), events_(events),
       lower_(lower), num_sets_(config.numSets()),
-      blocks_(num_sets_ * config.ways), mshrs_(config.mshr_entries)
+      blocks_(num_sets_ * config.ways),
+      mshrs_(config.mshr_entries, name_ + ".mshr")
 {
-    assert(num_sets_ > 0 && (num_sets_ & (num_sets_ - 1)) == 0);
+    if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0)
+        throw std::invalid_argument(
+            name_ + ": size_bytes/ways must give a nonzero "
+                    "power-of-two number of sets (got " +
+            std::to_string(num_sets_) + ")");
 }
 
 void
@@ -82,6 +90,67 @@ Cache::addEvictionListener(EvictionListener listener)
 }
 
 void
+Cache::checkInvariants(Cycle now) const
+{
+    if (mshrs_.size() > mshrs_.capacity())
+        throw SimError(name_, now,
+                       "MSHR occupancy " +
+                           std::to_string(mshrs_.size()) +
+                           " exceeds capacity " +
+                           std::to_string(mshrs_.capacity()));
+    if (prefetch_queue_.size() > config_.prefetch_queue)
+        throw SimError(name_, now,
+                       "prefetch queue holds " +
+                           std::to_string(prefetch_queue_.size()) +
+                           " entries, bound is " +
+                           std::to_string(config_.prefetch_queue));
+
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        const Block *base = blocks_.data() + set * config_.ways;
+        for (unsigned w = 0; w < config_.ways; ++w) {
+            const Block &blk = base[w];
+            if (!blk.valid)
+                continue;
+            if (setOf(blk.tag) != set)
+                throw SimError(name_, now,
+                               "resident block maps to set " +
+                                   std::to_string(setOf(blk.tag)) +
+                                   " but lives in set " +
+                                   std::to_string(set));
+            if (blk.lru > tick_)
+                throw SimError(name_, now,
+                               "LRU stamp " + std::to_string(blk.lru) +
+                                   " is ahead of the recency clock " +
+                                   std::to_string(tick_));
+            for (unsigned v = w + 1; v < config_.ways; ++v) {
+                if (base[v].valid && base[v].tag == blk.tag)
+                    throw SimError(name_, now,
+                                   "duplicate resident block in set " +
+                                       std::to_string(set));
+                if (base[v].valid && base[v].lru == blk.lru)
+                    throw SimError(
+                        name_, now,
+                        "two blocks of set " + std::to_string(set) +
+                            " share LRU stamp " +
+                            std::to_string(blk.lru));
+            }
+        }
+    }
+
+    std::unordered_set<Addr> in_flight;
+    for (const auto &[block, entry] : mshrs_.entries()) {
+        if (entry.block != block)
+            throw SimError(name_, now,
+                           "MSHR entry key/block mismatch");
+        if (!in_flight.insert(block).second)
+            throw SimError(name_, now, "duplicate in-flight block");
+        if (contains(block))
+            throw SimError(name_, now,
+                           "block is both resident and in flight");
+    }
+}
+
+void
 Cache::access(const MemAccess &access, Cycle now, FillCallback done)
 {
     assert(access.type != AccessType::Prefetch);
@@ -143,7 +212,7 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
 
     MshrEntry &entry =
         mshrs_.allocate(access.block, /*prefetch_origin=*/false,
-                        access.core);
+                        access.core, now);
     entry.demand_merged = true;
     entry.store_merged = access.type == AccessType::Store;
     entry.callbacks.push_back(
@@ -190,7 +259,7 @@ Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
         }
         return;
     }
-    mshrs_.allocate(block, /*prefetch_origin=*/true, core);
+    mshrs_.allocate(block, /*prefetch_origin=*/true, core, now);
     MemAccess access;
     access.block = block;
     access.pc = pc;
@@ -215,7 +284,8 @@ Cache::drainPrefetchQueue(Cycle now)
             ++stats_.prefetch_drop_inflight;
             continue;
         }
-        mshrs_.allocate(qp.block, /*prefetch_origin=*/true, qp.core);
+        mshrs_.allocate(qp.block, /*prefetch_origin=*/true, qp.core,
+                        now);
         MemAccess access;
         access.block = qp.block;
         access.pc = qp.pc;
@@ -237,7 +307,7 @@ Cache::issueFetch(const MemAccess &access, Cycle now)
 void
 Cache::handleFill(Addr block, Cycle fill_cycle)
 {
-    MshrEntry entry = mshrs_.release(block);
+    MshrEntry entry = mshrs_.release(block, fill_cycle);
 
     Block &victim = victimize(block, fill_cycle);
     victim.valid = true;
@@ -288,7 +358,7 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
         const MemAccess acc = replay.access;
         MshrEntry &fresh =
             mshrs_.allocate(acc.block, /*prefetch_origin=*/false,
-                            acc.core);
+                            acc.core, fill_cycle);
         fresh.demand_merged = true;
         fresh.store_merged = acc.type == AccessType::Store;
         fresh.callbacks.push_back(std::move(replay.done));

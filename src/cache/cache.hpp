@@ -137,6 +137,15 @@ class Cache
     /** Number of resident blocks (tests/diagnostics). */
     std::uint64_t residentBlocks() const;
 
+    /**
+     * Structural self-check (the BINGO_CHECK layer): MSHR occupancy
+     * within capacity and disjoint from the resident set, every valid
+     * block mapped to its set with a unique tag and a sane recency
+     * stamp, prefetch queue within bounds. Throws SimError tagged with
+     * this cache's name and `now` on the first violation.
+     */
+    void checkInvariants(Cycle now) const;
+
   private:
     struct Block
     {

@@ -1,14 +1,33 @@
 #include "cache/mshr.hpp"
 
-#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/sim_check.hpp"
 
 namespace bingo
 {
 
-MshrFile::MshrFile(std::size_t capacity)
-    : capacity_(capacity)
+namespace
 {
-    assert(capacity > 0);
+
+std::string
+blockHex(Addr block)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(block));
+    return buf;
+}
+
+} // namespace
+
+MshrFile::MshrFile(std::size_t capacity, std::string name)
+    : capacity_(capacity), name_(std::move(name))
+{
+    if (capacity == 0)
+        throw std::invalid_argument("MshrFile " + name_ +
+                                    ": capacity must be nonzero");
     entries_.reserve(capacity);
 }
 
@@ -20,11 +39,21 @@ MshrFile::find(Addr block)
 }
 
 MshrEntry &
-MshrFile::allocate(Addr block, bool prefetch_origin, CoreId core)
+MshrFile::allocate(Addr block, bool prefetch_origin, CoreId core,
+                   Cycle now)
 {
-    assert(!full());
-    assert(entries_.find(block) == entries_.end());
-    MshrEntry &entry = entries_[block];
+    if (full())
+        throw SimError(name_, now,
+                       "MSHR allocation past capacity (" +
+                           std::to_string(capacity_) +
+                           " entries in flight) for block " +
+                           blockHex(block));
+    auto [it, inserted] = entries_.try_emplace(block);
+    if (!inserted)
+        throw SimError(name_, now,
+                       "duplicate MSHR allocation for in-flight block " +
+                           blockHex(block));
+    MshrEntry &entry = it->second;
     entry.block = block;
     entry.prefetch_origin = prefetch_origin;
     entry.core = core;
@@ -32,10 +61,13 @@ MshrFile::allocate(Addr block, bool prefetch_origin, CoreId core)
 }
 
 MshrEntry
-MshrFile::release(Addr block)
+MshrFile::release(Addr block, Cycle now)
 {
     auto it = entries_.find(block);
-    assert(it != entries_.end());
+    if (it == entries_.end())
+        throw SimError(name_, now,
+                       "release of block " + blockHex(block) +
+                           " with no MSHR entry");
     MshrEntry entry = std::move(it->second);
     entries_.erase(it);
     return entry;

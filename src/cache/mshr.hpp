@@ -2,6 +2,12 @@
  * @file
  * Miss Status Holding Registers: track outstanding misses per block and
  * merge secondary misses into the primary's entry.
+ *
+ * Structural violations (allocation past capacity, duplicate in-flight
+ * blocks, release of an absent entry) throw SimError with the owning
+ * component's name and the simulated cycle — these replace the bare
+ * asserts that used to guard the same paths, and hold in release
+ * builds too.
  */
 
 #ifndef BINGO_CACHE_MSHR_HPP
@@ -9,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -35,7 +42,8 @@ struct MshrEntry
 class MshrFile
 {
   public:
-    explicit MshrFile(std::size_t capacity);
+    /** Throws std::invalid_argument when `capacity` is zero. */
+    explicit MshrFile(std::size_t capacity, std::string name = "mshr");
 
     /** Entry for `block`, or nullptr when not in flight. */
     MshrEntry *find(Addr block);
@@ -45,23 +53,33 @@ class MshrFile
 
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
+    const std::string &name() const { return name_; }
 
     /**
-     * Allocate an entry for `block`. Pre: !full() and !find(block).
+     * Allocate an entry for `block`. Throws SimError (tagged with
+     * `now`) when the file is full or the block is already in flight.
      * @return Reference valid until release(block).
      */
-    MshrEntry &allocate(Addr block, bool prefetch_origin, CoreId core);
+    MshrEntry &allocate(Addr block, bool prefetch_origin, CoreId core,
+                        Cycle now = 0);
 
     /**
      * Remove the entry for `block` and return it (callbacks included).
-     * Pre: find(block) != nullptr.
+     * Throws SimError when no entry for `block` exists.
      */
-    MshrEntry release(Addr block);
+    MshrEntry release(Addr block, Cycle now = 0);
 
     void clear() { entries_.clear(); }
 
+    /** All in-flight entries, unordered (self-checks/diagnostics). */
+    const std::unordered_map<Addr, MshrEntry> &entries() const
+    {
+        return entries_;
+    }
+
   private:
     std::size_t capacity_;
+    std::string name_;
     std::unordered_map<Addr, MshrEntry> entries_;
 };
 

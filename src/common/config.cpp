@@ -1,7 +1,67 @@
 #include "common/config.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace bingo
 {
+
+namespace
+{
+
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+[[noreturn]] void
+reject(const std::string &field, const std::string &why)
+{
+    throw std::invalid_argument("SystemConfig." + field + " " + why);
+}
+
+void
+requireNonzero(const std::string &field, std::uint64_t value)
+{
+    if (value == 0)
+        reject(field, "must be nonzero");
+}
+
+/** Prefetch degrees/depths: nonzero and within hardware plausibility. */
+void
+requireDegree(const std::string &field, std::uint64_t value)
+{
+    if (value == 0 || value > 512)
+        reject(field, "must be in [1, 512], got " +
+                          std::to_string(value));
+}
+
+void
+requireFraction(const std::string &field, double value)
+{
+    if (!(value >= 0.0 && value <= 1.0))
+        reject(field, "must be within [0, 1], got " +
+                          std::to_string(value));
+}
+
+void
+validateCache(const std::string &prefix, const CacheConfig &cache)
+{
+    requireNonzero(prefix + ".ways", cache.ways);
+    requireNonzero(prefix + ".size_bytes", cache.size_bytes);
+    requireNonzero(prefix + ".hit_latency", cache.hit_latency);
+    requireNonzero(prefix + ".mshr_entries", cache.mshr_entries);
+    if (cache.size_bytes % (kBlockSize * cache.ways) != 0)
+        reject(prefix + ".size_bytes",
+               "must be a multiple of block size x ways");
+    if (!isPowerOfTwo(cache.numSets()))
+        reject(prefix + ".size_bytes",
+               "must give a power-of-two number of sets, got " +
+                   std::to_string(cache.numSets()));
+}
+
+} // namespace
 
 std::string
 prefetcherName(PrefetcherKind kind)
@@ -75,6 +135,61 @@ PrefetcherConfig::storageBytes() const
         return num_events * pht_entries * (26 + fp_bits + 4) / 8;
     }
     return 0;
+}
+
+void
+SystemConfig::validate() const
+{
+    requireNonzero("num_cores", num_cores);
+    if (!(frequency_ghz > 0.0))
+        reject("frequency_ghz", "must be positive");
+
+    requireNonzero("core.width", core.width);
+    requireNonzero("core.rob_entries", core.rob_entries);
+    requireNonzero("core.lsq_entries", core.lsq_entries);
+    requireNonzero("core.alu_latency", core.alu_latency);
+
+    validateCache("l1d", l1d);
+    validateCache("llc", llc);
+
+    requireNonzero("dram.channels", dram.channels);
+    requireNonzero("dram.banks_per_channel", dram.banks_per_channel);
+    requireNonzero("dram.row_size_bytes", dram.row_size_bytes);
+    if (dram.row_size_bytes % kBlockSize != 0)
+        reject("dram.row_size_bytes",
+               "must be a multiple of the block size");
+    requireNonzero("dram.data_transfer", dram.data_transfer);
+    requireNonzero("dram.read_queue_entries", dram.read_queue_entries);
+
+    const PrefetcherConfig &pf = prefetcher;
+    if (!isPowerOfTwo(pf.region_blocks))
+        reject("prefetcher.region_blocks",
+               "must be a nonzero power of two, got " +
+                   std::to_string(pf.region_blocks));
+    requireNonzero("prefetcher.pht_ways", pf.pht_ways);
+    requireNonzero("prefetcher.pht_entries", pf.pht_entries);
+    if (pf.pht_entries % pf.pht_ways != 0 ||
+        !isPowerOfTwo(pf.pht_entries / pf.pht_ways))
+        reject("prefetcher.pht_entries",
+               "must split into a power-of-two number of "
+               "pht_ways-wide sets, got " +
+                   std::to_string(pf.pht_entries) + "/" +
+                   std::to_string(pf.pht_ways));
+    requireNonzero("prefetcher.accumulation_entries",
+                   pf.accumulation_entries);
+    requireNonzero("prefetcher.filter_entries", pf.filter_entries);
+    requireFraction("prefetcher.vote_threshold", pf.vote_threshold);
+    requireFraction("prefetcher.spp_confidence_threshold",
+                    pf.spp_confidence_threshold);
+    requireDegree("prefetcher.bop_degree", pf.bop_degree);
+    requireDegree("prefetcher.vldp_degree", pf.vldp_degree);
+    requireDegree("prefetcher.ampm_degree", pf.ampm_degree);
+    requireDegree("prefetcher.stride_degree", pf.stride_degree);
+    requireDegree("prefetcher.spp_max_depth", pf.spp_max_depth);
+    if (pf.num_events < 1 || pf.num_events > 5)
+        reject("prefetcher.num_events",
+               "must be in [1, 5], got " +
+                   std::to_string(pf.num_events));
 }
 
 SystemConfig

@@ -168,6 +168,16 @@ struct SystemConfig
 
     /** Single-core convenience variant used by unit tests. */
     static SystemConfig singleCore();
+
+    /**
+     * Reject configurations the simulator cannot run correctly:
+     * power-of-two cache/table geometry, nonzero ways/MSHRs/queues/
+     * cores, prefetch degrees and thresholds within bounds. Throws
+     * std::invalid_argument naming the offending field. Called by the
+     * experiment runner before every simulation, replacing the
+     * asserts-on-use scattered through the components.
+     */
+    void validate() const;
 };
 
 } // namespace bingo

@@ -1,0 +1,44 @@
+#include "common/sim_check.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace bingo
+{
+
+namespace
+{
+
+/** -1 = not yet read from the environment, else 0/1. */
+std::atomic<int> g_check_enabled{-1};
+
+} // namespace
+
+SimError::SimError(std::string component, Cycle cycle,
+                   const std::string &message)
+    : std::runtime_error("[" + component + " @cycle " +
+                         std::to_string(cycle) + "] " + message),
+      component_(std::move(component)), cycle_(cycle)
+{
+}
+
+bool
+simCheckEnabled()
+{
+    int state = g_check_enabled.load(std::memory_order_relaxed);
+    if (state < 0) {
+        const char *value = std::getenv("BINGO_CHECK");
+        state = value != nullptr && *value != '\0' &&
+                !(value[0] == '0' && value[1] == '\0');
+        g_check_enabled.store(state, std::memory_order_relaxed);
+    }
+    return state != 0;
+}
+
+void
+setSimCheckEnabled(bool enabled)
+{
+    g_check_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+} // namespace bingo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Simulator self-check layer: a typed error carrying the component and
+ * simulated cycle at which an invariant broke, and the process-wide
+ * switch (the BINGO_CHECK environment variable) that enables the
+ * periodic structural checks in cache/MSHR/DRAM.
+ *
+ * Cheap preconditions (MSHR over-allocation, duplicate in-flight
+ * blocks) throw SimError unconditionally — they replace the bare
+ * asserts that used to guard these paths and cost nothing extra on the
+ * hot path. The exhaustive sweeps (set-by-set cache consistency, DRAM
+ * counter identities) only run when simCheckEnabled() is true.
+ */
+
+#ifndef BINGO_COMMON_SIM_CHECK_HPP
+#define BINGO_COMMON_SIM_CHECK_HPP
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** An invariant violation inside the simulated machine. */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(std::string component, Cycle cycle,
+             const std::string &message);
+
+    /** Component whose invariant broke, e.g. "LLC.mshr". */
+    const std::string &component() const noexcept { return component_; }
+
+    /** Simulated cycle at which the violation was detected. */
+    Cycle cycle() const noexcept { return cycle_; }
+
+  private:
+    std::string component_;
+    Cycle cycle_;
+};
+
+/**
+ * Whether the expensive structural self-checks are on. Reads the
+ * BINGO_CHECK environment variable once ("" or "0" = off); tests can
+ * override with setSimCheckEnabled().
+ */
+bool simCheckEnabled();
+
+/** Force the self-check switch (tests). */
+void setSimCheckEnabled(bool enabled);
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_SIM_CHECK_HPP

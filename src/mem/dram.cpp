@@ -1,7 +1,9 @@
 #include "mem/dram.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <stdexcept>
+
+#include "common/sim_check.hpp"
 
 namespace bingo
 {
@@ -9,8 +11,11 @@ namespace bingo
 DramController::DramController(const DramConfig &config)
     : config_(config)
 {
-    assert(config_.channels > 0);
-    assert(config_.banks_per_channel > 0);
+    if (config_.channels == 0)
+        throw std::invalid_argument("DramConfig.channels must be nonzero");
+    if (config_.banks_per_channel == 0)
+        throw std::invalid_argument(
+            "DramConfig.banks_per_channel must be nonzero");
     channels_.resize(config_.channels);
     for (Channel &ch : channels_)
         ch.banks.resize(config_.banks_per_channel);
@@ -96,6 +101,46 @@ DramController::write(Addr block_addr, Cycle now)
 {
     ++stats_.writes;
     service(block_addr, now);
+}
+
+void
+DramController::checkInvariants(Cycle now) const
+{
+    if (channels_.size() != config_.channels)
+        throw SimError("DRAM", now,
+                       "channel count " +
+                           std::to_string(channels_.size()) +
+                           " does not match config " +
+                           std::to_string(config_.channels));
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+        if (channels_[c].banks.size() != config_.banks_per_channel)
+            throw SimError("DRAM", now,
+                           "channel " + std::to_string(c) + " has " +
+                               std::to_string(
+                                   channels_[c].banks.size()) +
+                               " banks, config says " +
+                               std::to_string(
+                                   config_.banks_per_channel));
+    }
+    // Every serviced request is classified exactly once and occupies
+    // the bus for exactly one transfer; the counters must agree.
+    const std::uint64_t requests = stats_.reads + stats_.writes;
+    const std::uint64_t classified =
+        stats_.row_hits + stats_.row_misses + stats_.row_conflicts;
+    if (requests != classified)
+        throw SimError("DRAM", now,
+                       std::to_string(requests) +
+                           " requests serviced but " +
+                           std::to_string(classified) +
+                           " row-buffer outcomes recorded");
+    if (stats_.bus_busy_cycles != requests * config_.data_transfer)
+        throw SimError("DRAM", now,
+                       "bus occupancy " +
+                           std::to_string(stats_.bus_busy_cycles) +
+                           " cycles does not equal requests x "
+                           "transfer time " +
+                           std::to_string(requests *
+                                          config_.data_transfer));
 }
 
 void

@@ -71,6 +71,15 @@ class DramController
     /** Reset timing state and statistics. */
     void reset();
 
+    /**
+     * Structural self-check (the BINGO_CHECK layer): channel/bank
+     * geometry matches the config and the service counters satisfy
+     * their identities (every request classified exactly once, bus
+     * occupancy proportional to requests). Throws SimError on the
+     * first violation.
+     */
+    void checkInvariants(Cycle now) const;
+
     /** Clear the counters but keep bank/bus timing state. */
     void resetStatsOnly() { stats_ = DramStats{}; }
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdio>
@@ -10,6 +11,8 @@
 #include <thread>
 #include <utility>
 
+#include "sim/journal.hpp"
+#include "sim/report.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace bingo
@@ -87,6 +90,155 @@ std::condition_variable g_baseline_cv;
 std::map<std::string, BaselineSlot> g_baseline_cache;
 std::string g_baseline_substrate;
 
+/** Sleep between a job's failing attempt and its retry (bounded). */
+void
+retryBackoff(unsigned attempt)
+{
+    const unsigned shift = std::min(attempt - 1, 6u);
+    const unsigned ms = std::min(10u << shift, 500u);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/**
+ * One job, attempted up to 1 + BINGO_RETRIES times. Never throws:
+ * every failure is folded into the returned outcome. `collect` runs
+ * on the finished System of a successful attempt only.
+ */
+JobOutcome
+runJobWithRetries(const SweepJob &job, std::size_t index,
+                  const std::function<void(std::size_t, System &)>
+                      &collect,
+                  const SweepFaultHook &fault_hook)
+{
+    JobOutcome outcome;
+    const auto start = std::chrono::steady_clock::now();
+    const unsigned max_attempts = 1 + sweepRetries();
+    const double timeout_s = sweepJobTimeoutSeconds();
+
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        outcome.attempts = attempt;
+        try {
+            if (fault_hook)
+                fault_hook(index, attempt);
+            SystemConfig cfg = job.config;
+            cfg.seed = job.options.seed;
+            cfg.validate();
+            System system(cfg, job.workload);
+            if (timeout_s > 0.0) {
+                system.setDeadline(
+                    std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(timeout_s)));
+            }
+            system.run(job.options.warmup_instructions,
+                       job.options.measure_instructions);
+            g_completed_runs.fetch_add(1, std::memory_order_relaxed);
+            collect(index, system);
+            outcome.status = JobStatus::Ok;
+            outcome.error.clear();
+            outcome.exception = nullptr;
+            break;
+        } catch (const std::exception &e) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = e.what();
+            outcome.exception = std::current_exception();
+        } catch (...) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = "unknown exception";
+            outcome.exception = std::current_exception();
+        }
+        if (attempt < max_attempts)
+            retryBackoff(attempt);
+    }
+
+    outcome.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return outcome;
+}
+
+/**
+ * Shared sweep engine: run the jobs selected by `indices` (indices
+ * into `jobs`, preserving the caller's numbering for collect/hook/
+ * outcomes) plus the deduplicated baselines they request.
+ */
+void
+runIndexed(const std::vector<SweepJob> &jobs,
+           const std::vector<std::size_t> &indices,
+           const std::function<void(std::size_t, System &)> &collect,
+           std::vector<JobOutcome> &outcomes, unsigned num_threads,
+           const SweepFaultHook &fault_hook)
+{
+    const auto runOne = [&](std::size_t i) {
+        outcomes[i] =
+            runJobWithRetries(jobs[i], i, collect, fault_hook);
+    };
+
+    // Distinct baselines requested by the jobs, deduplicated so each
+    // is submitted (and computed) once. A baseline warm failure is
+    // swallowed here: the bench's own baselineFor call will retry it
+    // and report the error in context.
+    std::vector<std::size_t> baseline_of;  ///< Job index per baseline.
+    {
+        std::map<std::string, std::size_t> seen;
+        for (std::size_t i : indices) {
+            if (!jobs[i].compare_baseline)
+                continue;
+            seen.try_emplace(
+                baselineKey(jobs[i].workload, jobs[i].options), i);
+        }
+        for (const auto &[key, index] : seen)
+            baseline_of.push_back(index);
+    }
+    // Baselines always run on the default substrate, matching the
+    // benches' direct baselineFor(workload, SystemConfig{}, options)
+    // calls — a job may sweep substrate knobs (e.g. LLC replacement)
+    // while its reference point stays the Table I machine.
+    const auto warmOne = [&](std::size_t i) {
+        try {
+            baselineFor(jobs[i].workload, SystemConfig{},
+                        jobs[i].options);
+        } catch (...) {
+        }
+    };
+
+    const unsigned threads =
+        num_threads > 0 ? num_threads : sweepJobCount();
+    if (threads <= 1) {
+        for (std::size_t i : baseline_of)
+            warmOne(i);
+        for (std::size_t i : indices)
+            runOne(i);
+        return;
+    }
+
+    ThreadPool pool(threads);
+    // Baselines first: they gate the metrics of every job that set
+    // compare_baseline, so get them onto the workers before the bulk.
+    for (std::size_t i : baseline_of)
+        pool.submit([&warmOne, i] { warmOne(i); });
+    for (std::size_t i : indices)
+        pool.submit([&runOne, i] { runOne(i); });
+    pool.wait();
+}
+
+/** Rethrow the first failed outcome, if any. */
+void
+rethrowFirstFailure(const std::vector<JobOutcome> &outcomes)
+{
+    for (const JobOutcome &outcome : outcomes) {
+        if (outcome.ok())
+            continue;
+        if (outcome.exception)
+            std::rethrow_exception(outcome.exception);
+        throw std::runtime_error(outcome.error.empty()
+                                     ? "sweep job failed"
+                                     : outcome.error);
+    }
+}
+
 } // namespace
 
 ExperimentOptions
@@ -101,12 +253,40 @@ defaultOptions()
     return options;
 }
 
+unsigned
+sweepRetries()
+{
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(envU64("BINGO_RETRIES", 1), 100));
+}
+
+double
+sweepJobTimeoutSeconds()
+{
+    const char *value = std::getenv("BINGO_JOB_TIMEOUT_S");
+    if (value == nullptr || *value == '\0')
+        return 0.0;
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    if (end == value || !(parsed > 0.0))
+        return 0.0;
+    return parsed;
+}
+
+std::string
+sweepJournalDir()
+{
+    const char *value = std::getenv("BINGO_JOURNAL_DIR");
+    return value == nullptr ? std::string() : std::string(value);
+}
+
 RunResult
 runWorkload(const std::string &workload, const SystemConfig &config,
             const ExperimentOptions &options)
 {
     SystemConfig cfg = config;
     cfg.seed = options.seed;
+    cfg.validate();
     System system(cfg, workload);
     system.run(options.warmup_instructions,
                options.measure_instructions);
@@ -148,7 +328,31 @@ baselineFor(const std::string &workload, SystemConfig config,
         config.prefetcher.kind = PrefetcherKind::None;
         RunResult result;
         try {
-            result = runWorkload(workload, config, options);
+            // Baselines resume from the journal like sweep jobs do:
+            // without this, a resumed sweep would still pay full price
+            // for its reference runs.
+            const std::string journal_dir = sweepJournalDir();
+            std::string fingerprint;
+            bool journaled = false;
+            if (!journal_dir.empty()) {
+                SweepJob identity;
+                identity.workload = workload;
+                identity.config = config;
+                identity.options = options;
+                fingerprint = jobFingerprint(identity);
+                journaled =
+                    journalLoad(journal_dir, fingerprint, result);
+            }
+            if (!journaled) {
+                result = runWorkload(workload, config, options);
+                if (!journal_dir.empty()) {
+                    try {
+                        journalStore(journal_dir, fingerprint, result);
+                    } catch (const std::exception &e) {
+                        std::fprintf(stderr, "%s\n", e.what());
+                    }
+                }
+            }
         } catch (...) {
             lock.lock();
             g_baseline_cache.erase(it);
@@ -163,6 +367,19 @@ baselineFor(const std::string &workload, SystemConfig config,
     }
 }
 
+const RunResult *
+tryBaselineFor(const std::string &workload, const SystemConfig &config,
+               const ExperimentOptions &options)
+{
+    try {
+        return &baselineFor(workload, config, options);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "baseline %s failed: %s\n",
+                     workload.c_str(), e.what());
+        return nullptr;
+    }
+}
+
 unsigned
 sweepJobCount()
 {
@@ -173,76 +390,131 @@ sweepJobCount()
     return hw > 0 ? hw : 1;
 }
 
+std::vector<JobOutcome>
+runSweepSystemsOutcomes(
+    const std::vector<SweepJob> &jobs,
+    const std::function<void(std::size_t, System &)> &collect,
+    unsigned num_threads, const SweepFaultHook &fault_hook)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    std::vector<std::size_t> indices(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        indices[i] = i;
+    runIndexed(jobs, indices, collect, outcomes, num_threads,
+               fault_hook);
+    return outcomes;
+}
+
+std::vector<JobOutcome>
+runSweepOutcomes(const std::vector<SweepJob> &jobs,
+                 unsigned num_threads, const SweepFaultHook &fault_hook)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+    std::vector<RunResult> results(jobs.size());
+    std::vector<std::string> fingerprints(jobs.size());
+    const std::string journal_dir = sweepJournalDir();
+
+    // Resume pass: journaled jobs become Skipped outcomes up front and
+    // never reach the pool.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!journal_dir.empty()) {
+            fingerprints[i] = jobFingerprint(jobs[i]);
+            RunResult restored;
+            if (journalLoad(journal_dir, fingerprints[i], restored)) {
+                outcomes[i].status = JobStatus::Skipped;
+                outcomes[i].result = std::move(restored);
+                outcomes[i].attempts = 0;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
+    // Journal inside collect — i.e. the moment each job finishes on
+    // its worker — so a sweep killed mid-flight keeps everything that
+    // completed before the kill.
+    const auto collect = [&](std::size_t i, System &system) {
+        results[i] = collectResult(system, jobs[i].workload);
+        if (journal_dir.empty())
+            return;
+        try {
+            journalStore(journal_dir, fingerprints[i], results[i]);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+        }
+    };
+    runIndexed(jobs, pending, collect, outcomes, num_threads,
+               fault_hook);
+
+    for (std::size_t i : pending) {
+        if (outcomes[i].ok())
+            outcomes[i].result = std::move(results[i]);
+    }
+    return outcomes;
+}
+
 void
 runSweepSystems(
     const std::vector<SweepJob> &jobs,
     const std::function<void(std::size_t, System &)> &collect,
     unsigned num_threads)
 {
-    const auto runOne = [&](std::size_t i) {
-        const SweepJob &job = jobs[i];
-        SystemConfig cfg = job.config;
-        cfg.seed = job.options.seed;
-        System system(cfg, job.workload);
-        system.run(job.options.warmup_instructions,
-                   job.options.measure_instructions);
-        g_completed_runs.fetch_add(1, std::memory_order_relaxed);
-        collect(i, system);
-    };
-
-    // Distinct baselines requested by the jobs, deduplicated so each
-    // is submitted (and computed) once.
-    std::vector<std::size_t> baseline_of;  ///< Job index per baseline.
-    {
-        std::map<std::string, std::size_t> seen;
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            if (!jobs[i].compare_baseline)
-                continue;
-            seen.try_emplace(
-                baselineKey(jobs[i].workload, jobs[i].options), i);
-        }
-        for (const auto &[key, index] : seen)
-            baseline_of.push_back(index);
-    }
-    // Baselines always run on the default substrate, matching the
-    // benches' direct baselineFor(workload, SystemConfig{}, options)
-    // calls — a job may sweep substrate knobs (e.g. LLC replacement)
-    // while its reference point stays the Table I machine.
-    const auto warmOne = [&](std::size_t i) {
-        baselineFor(jobs[i].workload, SystemConfig{}, jobs[i].options);
-    };
-
-    const unsigned threads =
-        num_threads > 0 ? num_threads : sweepJobCount();
-    if (threads <= 1) {
-        for (std::size_t i : baseline_of)
-            warmOne(i);
-        for (std::size_t i = 0; i < jobs.size(); ++i)
-            runOne(i);
-        return;
-    }
-
-    ThreadPool pool(threads);
-    // Baselines first: they gate the metrics of every job that set
-    // compare_baseline, so get them onto the workers before the bulk.
-    for (std::size_t i : baseline_of)
-        pool.submit([&warmOne, i] { warmOne(i); });
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-        pool.submit([&runOne, i] { runOne(i); });
-    pool.wait();
+    rethrowFirstFailure(
+        runSweepSystemsOutcomes(jobs, collect, num_threads));
 }
 
 std::vector<RunResult>
 runSweep(const std::vector<SweepJob> &jobs, unsigned num_threads)
 {
-    std::vector<RunResult> results(jobs.size());
-    runSweepSystems(
-        jobs,
-        [&](std::size_t i, System &system) {
-            results[i] = collectResult(system, jobs[i].workload);
-        },
-        num_threads);
+    std::vector<JobOutcome> outcomes =
+        runSweepOutcomes(jobs, num_threads);
+    rethrowFirstFailure(outcomes);
+    std::vector<RunResult> results;
+    results.reserve(outcomes.size());
+    for (JobOutcome &outcome : outcomes)
+        results.push_back(std::move(outcome.result));
     return results;
+}
+
+std::size_t
+reportFailures(const std::vector<SweepJob> &jobs,
+               const std::vector<JobOutcome> &outcomes)
+{
+    std::size_t skipped = 0;
+    std::size_t failed = 0;
+    for (const JobOutcome &outcome : outcomes) {
+        if (outcome.status == JobStatus::Skipped)
+            ++skipped;
+        else if (outcome.status == JobStatus::Failed)
+            ++failed;
+    }
+    if (skipped > 0) {
+        std::printf("Journal: resumed %llu of %llu jobs from %s\n",
+                    static_cast<unsigned long long>(skipped),
+                    static_cast<unsigned long long>(outcomes.size()),
+                    sweepJournalDir().c_str());
+    }
+    if (failed == 0)
+        return 0;
+
+    std::printf("WARNING: %llu of %llu sweep jobs failed; their "
+                "table cells are marked FAIL\n",
+                static_cast<unsigned long long>(failed),
+                static_cast<unsigned long long>(outcomes.size()));
+    TextTable table({"job", "workload", "prefetcher", "attempts",
+                     "error"});
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (outcomes[i].status != JobStatus::Failed)
+            continue;
+        table.addRow({std::to_string(i), jobs[i].workload,
+                      prefetcherName(jobs[i].config.prefetcher.kind),
+                      std::to_string(outcomes[i].attempts),
+                      outcomes[i].error});
+    }
+    table.print();
+    return failed;
 }
 
 std::uint64_t

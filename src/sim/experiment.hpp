@@ -15,13 +15,26 @@
  * BINGO_WARMUP_INSTRS and BINGO_MEASURE_INSTRS for higher fidelity.
  * BINGO_JOBS sets the sweep thread count (default: all hardware
  * threads; 1 restores fully serial execution).
+ *
+ * Fault tolerance: the *Outcomes entry points isolate per-job
+ * failures — one simulation throwing no longer aborts the sweep.
+ * Failing jobs are retried up to BINGO_RETRIES times with bounded
+ * backoff; a terminally failed job is reported as a structured
+ * JobOutcome and the bench renders a partial table with the failure
+ * marked. BINGO_JOB_TIMEOUT_S arms a per-job watchdog that converts a
+ * hung simulation into a reported failure instead of wedging its
+ * worker. BINGO_JOURNAL_DIR enables the crash-safe result journal:
+ * completed jobs persist as they finish and a re-run resumes from the
+ * journal, bit-identically (see sim/journal.hpp).
  */
 
 #ifndef BINGO_SIM_EXPERIMENT_HPP
 #define BINGO_SIM_EXPERIMENT_HPP
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <string>
 #include <vector>
@@ -59,6 +72,15 @@ const RunResult &baselineFor(const std::string &workload,
                              SystemConfig config,
                              const ExperimentOptions &options);
 
+/**
+ * baselineFor for fault-tolerant benches: nullptr instead of a throw
+ * when the baseline cannot be computed, so the rows that depend on it
+ * render as failures while the rest of the table survives.
+ */
+const RunResult *tryBaselineFor(const std::string &workload,
+                                const SystemConfig &config,
+                                const ExperimentOptions &options);
+
 /** One independent simulation of a sweep. */
 struct SweepJob
 {
@@ -80,26 +102,98 @@ struct SweepJob
  */
 unsigned sweepJobCount();
 
+/** Extra attempts per failing job: BINGO_RETRIES (default 1). */
+unsigned sweepRetries();
+
 /**
- * Run every job (plus the distinct baselines of jobs with
- * compare_baseline set) across `num_threads` workers and return the
- * results in job order. `num_threads` 0 means sweepJobCount(); 1 runs
- * everything serially on the calling thread with no pool at all.
+ * Per-job watchdog deadline in seconds: BINGO_JOB_TIMEOUT_S
+ * (default 0 = disabled). Covers warmup + measurement of one job.
+ */
+double sweepJobTimeoutSeconds();
+
+/** Journal directory: BINGO_JOURNAL_DIR ("" = journaling off). */
+std::string sweepJournalDir();
+
+/** How a sweep job ended. */
+enum class JobStatus
+{
+    Ok,       ///< Simulated successfully (possibly after retries).
+    Skipped,  ///< Result restored from the journal; not re-simulated.
+    Failed,   ///< Every attempt threw; see error/exception.
+};
+
+/** Structured outcome of one sweep job. */
+struct JobOutcome
+{
+    JobStatus status = JobStatus::Failed;
+    RunResult result;        ///< Valid when ok() on the runSweep path.
+    std::string error;       ///< what() of the last failing attempt.
+    unsigned attempts = 0;   ///< Attempts consumed (0 when Skipped).
+    double wall_seconds = 0.0;  ///< Wall time across all attempts.
+    std::exception_ptr exception;  ///< Last failure, for rethrowing.
+
+    bool ok() const { return status != JobStatus::Failed; }
+};
+
+/**
+ * Test seam: called before every attempt with (job index, attempt
+ * number starting at 1). A throwing hook counts as that attempt
+ * failing, exactly like the simulation itself throwing.
+ */
+using SweepFaultHook =
+    std::function<void(std::size_t job_index, unsigned attempt)>;
+
+/**
+ * Fault-tolerant sweep: run every job (plus the distinct baselines of
+ * jobs with compare_baseline set) across `num_threads` workers and
+ * return a JobOutcome per job, in job order. A job that throws is
+ * retried per BINGO_RETRIES and, if it keeps failing, reported in its
+ * outcome while every other job still completes. With
+ * BINGO_JOURNAL_DIR set, already-journaled jobs are skipped and
+ * completed jobs are journaled as they finish. `num_threads` 0 means
+ * sweepJobCount(); 1 runs serially on the calling thread.
+ */
+std::vector<JobOutcome>
+runSweepOutcomes(const std::vector<SweepJob> &jobs,
+                 unsigned num_threads = 0,
+                 const SweepFaultHook &fault_hook = {});
+
+/**
+ * Like runSweepOutcomes, but hands each finished System to
+ * `collect(index, system)` instead of snapshotting a RunResult — for
+ * benches that read observer state off the live System (Figs. 2 and
+ * 4). `collect` is invoked from worker threads, concurrently for
+ * distinct indices; it must only touch per-index state. Outcomes carry
+ * status/error/attempts only (their `result` stays empty), and the
+ * journal does not apply — observer state cannot be persisted.
+ */
+std::vector<JobOutcome> runSweepSystemsOutcomes(
+    const std::vector<SweepJob> &jobs,
+    const std::function<void(std::size_t, System &)> &collect,
+    unsigned num_threads = 0, const SweepFaultHook &fault_hook = {});
+
+/**
+ * Strict wrapper over runSweepOutcomes: returns the results in job
+ * order, rethrowing the first failure (after its retries) like the
+ * pre-fault-tolerance runner did.
  */
 std::vector<RunResult> runSweep(const std::vector<SweepJob> &jobs,
                                 unsigned num_threads = 0);
 
-/**
- * Like runSweep, but hands each finished System to `collect(index,
- * system)` instead of snapshotting a RunResult — for benches that read
- * observer state off the live System (Figs. 2 and 4). `collect` is
- * invoked from worker threads, concurrently for distinct indices; it
- * must only touch per-index state.
- */
+/** Strict wrapper over runSweepSystemsOutcomes; rethrows likewise. */
 void runSweepSystems(
     const std::vector<SweepJob> &jobs,
     const std::function<void(std::size_t, System &)> &collect,
     unsigned num_threads = 0);
+
+/**
+ * Print a table of the failed jobs of a sweep (workload, prefetcher,
+ * attempts, error) plus a journal-resume summary when jobs were
+ * skipped. Prints nothing when every job ran fresh and succeeded, so
+ * a clean sweep's output is unchanged. Returns the failure count.
+ */
+std::size_t reportFailures(const std::vector<SweepJob> &jobs,
+                           const std::vector<JobOutcome> &outcomes);
 
 /**
  * Wall-clock + throughput reporter for a bench's sweeps. Construct at

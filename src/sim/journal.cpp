@@ -1,0 +1,345 @@
+#include "sim/journal.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace bingo
+{
+
+namespace
+{
+
+constexpr char kFormatTag[] = "bingo-journal";
+constexpr unsigned kFormatVersion = 1;
+
+/** FNV-1a 64-bit over the serialized job identity. */
+std::uint64_t
+fnv1a(const std::string &data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : data) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+doubleBits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+double
+doubleFromBits(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Append one field to the identity serialization. */
+template <typename T>
+void
+put(std::ostringstream &out, T value)
+{
+    out << value << '|';
+}
+
+void
+serializeConfig(std::ostringstream &out, const SystemConfig &cfg)
+{
+    put(out, cfg.num_cores);
+    put(out, doubleBits(cfg.frequency_ghz));
+    put(out, cfg.seed);
+    put(out, cfg.core.width);
+    put(out, cfg.core.rob_entries);
+    put(out, cfg.core.lsq_entries);
+    put(out, cfg.core.alu_latency);
+    for (const CacheConfig *cache : {&cfg.l1d, &cfg.llc}) {
+        put(out, cache->size_bytes);
+        put(out, cache->ways);
+        put(out, cache->hit_latency);
+        put(out, cache->mshr_entries);
+        put(out, cache->prefetch_queue);
+        put(out, static_cast<unsigned>(cache->replacement));
+    }
+    put(out, cfg.dram.channels);
+    put(out, cfg.dram.banks_per_channel);
+    put(out, cfg.dram.row_size_bytes);
+    put(out, cfg.dram.controller_latency);
+    put(out, cfg.dram.t_cas);
+    put(out, cfg.dram.t_rcd);
+    put(out, cfg.dram.t_rp);
+    put(out, cfg.dram.data_transfer);
+    put(out, cfg.dram.read_queue_entries);
+
+    const PrefetcherConfig &pf = cfg.prefetcher;
+    put(out, static_cast<unsigned>(pf.kind));
+    put(out, pf.region_blocks);
+    put(out, pf.pht_entries);
+    put(out, pf.pht_ways);
+    put(out, pf.accumulation_entries);
+    put(out, pf.filter_entries);
+    put(out, doubleBits(pf.vote_threshold));
+    put(out, pf.bop_rr_entries);
+    put(out, pf.bop_score_max);
+    put(out, pf.bop_round_max);
+    put(out, pf.bop_bad_score);
+    put(out, pf.bop_degree);
+    put(out, pf.spp_signature_entries);
+    put(out, pf.spp_pattern_entries);
+    put(out, pf.spp_filter_entries);
+    put(out, doubleBits(pf.spp_confidence_threshold));
+    put(out, pf.spp_max_depth);
+    put(out, pf.vldp_dhb_entries);
+    put(out, pf.vldp_opt_entries);
+    put(out, pf.vldp_dpt_entries);
+    put(out, pf.vldp_degree);
+    put(out, pf.ampm_map_entries);
+    put(out, pf.ampm_degree);
+    put(out, pf.stride_table_entries);
+    put(out, pf.stride_degree);
+    put(out, pf.num_events);
+}
+
+/** Cache counters in a fixed order shared by store and load. */
+void
+cacheFields(const CacheStats &stats,
+            std::vector<const std::uint64_t *> &out)
+{
+    out = {&stats.demand_accesses,
+           &stats.demand_hits,
+           &stats.demand_misses,
+           &stats.late_prefetch_hits,
+           &stats.mshr_merges,
+           &stats.mshr_stall_fetches,
+           &stats.prefetch_requests,
+           &stats.prefetch_drops,
+           &stats.prefetch_drop_present,
+           &stats.prefetch_drop_inflight,
+           &stats.prefetch_drop_mshr,
+           &stats.prefetch_fills,
+           &stats.useful_prefetches,
+           &stats.useless_prefetches,
+           &stats.writebacks,
+           &stats.evictions,
+           &stats.demand_miss_latency};
+}
+
+void
+dramFields(const DramStats &stats,
+           std::vector<const std::uint64_t *> &out)
+{
+    out = {&stats.reads,         &stats.writes,
+           &stats.row_hits,      &stats.row_misses,
+           &stats.row_conflicts, &stats.bus_busy_cycles,
+           &stats.queue_delay_cycles};
+}
+
+void
+writeStatsLine(std::ostream &out, const char *label,
+               const std::vector<const std::uint64_t *> &fields)
+{
+    out << label;
+    for (const std::uint64_t *field : fields)
+        out << ' ' << *field;
+    out << '\n';
+}
+
+/** Expect `keyword` as the next token; false on anything else. */
+bool
+expect(std::istream &in, const char *keyword)
+{
+    std::string token;
+    return static_cast<bool>(in >> token) && token == keyword;
+}
+
+bool
+readStatsLine(std::istream &in, const char *label,
+              const std::vector<const std::uint64_t *> &fields)
+{
+    if (!expect(in, label))
+        return false;
+    for (const std::uint64_t *field : fields) {
+        std::uint64_t value;
+        if (!(in >> value))
+            return false;
+        *const_cast<std::uint64_t *>(field) = value;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+jobFingerprint(const SweepJob &job)
+{
+    std::ostringstream identity;
+    put(identity, job.workload);
+    // The runner overwrites config.seed with options.seed before
+    // simulating; normalize here so equivalent jobs hash equal.
+    SystemConfig cfg = job.config;
+    cfg.seed = job.options.seed;
+    serializeConfig(identity, cfg);
+    put(identity, job.options.warmup_instructions);
+    put(identity, job.options.measure_instructions);
+    put(identity, job.options.seed);
+
+    const std::string data = identity.str();
+    // Two independent hashes (plain and length-salted) halve nothing
+    // semantically but give a 128-bit name, making accidental
+    // collisions across a sweep's few hundred jobs implausible.
+    const std::uint64_t lo = fnv1a(data);
+    const std::uint64_t hi =
+        fnv1a(std::to_string(data.size()) + "#" + data);
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64 "%016" PRIx64, hi, lo);
+    return buf;
+}
+
+std::string
+journalRecordPath(const std::string &dir, const std::string &fingerprint)
+{
+    return (std::filesystem::path(dir) / (fingerprint + ".run"))
+        .string();
+}
+
+bool
+journalLoad(const std::string &dir, const std::string &fingerprint,
+            RunResult &out)
+{
+    std::ifstream in(journalRecordPath(dir, fingerprint));
+    if (!in)
+        return false;
+
+    std::string tag;
+    unsigned version = 0;
+    if (!(in >> tag >> version) || tag != kFormatTag ||
+        version != kFormatVersion)
+        return false;
+
+    std::string recorded;
+    if (!expect(in, "fingerprint") || !(in >> recorded) ||
+        recorded != fingerprint)
+        return false;
+
+    RunResult result;
+    unsigned kind = 0;
+    std::size_t cores = 0;
+    // Workload names contain spaces, so they are length-prefixed.
+    std::size_t name_len = 0;
+    if (!expect(in, "workload") || !(in >> name_len) ||
+        name_len > 4096 || in.get() != ' ')
+        return false;
+    result.workload.resize(name_len);
+    if (!in.read(result.workload.data(),
+                 static_cast<std::streamsize>(name_len)))
+        return false;
+    if (!expect(in, "kind") || !(in >> kind) ||
+        kind > static_cast<unsigned>(PrefetcherKind::EventStudy))
+        return false;
+    result.kind = static_cast<PrefetcherKind>(kind);
+    if (!expect(in, "cores") || !(in >> cores) || cores == 0 ||
+        cores > 1024)
+        return false;
+    if (!expect(in, "ipc"))
+        return false;
+    result.core_ipc.resize(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+        std::uint64_t bits;
+        if (!(in >> std::hex >> bits >> std::dec))
+            return false;
+        result.core_ipc[c] = doubleFromBits(bits);
+    }
+    if (!expect(in, "instructions") || !(in >> result.instructions))
+        return false;
+
+    std::vector<const std::uint64_t *> fields;
+    cacheFields(result.llc, fields);
+    if (!readStatsLine(in, "llc", fields))
+        return false;
+    cacheFields(result.l1d, fields);
+    if (!readStatsLine(in, "l1d", fields))
+        return false;
+    dramFields(result.dram, fields);
+    if (!readStatsLine(in, "dram", fields))
+        return false;
+
+    if (!expect(in, "storage") ||
+        !(in >> result.prefetch_storage_bytes))
+        return false;
+    if (!expect(in, "end"))
+        return false;
+
+    out = std::move(result);
+    return true;
+}
+
+void
+journalStore(const std::string &dir, const std::string &fingerprint,
+             const RunResult &result)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        throw std::runtime_error("journal: cannot create " + dir +
+                                 ": " + ec.message());
+
+    const std::string final_path = journalRecordPath(dir, fingerprint);
+    const std::string temp_path =
+        final_path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+                           std::this_thread::get_id()) &
+                       0xFFFFFF);
+    {
+        std::ofstream out(temp_path, std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("journal: cannot write " +
+                                     temp_path);
+        out << kFormatTag << ' ' << kFormatVersion << '\n';
+        out << "fingerprint " << fingerprint << '\n';
+        out << "workload " << result.workload.size() << ' '
+            << result.workload << '\n';
+        out << "kind " << static_cast<unsigned>(result.kind) << '\n';
+        out << "cores " << result.core_ipc.size() << '\n';
+        out << "ipc" << std::hex;
+        for (const double ipc : result.core_ipc)
+            out << ' ' << doubleBits(ipc);
+        out << std::dec << '\n';
+        out << "instructions " << result.instructions << '\n';
+
+        std::vector<const std::uint64_t *> fields;
+        cacheFields(result.llc, fields);
+        writeStatsLine(out, "llc", fields);
+        cacheFields(result.l1d, fields);
+        writeStatsLine(out, "l1d", fields);
+        dramFields(result.dram, fields);
+        writeStatsLine(out, "dram", fields);
+
+        out << "storage " << result.prefetch_storage_bytes << '\n';
+        out << "end\n";
+        out.flush();
+        if (!out)
+            throw std::runtime_error("journal: write failed for " +
+                                     temp_path);
+    }
+    fs::rename(temp_path, final_path, ec);
+    if (ec) {
+        fs::remove(temp_path, ec);
+        throw std::runtime_error("journal: cannot rename into " +
+                                 final_path);
+    }
+}
+
+} // namespace bingo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Crash-safe sweep journal: completed jobs persist their RunResult to
+ * one record file per job fingerprint under BINGO_JOURNAL_DIR, written
+ * atomically (temp file + rename). A re-run of the same sweep loads
+ * the journaled records instead of re-simulating, so a sweep killed
+ * halfway resumes from where it died and reproduces the exact tables
+ * the uninterrupted run would have printed.
+ *
+ * The fingerprint hashes the complete identity of a job — workload,
+ * every SystemConfig field (including the prefetcher knobs), and the
+ * run lengths/seed — so a record can never be replayed against a
+ * different experiment. Doubles are stored as their IEEE-754 bit
+ * patterns, making a resumed table bit-identical, not just close.
+ */
+
+#ifndef BINGO_SIM_JOURNAL_HPP
+#define BINGO_SIM_JOURNAL_HPP
+
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace bingo
+{
+
+struct SweepJob;
+
+/**
+ * Stable hex fingerprint of a job's full identity (workload + config +
+ * options). compare_baseline is excluded: it changes what else the
+ * sweep computes, not this job's result.
+ */
+std::string jobFingerprint(const SweepJob &job);
+
+/** Record file path for `fingerprint` inside journal `dir`. */
+std::string journalRecordPath(const std::string &dir,
+                              const std::string &fingerprint);
+
+/**
+ * Load the journaled result for `fingerprint` from `dir` into `out`.
+ * Returns false — never throws — when the record is absent, truncated,
+ * garbled, from an old format, or carries a different fingerprint;
+ * the caller then simply re-runs the job.
+ */
+bool journalLoad(const std::string &dir, const std::string &fingerprint,
+                 RunResult &out);
+
+/**
+ * Persist `result` as the record for `fingerprint`, creating `dir` as
+ * needed. Writes a temp file and renames it into place, so a crash
+ * mid-write can never leave a half-record that journalLoad would see.
+ * Throws std::runtime_error when the directory or file cannot be
+ * written.
+ */
+void journalStore(const std::string &dir, const std::string &fingerprint,
+                  const RunResult &result);
+
+} // namespace bingo
+
+#endif // BINGO_SIM_JOURNAL_HPP

@@ -1,9 +1,24 @@
 #include "sim/system.hpp"
 
 #include <cassert>
+#include <string>
+
+#include "common/sim_check.hpp"
 
 namespace bingo
 {
+
+namespace
+{
+
+/**
+ * Cycles between watchdog/self-check pauses: frequent enough that a
+ * tiny BINGO_JOB_TIMEOUT_S fires within any realistic run, rare
+ * enough that the steady_clock read is invisible in the profile.
+ */
+constexpr Cycle kCheckIntervalMask = 0xFFF;
+
+} // namespace
 
 System::System(const SystemConfig &config, const std::string &workload)
     : config_(config)
@@ -87,8 +102,43 @@ System::build(std::vector<std::unique_ptr<TraceSource>> sources)
 }
 
 void
+System::setDeadline(std::chrono::steady_clock::time_point deadline)
+{
+    deadline_ = deadline;
+    deadline_armed_ = true;
+}
+
+void
+System::checkInvariants() const
+{
+    llc_->checkInvariants(now_);
+    for (const auto &l1 : l1ds_)
+        l1->checkInvariants(now_);
+    dram_->checkInvariants(now_);
+}
+
+void
+System::reportWatchdogExpiry() const
+{
+    std::string progress;
+    for (const auto &core : cores_) {
+        if (!progress.empty())
+            progress += ", ";
+        progress += "core" + std::to_string(core->id()) + "=" +
+                    std::to_string(core->stats().instructions) +
+                    " instrs";
+    }
+    throw SimError("watchdog", now_,
+                   "simulation exceeded BINGO_JOB_TIMEOUT_S; "
+                   "progress at expiry: " +
+                       progress);
+}
+
+void
 System::runPhase(std::uint64_t instructions)
 {
+    const bool checks = simCheckEnabled();
+    const bool pausing = checks || deadline_armed_;
     for (auto &core : cores_)
         core->startMeasurement(instructions, now_);
     while (true) {
@@ -101,11 +151,20 @@ System::runPhase(std::uint64_t instructions)
         }
         if (all_done)
             break;
+        if (pausing && (now_ & kCheckIntervalMask) == 0) {
+            if (deadline_armed_ &&
+                std::chrono::steady_clock::now() >= deadline_)
+                reportWatchdogExpiry();
+            if (checks)
+                checkInvariants();
+        }
         events_.runDue(now_);
         for (auto &core : cores_)
             core->step(now_);
         ++now_;
     }
+    if (checks)
+        checkInvariants();
 }
 
 void

@@ -9,6 +9,7 @@
 #ifndef BINGO_SIM_SYSTEM_HPP
 #define BINGO_SIM_SYSTEM_HPP
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -68,11 +69,29 @@ class System
         return static_cast<unsigned>(cores_.size());
     }
 
+    /**
+     * Watchdog: arm a wall-clock deadline checked periodically during
+     * run(). When the deadline passes, the simulation throws
+     * SimError("watchdog", ...) carrying each core's instruction
+     * progress, so a hung run is reported instead of wedging its
+     * worker thread forever.
+     */
+    void setDeadline(std::chrono::steady_clock::time_point deadline);
+
+    /**
+     * Run the BINGO_CHECK structural invariants of every component
+     * (caches, MSHRs, DRAM) once, regardless of the env switch.
+     */
+    void checkInvariants() const;
+
   private:
     void build(std::vector<std::unique_ptr<TraceSource>> sources);
 
     /** Advance until every core's measurement quota is met. */
     void runPhase(std::uint64_t instructions);
+
+    /** Throw the watchdog SimError with per-core progress. */
+    [[noreturn]] void reportWatchdogExpiry() const;
 
     SystemConfig config_;
     EventQueue events_;
@@ -87,6 +106,8 @@ class System
     std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
     std::vector<Addr> candidate_buffer_;
     Cycle now_ = 0;
+    std::chrono::steady_clock::time_point deadline_{};
+    bool deadline_armed_ = false;
 };
 
 } // namespace bingo

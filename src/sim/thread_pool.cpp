@@ -50,28 +50,40 @@ void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_ready_.wait(lock, [this] {
-            return stopping_ || !queue_.empty();
-        });
-        if (queue_.empty())
-            return;  // stopping_ with nothing left to run.
-        std::function<void()> job = std::move(queue_.front());
-        queue_.pop_front();
-        lock.unlock();
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ with nothing left to run.
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
 
+        // From here until the decrement below, this job is "in flight".
+        // Capturing the exception (std::current_exception is noexcept)
+        // and destroying the job's captured state must both happen
+        // before the counter reaches zero: a waiter returning from
+        // wait() may immediately free resources the job referenced,
+        // and a throw escaping past the decrement would strand every
+        // waiter in wait() forever.
+        std::exception_ptr error;
         try {
             job();
         } catch (...) {
-            lock.lock();
-            if (!first_error_)
-                first_error_ = std::current_exception();
-            lock.unlock();
+            error = std::current_exception();
         }
+        job = nullptr;
 
-        lock.lock();
-        if (--unfinished_ == 0)
-            all_idle_.notify_all();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (error && !first_error_)
+                first_error_ = std::move(error);
+            if (--unfinished_ == 0)
+                all_idle_.notify_all();
+        }
     }
 }
 

@@ -63,25 +63,46 @@ writeTrace(const std::string &path,
 std::vector<TraceRecord>
 readTrace(const std::string &path)
 {
+    constexpr long kRecordBytes = 17;  // pc(8) + addr(8) + type(1).
+
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
         throw std::runtime_error("cannot open trace: " + path);
     std::vector<TraceRecord> records;
     std::uint64_t pc;
     try {
-      while (getU64(f, pc)) {
-        TraceRecord rec;
-        rec.pc = pc;
-        unsigned char type;
-        if (!getU64(f, rec.addr) || std::fread(&type, 1, 1, f) != 1)
-            throw std::runtime_error("truncated trace record in " +
-                                     path);
-        if (type > static_cast<unsigned char>(InstrType::Branch))
-            throw std::runtime_error("corrupt instruction type in " +
-                                     path);
-        rec.type = static_cast<InstrType>(type);
-        records.push_back(rec);
-      }
+        // Reject garbage up front, before any record reaches the
+        // simulator: a size that is not a whole number of records
+        // means the file was truncated or is not a trace at all.
+        if (std::fseek(f, 0, SEEK_END) != 0)
+            throw std::runtime_error("cannot seek trace: " + path);
+        const long size = std::ftell(f);
+        if (size < 0)
+            throw std::runtime_error("cannot stat trace: " + path);
+        if (size == 0)
+            throw std::runtime_error("empty trace file: " + path);
+        if (size % kRecordBytes != 0)
+            throw std::runtime_error(
+                "truncated trace file (" + std::to_string(size) +
+                " bytes is not a multiple of the " +
+                std::to_string(kRecordBytes) + "-byte record): " +
+                path);
+        std::rewind(f);
+
+        while (getU64(f, pc)) {
+            TraceRecord rec;
+            rec.pc = pc;
+            unsigned char type;
+            if (!getU64(f, rec.addr) || std::fread(&type, 1, 1, f) != 1)
+                throw std::runtime_error("truncated trace record in " +
+                                         path);
+            if (type > static_cast<unsigned char>(InstrType::Branch))
+                throw std::runtime_error(
+                    "out-of-range instruction type " +
+                    std::to_string(type) + " in " + path);
+            rec.type = static_cast<InstrType>(type);
+            records.push_back(rec);
+        }
     } catch (...) {
         std::fclose(f);
         throw;

@@ -98,6 +98,58 @@ TEST_F(TraceFileTest, EmptyTraceRejected)
                  std::runtime_error);
 }
 
+TEST_F(TraceFileTest, DistinctMessagesForEachCorruption)
+{
+    // Empty file.
+    writeTrace(path_, {});
+    try {
+        readTrace(path_);
+        FAIL() << "expected a reject for the empty trace";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("empty trace file"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Size not a multiple of the 17-byte record.
+    writeTrace(path_, {{0x1, 0x100, InstrType::Load}});
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "ab");
+        ASSERT_NE(f, nullptr);
+        std::fputc(0x42, f);
+        std::fclose(f);
+    }
+    try {
+        readTrace(path_);
+        FAIL() << "expected a reject for the truncated trace";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("truncated trace file"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("17"), std::string::npos) << what;
+    }
+
+    // Out-of-range instruction type byte.
+    writeTrace(path_, {{0x1, 0x100, InstrType::Load}});
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 16, SEEK_SET);
+        std::fputc(0x7f, f);
+        std::fclose(f);
+    }
+    try {
+        readTrace(path_);
+        FAIL() << "expected a reject for the corrupt type byte";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("out-of-range instruction type"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("127"), std::string::npos) << what;
+    }
+}
+
 TEST_F(TraceFileTest, InMemoryConstructor)
 {
     FileTraceSource source(
