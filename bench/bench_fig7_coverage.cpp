@@ -25,7 +25,8 @@ main()
     const auto kinds = benchutil::competingPrefetchers();
     const auto &workloads = workloadNames();
     TextTable table({"Workload", "Prefetcher", "Coverage", "Uncovered",
-                     "Overprediction", "Accuracy"});
+                     "Overprediction", "Accuracy", "Timely",
+                     "Late hits"});
 
     std::vector<SweepJob> jobs;
     for (const std::string &workload : workloads) {
@@ -39,6 +40,7 @@ main()
     std::vector<benchutil::MeanAcc> avg_cov(kinds.size());
     std::vector<benchutil::MeanAcc> avg_over(kinds.size());
     std::vector<benchutil::MeanAcc> avg_acc(kinds.size());
+    std::vector<benchutil::MeanAcc> avg_late(kinds.size());
 
     std::size_t job = 0;
     for (const std::string &workload : workloads) {
@@ -51,25 +53,38 @@ main()
                               benchutil::kFailCell,
                               benchutil::kFailCell,
                               benchutil::kFailCell,
+                              benchutil::kFailCell,
+                              benchutil::kFailCell,
                               benchutil::kFailCell});
                 continue;
             }
             const PrefetchMetrics metrics =
                 computeMetrics(*baseline, outcome.result);
+            // Timely vs late: both relative to the useful prefetches,
+            // so the two columns always sum to 100%.
+            const CacheStats &llc = outcome.result.llc;
+            const bool any_useful = llc.useful_prefetches > 0;
             table.addRow({workload, prefetcherName(kinds[k]),
                           fmtPercent(metrics.coverage),
                           fmtPercent(metrics.uncovered),
                           fmtPercent(metrics.overprediction),
-                          fmtPercent(metrics.accuracy)});
+                          fmtPercent(metrics.accuracy),
+                          any_useful
+                              ? fmtPercent(1.0 - llc.lateHitRate())
+                              : "n/a",
+                          fmtLateHitRate(llc)});
             avg_cov[k].add(metrics.coverage);
             avg_over[k].add(metrics.overprediction);
             avg_acc[k].add(metrics.accuracy);
+            if (any_useful)
+                avg_late[k].add(llc.lateHitRate());
         }
     }
 
     for (std::size_t k = 0; k < kinds.size(); ++k) {
         if (avg_cov[k].empty()) {
             table.addRow({"Average", prefetcherName(kinds[k]),
+                          benchutil::kFailCell, benchutil::kFailCell,
                           benchutil::kFailCell, benchutil::kFailCell,
                           benchutil::kFailCell, benchutil::kFailCell});
             continue;
@@ -78,7 +93,13 @@ main()
                       fmtPercent(avg_cov[k].mean()),
                       fmtPercent(1.0 - avg_cov[k].mean()),
                       fmtPercent(avg_over[k].mean()),
-                      fmtPercent(avg_acc[k].mean())});
+                      fmtPercent(avg_acc[k].mean()),
+                      avg_late[k].empty()
+                          ? "n/a"
+                          : fmtPercent(1.0 - avg_late[k].mean()),
+                      avg_late[k].empty()
+                          ? "n/a"
+                          : fmtPercent(avg_late[k].mean())});
     }
     table.print();
     table.maybeWriteCsv("fig7_coverage");

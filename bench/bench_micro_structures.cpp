@@ -6,6 +6,8 @@
  * that makes the figure sweeps cheap.
  */
 
+#include <array>
+
 #include <benchmark/benchmark.h>
 
 #include "cache/cache.hpp"
@@ -18,6 +20,7 @@
 #include "prefetch/bingo.hpp"
 #include "sim/experiment.hpp"
 #include "sim/journal.hpp"
+#include "telemetry/histogram.hpp"
 #include "workload/generator.hpp"
 
 namespace
@@ -253,6 +256,25 @@ BM_JobFingerprint(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_JobFingerprint);
+
+void
+BM_LogHistogramRecord(benchmark::State &state)
+{
+    // Telemetry histograms sit on the LLC fill path when enabled;
+    // a record must stay a handful of cycles.
+    telemetry::LogHistogram histogram;
+    Rng rng(42);
+    std::array<std::uint64_t, 1024> values;
+    for (auto &v : values)
+        v = rng.next() & 0xFFFFF;  // Latency-sized magnitudes.
+    std::size_t i = 0;
+    for (auto _ : state) {
+        histogram.record(values[i++ & 1023]);
+        benchmark::DoNotOptimize(histogram);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogHistogramRecord);
 
 } // namespace
 

@@ -1,7 +1,8 @@
 /**
  * @file
  * Table II reproduction: baseline (no-prefetcher) LLC MPKI of every
- * workload, next to the paper's reported values.
+ * workload next to the paper's reported values, plus the same metric
+ * under Bingo with its prefetch-timeliness breakdown (late-hit rate).
  */
 
 #include <cstdio>
@@ -41,27 +42,44 @@ main()
     const SweepTimer timer;
     SystemConfig config;
     config.prefetcher.kind = PrefetcherKind::None;
+    const SystemConfig bingo_config =
+        benchutil::configFor(PrefetcherKind::Bingo);
 
     std::printf("Table II: workload characteristics "
-                "(baseline system, no prefetcher)\n");
+                "(baseline system, plus Bingo for timeliness)\n");
     printConfigHeader(config);
 
     const auto &workloads = workloadNames();
+    // Jobs interleave [baseline, bingo] per workload so one sweep
+    // computes both columns.
     std::vector<SweepJob> jobs;
-    for (const std::string &workload : workloads)
+    for (const std::string &workload : workloads) {
         jobs.push_back({workload, config, options});
+        jobs.push_back({workload, bingo_config, options});
+    }
     const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
 
     TextTable table({"Application", "Description", "LLC MPKI (paper)",
-                     "LLC MPKI (measured)", "IPC/core"});
+                     "LLC MPKI (measured)", "IPC/core",
+                     "LLC MPKI (Bingo)", "Late-hit rate"});
     for (std::size_t i = 0; i < workloads.size(); ++i) {
-        const JobOutcome &outcome = outcomes[i];
+        const JobOutcome &outcome = outcomes[2 * i];
+        const JobOutcome &bingo_outcome = outcomes[2 * i + 1];
+        const std::string bingo_mpki =
+            bingo_outcome.ok()
+                ? fmtDouble(bingo_outcome.result.llcMpki(), 1)
+                : benchutil::kFailCell;
+        const std::string late_rate =
+            bingo_outcome.ok()
+                ? fmtLateHitRate(bingo_outcome.result.llc)
+                : benchutil::kFailCell;
         if (!outcome.ok()) {
             table.addRow({workloads[i],
                           workloadDescription(workloads[i]),
                           fmtDouble(paperMpki(workloads[i]), 1),
                           benchutil::kFailCell,
-                          benchutil::kFailCell});
+                          benchutil::kFailCell, bingo_mpki,
+                          late_rate});
             continue;
         }
         const RunResult &result = outcome.result;
@@ -71,7 +89,8 @@ main()
                       fmtDouble(result.ipcSum() /
                                     static_cast<double>(
                                         result.core_ipc.size()),
-                                2)});
+                                2),
+                      bingo_mpki, late_rate});
     }
     table.print();
     table.maybeWriteCsv("table2_mpki");

@@ -6,6 +6,8 @@
 
 #include "common/sim_check.hpp"
 #include "mem/dram.hpp"
+#include "telemetry/lifecycle.hpp"
+#include "telemetry/registry.hpp"
 
 namespace bingo
 {
@@ -163,6 +165,8 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
         if (block->prefetched) {
             block->prefetched = false;
             ++stats_.useful_prefetches;
+            if (lifecycle_)
+                lifecycle_->onDemandHit(access.block, now);
         }
         if (access.type == AccessType::Store)
             block->dirty = true;
@@ -183,8 +187,12 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
             // miss: covered, but late. Usefulness counts once per
             // block.
             ++stats_.late_prefetch_hits;
-            if (!entry->demand_merged)
+            if (!entry->demand_merged) {
                 ++stats_.useful_prefetches;
+                ++stats_.late_useful_prefetches;
+                if (lifecycle_)
+                    lifecycle_->onLateMerge(access.block, now);
+            }
         } else {
             ++stats_.demand_misses;
         }
@@ -260,6 +268,8 @@ Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
         return;
     }
     mshrs_.allocate(block, /*prefetch_origin=*/true, core, now);
+    if (lifecycle_)
+        lifecycle_->onIssue(block, now);
     MemAccess access;
     access.block = block;
     access.pc = pc;
@@ -286,6 +296,8 @@ Cache::drainPrefetchQueue(Cycle now)
         }
         mshrs_.allocate(qp.block, /*prefetch_origin=*/true, qp.core,
                         now);
+        if (lifecycle_)
+            lifecycle_->onIssue(qp.block, now);
         MemAccess access;
         access.block = qp.block;
         access.pc = qp.pc;
@@ -318,8 +330,11 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
     victim.lru = ++tick_;
     // SRRIP inserts at "long" re-reference (2 of 3).
     victim.rrpv = 2;
-    if (entry.prefetch_origin)
+    if (entry.prefetch_origin) {
         ++stats_.prefetch_fills;
+        if (lifecycle_)
+            lifecycle_->onFill(block, fill_cycle);
+    }
 
     for (FillCallback &cb : entry.callbacks)
         cb(fill_cycle);
@@ -336,6 +351,9 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
             if (hit->prefetched) {
                 hit->prefetched = false;
                 ++stats_.useful_prefetches;
+                if (lifecycle_)
+                    lifecycle_->onDemandHit(replay.access.block,
+                                            fill_cycle);
             }
             if (replay.access.type == AccessType::Store)
                 hit->dirty = true;
@@ -413,8 +431,11 @@ Cache::victimize(Addr block, Cycle now)
             break;
         }
         ++stats_.evictions;
-        if (victim->prefetched)
+        if (victim->prefetched) {
             ++stats_.useless_prefetches;
+            if (lifecycle_)
+                lifecycle_->onEvictUnused(victim->tag);
+        }
         if (victim->dirty) {
             ++stats_.writebacks;
             lower_.writeback(victim->tag, victim->core, now);
@@ -423,6 +444,43 @@ Cache::victimize(Addr block, Cycle now)
             listener(victim->tag);
     }
     return *victim;
+}
+
+void
+Cache::registerTelemetry(telemetry::Registry &registry) const
+{
+    // Probes only: every value is a counter this cache maintains
+    // anyway, read live when a snapshot is taken.
+    registry.probeGroup(
+        name_ + ".",
+        [this](std::map<std::string, std::uint64_t> &out) {
+            const CacheStats &s = stats_;
+            out["demand_accesses"] = s.demand_accesses;
+            out["demand_hits"] = s.demand_hits;
+            out["demand_misses"] = s.demand_misses;
+            out["late_prefetch_hits"] = s.late_prefetch_hits;
+            out["mshr_merges"] = s.mshr_merges;
+            out["mshr_stall_fetches"] = s.mshr_stall_fetches;
+            out["prefetch_requests"] = s.prefetch_requests;
+            out["prefetch_drops"] = s.prefetch_drops;
+            out["prefetch_drop_present"] = s.prefetch_drop_present;
+            out["prefetch_drop_inflight"] = s.prefetch_drop_inflight;
+            out["prefetch_drop_mshr"] = s.prefetch_drop_mshr;
+            out["prefetch_fills"] = s.prefetch_fills;
+            out["useful_prefetches"] = s.useful_prefetches;
+            out["useless_prefetches"] = s.useless_prefetches;
+            out["late_useful_prefetches"] = s.late_useful_prefetches;
+            out["timely_useful_prefetches"] =
+                s.timelyUsefulPrefetches();
+            out["writebacks"] = s.writebacks;
+            out["evictions"] = s.evictions;
+            out["demand_miss_latency"] = s.demand_miss_latency;
+            out["mshr_occupancy"] = mshrs_.size();
+            out["prefetch_queue_depth"] = prefetch_queue_.size();
+            out["pending_fetches"] = pending_.size();
+            out["resident_blocks"] = residentBlocks();
+        });
+    mshrs_.registerTelemetry(registry, name_ + ".mshr.");
 }
 
 DramLower::DramLower(DramController &dram, EventQueue &events)

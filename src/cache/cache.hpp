@@ -33,6 +33,12 @@
 namespace bingo
 {
 
+namespace telemetry
+{
+class PrefetchLifecycle;
+class Registry;
+} // namespace telemetry
+
 /** A memory access presented to a cache. */
 struct MemAccess
 {
@@ -76,6 +82,8 @@ struct CacheStats
     std::uint64_t prefetch_fills = 0;
     std::uint64_t useful_prefetches = 0;   ///< Includes late ones.
     std::uint64_t useless_prefetches = 0;
+    /** Useful blocks whose first demand merged into the pf MSHR. */
+    std::uint64_t late_useful_prefetches = 0;
     std::uint64_t writebacks = 0;
     std::uint64_t evictions = 0;
     std::uint64_t demand_miss_latency = 0;  ///< Sum over demand misses.
@@ -87,6 +95,23 @@ struct CacheStats
                    ? 0.0
                    : static_cast<double>(demand_miss_latency) /
                          static_cast<double>(demand_misses);
+    }
+
+    /** Useful blocks that were resident before their first demand. */
+    std::uint64_t
+    timelyUsefulPrefetches() const
+    {
+        return useful_prefetches - late_useful_prefetches;
+    }
+
+    /** Share of useful prefetches that arrived late; 0 when none. */
+    double
+    lateHitRate() const
+    {
+        return useful_prefetches == 0
+                   ? 0.0
+                   : static_cast<double>(late_useful_prefetches) /
+                         static_cast<double>(useful_prefetches);
     }
 };
 
@@ -128,6 +153,18 @@ class Cache
 
     void setAccessHook(AccessHook hook) { hook_ = std::move(hook); }
     void addEvictionListener(EvictionListener listener);
+
+    /**
+     * Attach a prefetch lifecycle tracker (telemetry). Null detaches;
+     * when detached, every event site is one pointer test.
+     */
+    void setLifecycleTracker(telemetry::PrefetchLifecycle *tracker)
+    {
+        lifecycle_ = tracker;
+    }
+
+    /** Register this cache's counters and occupancy probes. */
+    void registerTelemetry(telemetry::Registry &registry) const;
 
     const CacheStats &stats() const { return stats_; }
     void resetStats() { stats_ = CacheStats{}; }
@@ -205,6 +242,7 @@ class Cache
     std::deque<QueuedPrefetch> prefetch_queue_;
     CacheStats stats_;
     AccessHook hook_;
+    telemetry::PrefetchLifecycle *lifecycle_ = nullptr;
     std::vector<EvictionListener> eviction_listeners_;
     std::uint64_t tick_ = 0;
     std::uint64_t victim_rng_ = 0x9e3779b97f4a7c15ULL;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/sim_check.hpp"
+#include "telemetry/registry.hpp"
 
 namespace bingo
 {
@@ -71,6 +72,17 @@ MshrFile::release(Addr block, Cycle now)
     MshrEntry entry = std::move(it->second);
     entries_.erase(it);
     return entry;
+}
+
+void
+MshrFile::registerTelemetry(telemetry::Registry &registry,
+                            const std::string &prefix) const
+{
+    registry.probeGroup(
+        prefix, [this](std::map<std::string, std::uint64_t> &out) {
+            out["occupancy"] = entries_.size();
+            out["capacity"] = capacity_;
+        });
 }
 
 } // namespace bingo

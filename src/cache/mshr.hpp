@@ -24,6 +24,11 @@
 namespace bingo
 {
 
+namespace telemetry
+{
+class Registry;
+} // namespace telemetry
+
 /** Callback invoked with the cycle at which the fill completed. */
 using FillCallback = std::function<void(Cycle)>;
 
@@ -70,6 +75,10 @@ class MshrFile
     MshrEntry release(Addr block, Cycle now = 0);
 
     void clear() { entries_.clear(); }
+
+    /** Register occupancy/capacity probes under `prefix`. */
+    void registerTelemetry(telemetry::Registry &registry,
+                           const std::string &prefix) const;
 
     /** All in-flight entries, unordered (self-checks/diagnostics). */
     const std::unordered_map<Addr, MshrEntry> &entries() const

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/registry.hpp"
+
 namespace bingo
 {
 
@@ -192,6 +194,24 @@ OooCore::ipc() const
         return 0.0;
     return static_cast<double>(measure_target_) /
            static_cast<double>(cycles);
+}
+
+void
+OooCore::registerTelemetry(telemetry::Registry &registry) const
+{
+    registry.probeGroup(
+        "core" + std::to_string(id_) + ".",
+        [this](std::map<std::string, std::uint64_t> &out) {
+            out["instructions"] = stats_.instructions;
+            out["loads"] = stats_.loads;
+            out["stores"] = stats_.stores;
+            out["branches"] = stats_.branches;
+            out["cycles"] = stats_.cycles;
+            out["rob_full_cycles"] = stats_.rob_full_cycles;
+            out["lsq_full_cycles"] = stats_.lsq_full_cycles;
+            out["rob_occupancy"] = rob_tail_ - rob_head_;
+            out["lsq_occupancy"] = lsq_used_;
+        });
 }
 
 } // namespace bingo

@@ -82,6 +82,9 @@ class OooCore
     const CoreStats &stats() const { return stats_; }
     CoreId id() const { return id_; }
 
+    /** Register counters and window-occupancy probes ("core<id>."). */
+    void registerTelemetry(telemetry::Registry &registry) const;
+
   private:
     struct RobSlot
     {

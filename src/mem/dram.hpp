@@ -26,6 +26,11 @@
 namespace bingo
 {
 
+namespace telemetry
+{
+class Registry;
+} // namespace telemetry
+
 /** Statistics exported by the DRAM model. */
 struct DramStats
 {
@@ -82,6 +87,9 @@ class DramController
 
     /** Clear the counters but keep bank/bus timing state. */
     void resetStatsOnly() { stats_ = DramStats{}; }
+
+    /** Register this controller's counters as telemetry probes. */
+    void registerTelemetry(telemetry::Registry &registry) const;
 
     /** Channel servicing `block_addr` (blocks interleave channels). */
     unsigned channelOf(Addr block_addr) const;

@@ -1,9 +1,21 @@
 #include "prefetch/prefetcher.hpp"
 
 #include "common/hash.hpp"
+#include "telemetry/registry.hpp"
 
 namespace bingo
 {
+
+void
+Prefetcher::registerTelemetry(telemetry::Registry &registry,
+                              const std::string &prefix) const
+{
+    registry.probeGroup(
+        prefix, [this](std::map<std::string, std::uint64_t> &out) {
+            for (const auto &[name, value] : stats_.all())
+                out[name] = value;
+        });
+}
 
 std::string
 eventKindName(EventKind kind)

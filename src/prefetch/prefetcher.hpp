@@ -25,6 +25,11 @@
 namespace bingo
 {
 
+namespace telemetry
+{
+class Registry;
+} // namespace telemetry
+
 /** One LLC demand access as seen by a prefetcher. */
 struct PrefetchAccess
 {
@@ -63,6 +68,14 @@ class Prefetcher
     const PrefetcherConfig &config() const { return config_; }
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
+
+    /**
+     * Register this prefetcher's StatSet as a probe group under
+     * `prefix` — counters are read live at snapshot time, so counters
+     * a subclass creates later still appear.
+     */
+    void registerTelemetry(telemetry::Registry &registry,
+                           const std::string &prefix) const;
 
   protected:
     PrefetcherConfig config_;

@@ -14,6 +14,8 @@
 #include "sim/journal.hpp"
 #include "sim/report.hpp"
 #include "sim/thread_pool.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace bingo
 {
@@ -100,6 +102,37 @@ retryBackoff(unsigned attempt)
 }
 
 /**
+ * Export a finished job's telemetry when BINGO_TELEMETRY_DIR is set.
+ * The file stem carries workload, prefetcher, and the job fingerprint,
+ * so concurrent workers and repeated configs never collide. Export
+ * failures are reported but never fail the job: the RunResult is
+ * already safe.
+ */
+void
+maybeExportTelemetry(const SweepJob &job, System &system)
+{
+    if (system.telemetry() == nullptr)
+        return;
+    const std::string dir = telemetry::outputDir();
+    if (dir.empty())
+        return;
+    telemetry::RunMeta meta;
+    meta.workload = job.workload;
+    meta.prefetcher = prefetcherName(job.config.prefetcher.kind);
+    meta.seed = job.options.seed;
+    meta.frequency_ghz = job.config.frequency_ghz;
+    meta.base_name =
+        telemetry::sanitizeFileStem(meta.workload + "_" +
+                                    meta.prefetcher) +
+        "_" + jobFingerprint(job).substr(0, 12);
+    try {
+        telemetry::writeRunTelemetry(dir, meta, *system.telemetry());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+    }
+}
+
+/**
  * One job, attempted up to 1 + BINGO_RETRIES times. Never throws:
  * every failure is folded into the returned outcome. `collect` runs
  * on the finished System of a successful attempt only.
@@ -124,6 +157,8 @@ runJobWithRetries(const SweepJob &job, std::size_t index,
             cfg.seed = job.options.seed;
             cfg.validate();
             System system(cfg, job.workload);
+            if (telemetry::requested())
+                system.enableTelemetry(telemetry::optionsFromEnv());
             if (timeout_s > 0.0) {
                 system.setDeadline(
                     std::chrono::steady_clock::now() +
@@ -135,6 +170,7 @@ runJobWithRetries(const SweepJob &job, std::size_t index,
                        job.options.measure_instructions);
             g_completed_runs.fetch_add(1, std::memory_order_relaxed);
             collect(index, system);
+            maybeExportTelemetry(job, system);
             outcome.status = JobStatus::Ok;
             outcome.error.clear();
             outcome.exception = nullptr;

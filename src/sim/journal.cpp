@@ -21,7 +21,9 @@ namespace
 {
 
 constexpr char kFormatTag[] = "bingo-journal";
-constexpr unsigned kFormatVersion = 1;
+// v2: CacheStats gained late_useful_prefetches. Old records fail the
+// version check and the jobs simply re-run.
+constexpr unsigned kFormatVersion = 2;
 
 /** FNV-1a 64-bit over the serialized job identity. */
 std::uint64_t
@@ -131,6 +133,7 @@ cacheFields(const CacheStats &stats,
            &stats.prefetch_fills,
            &stats.useful_prefetches,
            &stats.useless_prefetches,
+           &stats.late_useful_prefetches,
            &stats.writebacks,
            &stats.evictions,
            &stats.demand_miss_latency};

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cache/cache.hpp"
+
 namespace bingo
 {
 
@@ -144,6 +146,14 @@ fmtDouble(double value, int decimals)
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
     return buf;
+}
+
+std::string
+fmtLateHitRate(const CacheStats &stats)
+{
+    if (stats.useful_prefetches == 0)
+        return "n/a";
+    return fmtPercent(stats.lateHitRate());
 }
 
 } // namespace bingo

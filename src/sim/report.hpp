@@ -13,6 +13,8 @@
 namespace bingo
 {
 
+struct CacheStats;
+
 /** Fixed-width text table. */
 class TextTable
 {
@@ -53,6 +55,13 @@ std::string fmtRatio(double ratio, int decimals = 2);
 
 /** Fixed-decimal double. */
 std::string fmtDouble(double value, int decimals = 2);
+
+/**
+ * Late-hit rate of a cache's prefetches: the share of useful
+ * prefetches whose first demand arrived while the block was still in
+ * flight. "n/a" when no prefetch was ever useful.
+ */
+std::string fmtLateHitRate(const CacheStats &stats);
 
 } // namespace bingo
 

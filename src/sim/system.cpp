@@ -18,6 +18,13 @@ namespace
  */
 constexpr Cycle kCheckIntervalMask = 0xFFF;
 
+/**
+ * Cycles between telemetry epoch-boundary checks. Denser than the
+ * watchdog mask so epoch edges land within ~256 cycles of the exact
+ * instruction boundary, still far too sparse to show in a profile.
+ */
+constexpr Cycle kEpochCheckMask = 0xFF;
+
 } // namespace
 
 System::System(const SystemConfig &config, const std::string &workload)
@@ -135,12 +142,77 @@ System::reportWatchdogExpiry() const
 }
 
 void
-System::runPhase(std::uint64_t instructions)
+System::enableTelemetry(const telemetry::Options &options)
+{
+    telemetry_ = std::make_unique<telemetry::Telemetry>(options);
+    // Prefetchers fill into the LLC, so timeliness is tracked there.
+    llc_->setLifecycleTracker(&telemetry_->lifecycle());
+
+    telemetry::Registry &registry = telemetry_->registry();
+    llc_->registerTelemetry(registry);
+    for (const auto &l1 : l1ds_)
+        l1->registerTelemetry(registry);
+    dram_->registerTelemetry(registry);
+    for (const auto &core : cores_)
+        core->registerTelemetry(registry);
+    for (CoreId c = 0; c < config_.num_cores; ++c) {
+        if (prefetchers_[c]) {
+            prefetchers_[c]->registerTelemetry(
+                registry, "pf" + std::to_string(c) + ".");
+        }
+    }
+}
+
+telemetry::EpochSnapshot
+System::telemetrySnapshot() const
+{
+    telemetry::EpochSnapshot snap;
+    for (const auto &core : cores_)
+        snap.instructions += core->stats().instructions;
+    for (const auto &l1 : l1ds_) {
+        snap.l1d_demand_accesses += l1->stats().demand_accesses;
+        snap.l1d_demand_misses += l1->stats().demand_misses;
+    }
+    const CacheStats &llc = llc_->stats();
+    snap.llc_demand_accesses = llc.demand_accesses;
+    snap.llc_demand_misses = llc.demand_misses;
+    const DramStats &dram = dram_->stats();
+    snap.dram_reads = dram.reads;
+    snap.dram_writes = dram.writes;
+    snap.dram_row_hits = dram.row_hits;
+    snap.dram_row_closed = dram.row_misses + dram.row_conflicts;
+    snap.pf_issued = llc.prefetch_requests - llc.prefetch_drops;
+    snap.pf_fills = llc.prefetch_fills;
+    snap.pf_useful = llc.useful_prefetches;
+    snap.pf_useless = llc.useless_prefetches;
+    snap.pf_late = llc.late_useful_prefetches;
+    return snap;
+}
+
+void
+System::sampleEpochIfDue()
+{
+    std::uint64_t instructions = 0;
+    for (const auto &core : cores_)
+        instructions += core->stats().instructions;
+    if (telemetry_->epochs().due(instructions))
+        telemetry_->epochs().sample(now_, telemetrySnapshot());
+}
+
+void
+System::runPhase(std::uint64_t instructions, const char *phase)
 {
     const bool checks = simCheckEnabled();
     const bool pausing = checks || deadline_armed_;
     for (auto &core : cores_)
         core->startMeasurement(instructions, now_);
+    // The phase base snapshot must be taken after startMeasurement
+    // cleared the core counters, or every delta would underflow.
+    if (telemetry_ != nullptr) {
+        telemetry_->epochs().beginPhase(
+            phase, now_, telemetrySnapshot(),
+            telemetry_->options().epoch_instructions);
+    }
     while (true) {
         bool all_done = true;
         for (auto &core : cores_) {
@@ -158,6 +230,8 @@ System::runPhase(std::uint64_t instructions)
             if (checks)
                 checkInvariants();
         }
+        if (telemetry_ != nullptr && (now_ & kEpochCheckMask) == 0)
+            sampleEpochIfDue();
         events_.runDue(now_);
         for (auto &core : cores_)
             core->step(now_);
@@ -165,6 +239,8 @@ System::runPhase(std::uint64_t instructions)
     }
     if (checks)
         checkInvariants();
+    if (telemetry_ != nullptr)
+        telemetry_->epochs().endPhase(now_, telemetrySnapshot());
 }
 
 void
@@ -172,15 +248,20 @@ System::run(std::uint64_t warmup_instructions,
             std::uint64_t measure_instructions)
 {
     if (warmup_instructions > 0)
-        runPhase(warmup_instructions);
+        runPhase(warmup_instructions, "warmup");
 
     llc_->resetStats();
     for (auto &l1 : l1ds_)
         l1->resetStats();
     // DRAM: clear counters but keep bank/bus timing state.
     dram_->resetStatsOnly();
+    if (telemetry_ != nullptr) {
+        // Clear warmup verdicts/distributions; in-flight prefetch
+        // state stays because those blocks span the boundary.
+        telemetry_->lifecycle().resetStats();
+    }
 
-    runPhase(measure_instructions);
+    runPhase(measure_instructions, "measure");
 }
 
 } // namespace bingo

@@ -21,6 +21,7 @@
 #include "mem/dram.hpp"
 #include "prefetch/prefetcher.hpp"
 #include "sim/translation.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/generator.hpp"
 
 namespace bingo
@@ -84,11 +85,32 @@ class System
      */
     void checkInvariants() const;
 
+    /**
+     * Opt into telemetry: attach the prefetch lifecycle tracker to
+     * the LLC and register every component's probes. Must be called
+     * before run(). A system without telemetry pays exactly one
+     * null-pointer branch at each observation site.
+     */
+    void enableTelemetry(const telemetry::Options &options);
+
+    /** The run's telemetry; nullptr unless enableTelemetry'd. */
+    telemetry::Telemetry *telemetry() { return telemetry_.get(); }
+    const telemetry::Telemetry *telemetry() const
+    {
+        return telemetry_.get();
+    }
+
+    /** Current counter values in epoch-snapshot form. */
+    telemetry::EpochSnapshot telemetrySnapshot() const;
+
   private:
     void build(std::vector<std::unique_ptr<TraceSource>> sources);
 
     /** Advance until every core's measurement quota is met. */
-    void runPhase(std::uint64_t instructions);
+    void runPhase(std::uint64_t instructions, const char *phase);
+
+    /** Close the telemetry epoch when its boundary was crossed. */
+    void sampleEpochIfDue();
 
     /** Throw the watchdog SimError with per-core progress. */
     [[noreturn]] void reportWatchdogExpiry() const;
@@ -108,6 +130,7 @@ class System
     Cycle now_ = 0;
     std::chrono::steady_clock::time_point deadline_{};
     bool deadline_armed_ = false;
+    std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
 
 } // namespace bingo

@@ -1,0 +1,85 @@
+#include "telemetry/epoch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bingo::telemetry
+{
+
+namespace
+{
+
+EpochSnapshot
+diff(const EpochSnapshot &now, const EpochSnapshot &base)
+{
+    EpochSnapshot d;
+    d.instructions = now.instructions - base.instructions;
+    d.l1d_demand_accesses =
+        now.l1d_demand_accesses - base.l1d_demand_accesses;
+    d.l1d_demand_misses = now.l1d_demand_misses - base.l1d_demand_misses;
+    d.llc_demand_accesses =
+        now.llc_demand_accesses - base.llc_demand_accesses;
+    d.llc_demand_misses = now.llc_demand_misses - base.llc_demand_misses;
+    d.dram_reads = now.dram_reads - base.dram_reads;
+    d.dram_writes = now.dram_writes - base.dram_writes;
+    d.dram_row_hits = now.dram_row_hits - base.dram_row_hits;
+    d.dram_row_closed = now.dram_row_closed - base.dram_row_closed;
+    d.pf_issued = now.pf_issued - base.pf_issued;
+    d.pf_fills = now.pf_fills - base.pf_fills;
+    d.pf_useful = now.pf_useful - base.pf_useful;
+    d.pf_useless = now.pf_useless - base.pf_useless;
+    d.pf_late = now.pf_late - base.pf_late;
+    return d;
+}
+
+} // namespace
+
+void
+EpochSeries::beginPhase(std::string phase, Cycle now,
+                        const EpochSnapshot &base,
+                        std::uint64_t epoch_instructions)
+{
+    phase_ = std::move(phase);
+    prev_ = base;
+    epoch_start_ = now;
+    index_ = 0;
+    epoch_instructions_ = std::max<std::uint64_t>(1, epoch_instructions);
+    next_target_ = base.instructions + epoch_instructions_;
+    armed_ = true;
+}
+
+void
+EpochSeries::emit(Cycle now, const EpochSnapshot &snap)
+{
+    EpochRecord record;
+    record.phase = phase_;
+    record.index = index_++;
+    record.start_cycle = epoch_start_;
+    record.end_cycle = now;
+    record.delta = diff(snap, prev_);
+    records_.push_back(std::move(record));
+    prev_ = snap;
+    epoch_start_ = now;
+}
+
+void
+EpochSeries::sample(Cycle now, const EpochSnapshot &snap)
+{
+    if (!armed_)
+        return;
+    emit(now, snap);
+    while (next_target_ <= snap.instructions)
+        next_target_ += epoch_instructions_;
+}
+
+void
+EpochSeries::endPhase(Cycle now, const EpochSnapshot &snap)
+{
+    if (!armed_)
+        return;
+    if (snap.instructions > prev_.instructions)
+        emit(now, snap);
+    armed_ = false;
+}
+
+} // namespace bingo::telemetry

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Epoch sampler: turns the simulator's end-of-run aggregates into
+ * per-epoch time-series.
+ *
+ * An epoch closes every BINGO_EPOCH_INSTRS retired instructions
+ * (summed over cores). The sampler stores the raw counter snapshot at
+ * each boundary and emits the delta as one EpochRecord, so a run
+ * yields IPC / MPKI / bandwidth / prefetch-outcome series instead of
+ * one number. Phases (warmup, measure) are tracked separately and the
+ * sampler re-bases at the warmup-to-measure statistics reset, so
+ * epoch 0 of the measure phase starts exactly at the reset.
+ *
+ * EpochSnapshot carries plain fields rather than component stats
+ * structs: the System fills it, keeping this library free of cache /
+ * DRAM / core dependencies.
+ */
+
+#ifndef BINGO_TELEMETRY_EPOCH_HPP
+#define BINGO_TELEMETRY_EPOCH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bingo::telemetry
+{
+
+/** Raw counter values at one instant (all phase-relative). */
+struct EpochSnapshot
+{
+    std::uint64_t instructions = 0;   ///< Retired, summed over cores.
+    std::uint64_t l1d_demand_accesses = 0;
+    std::uint64_t l1d_demand_misses = 0;
+    std::uint64_t llc_demand_accesses = 0;
+    std::uint64_t llc_demand_misses = 0;
+    std::uint64_t dram_reads = 0;
+    std::uint64_t dram_writes = 0;
+    std::uint64_t dram_row_hits = 0;
+    std::uint64_t dram_row_closed = 0;  ///< Row misses + conflicts.
+    std::uint64_t pf_issued = 0;
+    std::uint64_t pf_fills = 0;
+    std::uint64_t pf_useful = 0;
+    std::uint64_t pf_useless = 0;
+    std::uint64_t pf_late = 0;
+};
+
+/** One closed epoch: counter deltas over a cycle interval. */
+struct EpochRecord
+{
+    std::string phase;        ///< "warmup" or "measure".
+    std::uint64_t index = 0;  ///< Epoch number within its phase.
+    Cycle start_cycle = 0;
+    Cycle end_cycle = 0;
+    EpochSnapshot delta;
+
+    Cycle cycles() const { return end_cycle - start_cycle; }
+};
+
+/** Accumulates the epoch time-series of one run. */
+class EpochSeries
+{
+  public:
+    /**
+     * Start a phase: `base` is the counter snapshot at the phase
+     * boundary (what later snapshots are diffed against) and epochs
+     * close every `epoch_instructions` thereafter.
+     */
+    void beginPhase(std::string phase, Cycle now,
+                    const EpochSnapshot &base,
+                    std::uint64_t epoch_instructions);
+
+    /**
+     * Whether the next epoch boundary has been crossed. Designed as
+     * the cheap periodic check: the caller sums core instruction
+     * counters and only builds a full snapshot when this fires.
+     */
+    bool
+    due(std::uint64_t phase_instructions) const
+    {
+        return armed_ && phase_instructions >= next_target_;
+    }
+
+    /** Close the current epoch at `now` with counters `snap`. */
+    void sample(Cycle now, const EpochSnapshot &snap);
+
+    /**
+     * End the phase, flushing a final partial epoch if any
+     * instructions retired since the last boundary.
+     */
+    void endPhase(Cycle now, const EpochSnapshot &snap);
+
+    const std::vector<EpochRecord> &records() const { return records_; }
+    std::uint64_t epochInstructions() const
+    {
+        return epoch_instructions_;
+    }
+
+  private:
+    void emit(Cycle now, const EpochSnapshot &snap);
+
+    std::vector<EpochRecord> records_;
+    std::string phase_;
+    EpochSnapshot prev_;
+    Cycle epoch_start_ = 0;
+    std::uint64_t index_ = 0;
+    std::uint64_t epoch_instructions_ = 0;
+    std::uint64_t next_target_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace bingo::telemetry
+
+#endif // BINGO_TELEMETRY_EPOCH_HPP

@@ -1,0 +1,96 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace bingo::telemetry
+{
+
+unsigned
+LogHistogram::bucketOf(std::uint64_t value)
+{
+    // std::bit_width(v) is floor(log2(v)) + 1, and bit_width(0) == 0,
+    // which is exactly the bucket layout documented in the header.
+    return static_cast<unsigned>(std::bit_width(value));
+}
+
+std::uint64_t
+LogHistogram::bucketLow(unsigned bucket)
+{
+    return bucket == 0 ? 0 : 1ULL << (bucket - 1);
+}
+
+std::uint64_t
+LogHistogram::bucketHigh(unsigned bucket)
+{
+    if (bucket == 0)
+        return 0;
+    if (bucket >= 64)
+        return ~0ULL;
+    return (1ULL << bucket) - 1;
+}
+
+void
+LogHistogram::record(std::uint64_t value)
+{
+    ++buckets_[bucketOf(value)];
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    ++count_;
+    sum_ += value;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets_[b] += other.buckets_[b];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+LogHistogram::clear()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+double
+LogHistogram::meanValue() const
+{
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) /
+                             static_cast<double>(count_);
+}
+
+std::uint64_t
+LogHistogram::percentile(double fraction) const
+{
+    if (count_ == 0)
+        return 0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(std::max(
+        1.0, std::ceil(fraction * static_cast<double>(count_))));
+    std::uint64_t cumulative = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        cumulative += buckets_[b];
+        if (cumulative >= rank)
+            return std::clamp(bucketHigh(b), minValue(), maxValue());
+    }
+    return maxValue();
+}
+
+} // namespace bingo::telemetry

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Log-scale (power-of-two bucket) histogram for latency-style values.
+ *
+ * Cycle distances in the simulator span five orders of magnitude (a
+ * 4-cycle L1 hit to a 100k-cycle queueing pile-up), so the telemetry
+ * histograms bucket by floor(log2(value)): 65 fixed buckets cover the
+ * whole 64-bit range with one increment per record and no allocation.
+ * Percentiles are resolved to the recording bucket's upper bound,
+ * which is exact enough for the paper-style timeliness breakdowns the
+ * exporters print and cheap enough to keep on a fill path.
+ */
+
+#ifndef BINGO_TELEMETRY_HISTOGRAM_HPP
+#define BINGO_TELEMETRY_HISTOGRAM_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace bingo::telemetry
+{
+
+/** Fixed-bucket log2 histogram over unsigned 64-bit values. */
+class LogHistogram
+{
+  public:
+    /** Bucket 0 holds value 0; bucket b holds [2^(b-1), 2^b - 1]. */
+    static constexpr unsigned kBuckets = 65;
+
+    void record(std::uint64_t value);
+
+    /** Add every sample of `other` into this histogram. */
+    void merge(const LogHistogram &other);
+
+    void clear();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Smallest recorded value; 0 when empty. */
+    std::uint64_t minValue() const { return count_ == 0 ? 0 : min_; }
+    /** Largest recorded value; 0 when empty. */
+    std::uint64_t maxValue() const { return max_; }
+    double meanValue() const;
+
+    std::uint64_t bucketCount(unsigned bucket) const
+    {
+        return buckets_[bucket];
+    }
+
+    /** Bucket index a value is recorded into. */
+    static unsigned bucketOf(std::uint64_t value);
+    /** Smallest value of `bucket` (inclusive). */
+    static std::uint64_t bucketLow(unsigned bucket);
+    /** Largest value of `bucket` (inclusive). */
+    static std::uint64_t bucketHigh(unsigned bucket);
+
+    /**
+     * Upper bound on the `fraction` quantile (0.5 = median): the high
+     * edge of the bucket the quantile's rank falls into, clamped to
+     * the recorded [min, max]. 0 when empty.
+     */
+    std::uint64_t percentile(double fraction) const;
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace bingo::telemetry
+
+#endif // BINGO_TELEMETRY_HISTOGRAM_HPP

@@ -1,0 +1,74 @@
+#include "telemetry/lifecycle.hpp"
+
+namespace bingo::telemetry
+{
+
+void
+PrefetchLifecycle::onIssue(Addr block, Cycle now)
+{
+    Entry &entry = live_[block];
+    entry = Entry{};
+    entry.issue = now;
+}
+
+void
+PrefetchLifecycle::onFill(Addr block, Cycle now)
+{
+    auto it = live_.find(block);
+    if (it == live_.end())
+        return;
+    Entry &entry = it->second;
+    issue_to_fill_.record(now - entry.issue);
+    if (entry.late) {
+        // The demand already consumed this block while it was in
+        // flight; it fills unmarked, so no use/eviction event follows.
+        live_.erase(it);
+        return;
+    }
+    entry.filled = true;
+    entry.fill = now;
+}
+
+void
+PrefetchLifecycle::onDemandHit(Addr block, Cycle now)
+{
+    auto it = live_.find(block);
+    if (it == live_.end() || !it->second.filled)
+        return;
+    fill_to_first_use_.record(now - it->second.fill);
+    ++timely_;
+    live_.erase(it);
+}
+
+void
+PrefetchLifecycle::onLateMerge(Addr block, Cycle now)
+{
+    (void)now;
+    auto it = live_.find(block);
+    if (it == live_.end() || it->second.late)
+        return;
+    it->second.late = true;
+    ++late_;
+}
+
+void
+PrefetchLifecycle::onEvictUnused(Addr block)
+{
+    auto it = live_.find(block);
+    if (it == live_.end())
+        return;
+    ++unused_;
+    live_.erase(it);
+}
+
+void
+PrefetchLifecycle::resetStats()
+{
+    issue_to_fill_.clear();
+    fill_to_first_use_.clear();
+    timely_ = 0;
+    late_ = 0;
+    unused_ = 0;
+}
+
+} // namespace bingo::telemetry

@@ -1,0 +1,50 @@
+#include "telemetry/registry.hpp"
+
+namespace bingo::telemetry
+{
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return counters_.try_emplace(name, &enabled_).first->second;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    return histograms_.try_emplace(name, &enabled_).first->second;
+}
+
+void
+Registry::probeGroup(std::string prefix, GroupFn fill)
+{
+    groups_.emplace_back(std::move(prefix), std::move(fill));
+}
+
+void
+Registry::probe(std::string name, std::function<std::uint64_t()> read)
+{
+    probeGroup(std::move(name),
+               [read = std::move(read)](
+                   std::map<std::string, std::uint64_t> &out) {
+                   out[""] = read();
+               });
+}
+
+std::map<std::string, std::uint64_t>
+Registry::snapshot() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, counter] : counters_)
+        out[name] = counter.value();
+    std::map<std::string, std::uint64_t> group;
+    for (const auto &[prefix, fill] : groups_) {
+        group.clear();
+        fill(group);
+        for (const auto &[name, value] : group)
+            out[prefix + name] = value;
+    }
+    return out;
+}
+
+} // namespace bingo::telemetry

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Metric registry: named counters, gated histograms, and zero-cost
+ * probes into counters components already maintain.
+ *
+ * The registry is the uniform surface the exporters read. Components
+ * expose their numbers two ways:
+ *
+ *  - **Probes** wrap counters a component already increments for its
+ *    own stats structs (CacheStats, DramStats, ...). Registering a
+ *    probe adds nothing to any hot path — the probe's closure is only
+ *    evaluated when a snapshot is taken, i.e. at export time.
+ *  - **Counters/histograms** are owned by the registry for values no
+ *    component tracks (lifecycle distances). Their handles carry the
+ *    registry's off-switch: when the registry is disabled, add() and
+ *    record() are a single predictable branch and no state changes.
+ *
+ * The hard off-switch of the whole subsystem is one level up — a
+ * System without telemetry enabled holds no registry at all, so the
+ * simulator's hot paths pay exactly one null-pointer branch.
+ */
+
+#ifndef BINGO_TELEMETRY_REGISTRY_HPP
+#define BINGO_TELEMETRY_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/histogram.hpp"
+
+namespace bingo::telemetry
+{
+
+/** Registry-owned counter; add() is gated on the registry's switch. */
+class Counter
+{
+  public:
+    explicit Counter(const bool *enabled) : enabled_(enabled) {}
+
+    void
+    add(std::uint64_t delta = 1)
+    {
+        if (*enabled_)
+            value_ += delta;
+    }
+
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+    const bool *enabled_;
+};
+
+/** Registry-owned histogram; record() is gated likewise. */
+class Histogram
+{
+  public:
+    explicit Histogram(const bool *enabled) : enabled_(enabled) {}
+
+    void
+    record(std::uint64_t value)
+    {
+        if (*enabled_)
+            data_.record(value);
+    }
+
+    const LogHistogram &data() const { return data_; }
+
+  private:
+    LogHistogram data_;
+    const bool *enabled_;
+};
+
+/** Named-metric registry components register into. */
+class Registry
+{
+  public:
+    /** Fills `out` with a component's counters (no name prefix). */
+    using GroupFn =
+        std::function<void(std::map<std::string, std::uint64_t> &)>;
+
+    explicit Registry(bool enabled = true) : enabled_(enabled) {}
+
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_; }
+
+    /** Create-or-get the counter named `name` (handle is stable). */
+    Counter &counter(const std::string &name);
+
+    /** Create-or-get the histogram named `name` (handle is stable). */
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Register a read-only probe group: at snapshot time, `fill` is
+     * invoked and every entry it produces appears as `prefix` + name.
+     * The closure must stay valid as long as the registry is used.
+     */
+    void probeGroup(std::string prefix, GroupFn fill);
+
+    /** Register a single read-only probe. */
+    void probe(std::string name, std::function<std::uint64_t()> read);
+
+    /**
+     * Every counter and probe value by name, in name order. Probes
+     * are evaluated live; cold path only.
+     */
+    std::map<std::string, std::uint64_t> snapshot() const;
+
+    /** All registry-owned histograms, in name order. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    bool enabled_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+    std::vector<std::pair<std::string, GroupFn>> groups_;
+};
+
+} // namespace bingo::telemetry
+
+#endif // BINGO_TELEMETRY_REGISTRY_HPP

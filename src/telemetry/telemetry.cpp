@@ -1,0 +1,51 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+
+namespace bingo::telemetry
+{
+
+namespace
+{
+
+/** BINGO_TELEMETRY truthiness: set and not "0" / "" / "false". */
+bool
+flagSet(const char *value)
+{
+    if (value == nullptr)
+        return false;
+    std::string v(value);
+    return !v.empty() && v != "0" && v != "false" && v != "off";
+}
+
+} // namespace
+
+Options
+optionsFromEnv()
+{
+    Options options;
+    if (const char *value = std::getenv("BINGO_EPOCH_INSTRS")) {
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(value, &end, 10);
+        if (end != value && *end == '\0' && parsed > 0)
+            options.epoch_instructions = parsed;
+    }
+    return options;
+}
+
+std::string
+outputDir()
+{
+    const char *dir = std::getenv("BINGO_TELEMETRY_DIR");
+    return dir != nullptr ? std::string(dir) : std::string();
+}
+
+bool
+requested()
+{
+    if (!outputDir().empty())
+        return true;
+    return flagSet(std::getenv("BINGO_TELEMETRY"));
+}
+
+} // namespace bingo::telemetry

@@ -41,6 +41,29 @@ runOnce(PrefetcherKind kind, std::uint64_t seed)
     return collectResult(system, "Data Serving");
 }
 
+/** Every simulation-visible counter of two runs must agree. */
+void
+expectIdenticalResults(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.core_ipc, b.core_ipc);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.llc.demand_accesses, b.llc.demand_accesses);
+    EXPECT_EQ(a.llc.demand_misses, b.llc.demand_misses);
+    EXPECT_EQ(a.llc.late_prefetch_hits, b.llc.late_prefetch_hits);
+    EXPECT_EQ(a.llc.useful_prefetches, b.llc.useful_prefetches);
+    EXPECT_EQ(a.llc.useless_prefetches, b.llc.useless_prefetches);
+    EXPECT_EQ(a.llc.late_useful_prefetches,
+              b.llc.late_useful_prefetches);
+    EXPECT_EQ(a.llc.prefetch_fills, b.llc.prefetch_fills);
+    EXPECT_EQ(a.llc.demand_miss_latency, b.llc.demand_miss_latency);
+    EXPECT_EQ(a.l1d.demand_accesses, b.l1d.demand_accesses);
+    EXPECT_EQ(a.l1d.demand_misses, b.l1d.demand_misses);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.writes, b.dram.writes);
+    EXPECT_EQ(a.dram.row_hits, b.dram.row_hits);
+    EXPECT_EQ(a.dram.queue_delay_cycles, b.dram.queue_delay_cycles);
+}
+
 TEST(Determinism, IdenticalSeedsIdenticalRuns)
 {
     const RunResult a = runOnce(PrefetcherKind::Bingo, 7);
@@ -58,6 +81,39 @@ TEST(Determinism, DifferentSeedsDifferentRuns)
     const RunResult a = runOnce(PrefetcherKind::None, 7);
     const RunResult b = runOnce(PrefetcherKind::None, 8);
     EXPECT_NE(a.llc.demand_misses, b.llc.demand_misses);
+}
+
+/**
+ * Telemetry is read-only over the simulation: a run with collectors
+ * attached must be bit-identical to a run without (the determinism
+ * guard that keeps observability from perturbing the experiments).
+ */
+TEST(Determinism, TelemetryDoesNotPerturbResults)
+{
+    const RunResult plain = runOnce(PrefetcherKind::Bingo, 7);
+
+    SystemConfig config = SystemConfig::singleCore();
+    config.prefetcher.kind = PrefetcherKind::Bingo;
+    config.seed = 7;
+    System system(config, "Data Serving");
+    telemetry::Options options;
+    options.epoch_instructions = 2000;  // Many epoch boundaries.
+    system.enableTelemetry(options);
+    system.run(10000, 20000);
+    const RunResult observed = collectResult(system, "Data Serving");
+
+    expectIdenticalResults(plain, observed);
+
+    // The collectors must actually have been collecting.
+    ASSERT_NE(system.telemetry(), nullptr);
+    const auto &records = system.telemetry()->epochs().records();
+    ASSERT_FALSE(records.empty());
+    std::uint64_t measure_instructions = 0;
+    for (const auto &record : records) {
+        if (record.phase == "measure")
+            measure_instructions += record.delta.instructions;
+    }
+    EXPECT_EQ(measure_instructions, observed.instructions);
 }
 
 /** The factory builds every advertised prefetcher. */
