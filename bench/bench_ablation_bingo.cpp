@@ -178,6 +178,6 @@ main()
                 "(unanimity) the reverse — 20%% is the knee. The "
                 "unified table matches or beats two half-size tables "
                 "at equal storage.\n");
-    timer.report();
+    timer.report("ablation_bingo");
     return 0;
 }

@@ -88,6 +88,6 @@ main()
     std::printf("\nPaper shape check: Aggr variants gain a little "
                 "speedup but multiply overprediction (e.g. paper BOP "
                 "26%% -> 79%%); Bingo still outperforms all.\n");
-    timer.report();
+    timer.report("fig10_isodegree");
     return 0;
 }

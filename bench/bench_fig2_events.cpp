@@ -124,6 +124,6 @@ main()
     std::printf("\nPaper shape check: accuracy decreases and match "
                 "probability increases from the longest event "
                 "(PC+Address) to the shortest (Offset).\n");
-    timer.report();
+    timer.report("fig2_events");
     return 0;
 }

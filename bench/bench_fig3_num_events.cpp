@@ -78,6 +78,6 @@ main()
     std::printf("\nPaper shape check: the largest coverage gain comes "
                 "from 1 -> 2 events; beyond two events the gain is "
                 "minor, motivating Bingo's two-event design.\n");
-    timer.report();
+    timer.report("fig3_num_events");
     return 0;
 }

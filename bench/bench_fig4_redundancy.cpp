@@ -81,6 +81,6 @@ main()
                 "everywhere (paper: 26%% on SAT Solver up to 93%% on "
                 "Mix 2), lowest on the many-layout server workloads "
                 "and highest on the stream-dominated mixes.\n");
-    timer.report();
+    timer.report("fig4_redundancy");
     return 0;
 }

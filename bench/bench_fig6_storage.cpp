@@ -75,6 +75,6 @@ main()
 
     std::printf("\nPaper shape check: coverage grows with capacity and "
                 "plateaus around 16K entries.\n");
-    timer.report();
+    timer.report("fig6_storage");
     return 0;
 }

@@ -108,6 +108,6 @@ main()
     std::printf("\nPaper shape check: Bingo has the highest coverage "
                 "(~63%% average, 8%% over the second best), with "
                 "overprediction on par with the others.\n");
-    timer.report();
+    timer.report("fig7_coverage");
     return 0;
 }

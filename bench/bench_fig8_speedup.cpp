@@ -74,6 +74,6 @@ main()
     std::printf("\nPaper shape check: Bingo wins on every workload "
                 "(paper: +60%% gmean, +11%% over the best prior "
                 "prefetcher); Zeus gains least, em3d most.\n");
-    timer.report();
+    timer.report("fig8_speedup");
     return 0;
 }

@@ -79,6 +79,6 @@ main()
     std::printf("\nPaper shape check: Bingo's density gain (~59%%) is "
                 "within 1%% of its raw speedup — the 119 KB history "
                 "table is a small fraction of chip area.\n");
-    timer.report();
+    timer.report("fig9_density");
     return 0;
 }

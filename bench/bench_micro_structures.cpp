@@ -7,6 +7,9 @@
  */
 
 #include <array>
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +23,8 @@
 #include "prefetch/bingo.hpp"
 #include "sim/experiment.hpp"
 #include "sim/journal.hpp"
+#include "sim/system.hpp"
+#include "telemetry/export.hpp"
 #include "telemetry/histogram.hpp"
 #include "workload/generator.hpp"
 
@@ -276,6 +281,148 @@ BM_LogHistogramRecord(benchmark::State &state)
 }
 BENCHMARK(BM_LogHistogramRecord);
 
+/**
+ * One tiny single-core System run for `instructions`, with the
+ * fast-forward path toggled per `skip`. Returns the finishing cycle so
+ * callers can assert bit-identity across the toggle.
+ */
+Cycle
+runMainLoop(const char *workload, bool skip,
+            std::uint64_t instructions)
+{
+    SystemConfig config = SystemConfig::singleCore();
+    config.prefetcher.kind = PrefetcherKind::None;
+    System system(config, workload);
+    system.setCycleSkipping(skip);
+    system.run(0, instructions);
+    return system.now();
+}
+
+/**
+ * The run loop on a stall-dominated workload (em3d pointer chasing,
+ * no prefetcher): most cycles are ROB-full windows behind demand
+ * misses, exactly where event-driven cycle skipping should pay.
+ * Arg(0) steps every cycle (BINGO_NO_SKIP behaviour), Arg(1)
+ * fast-forwards; the ratio of the two is the loop speedup.
+ */
+void
+BM_MainLoopStallHeavy(benchmark::State &state)
+{
+    const bool skip = state.range(0) != 0;
+    Cycle last = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            last = runMainLoop("em3d", skip, 20000));
+    state.counters["sim_cycles"] =
+        benchmark::Counter(static_cast<double>(last));
+    state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_MainLoopStallHeavy)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The run loop on a compute-dominated workload (SAT Solver, mostly
+ * L1-resident): cores rarely stall, so the skip path's extra
+ * next-wake scan must not slow the loop down.
+ */
+void
+BM_MainLoopComputeHeavy(benchmark::State &state)
+{
+    const bool skip = state.range(0) != 0;
+    Cycle last = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            last = runMainLoop("SAT Solver", skip, 100000));
+    state.counters["sim_cycles"] =
+        benchmark::Counter(static_cast<double>(last));
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_MainLoopComputeHeavy)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Time `repeat` back-to-back runs of the loop microbench config and
+ * return wall seconds, accumulating the simulated cycles into
+ * `cycles`.
+ */
+double
+timeMainLoop(const char *workload, bool skip,
+             std::uint64_t instructions, unsigned repeat,
+             std::uint64_t &cycles)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < repeat; ++i)
+        cycles += runMainLoop(workload, skip, instructions);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * BENCH_mainloop.json: skip-off vs skip-on wall time of the stall- and
+ * compute-heavy loop configurations, with the speedup ratios — the
+ * machine-readable record the figure-bench BENCH_*.json files are
+ * compared against in EXPERIMENTS.md.
+ */
+void
+writeMainLoopSummary()
+{
+    struct Case
+    {
+        const char *key;
+        const char *workload;
+        std::uint64_t instructions;
+    };
+    const Case cases[] = {{"stall_heavy", "em3d", 20000},
+                          {"compute_heavy", "SAT Solver", 100000}};
+    constexpr unsigned kRepeat = 3;
+
+    std::string json = "{\"bench\":\"mainloop\"";
+    for (const Case &c : cases) {
+        std::uint64_t cycles_step = 0;
+        std::uint64_t cycles_skip = 0;
+        const double step = timeMainLoop(c.workload, false,
+                                         c.instructions, kRepeat,
+                                         cycles_step);
+        const double skip = timeMainLoop(c.workload, true,
+                                         c.instructions, kRepeat,
+                                         cycles_skip);
+        const double speedup = skip > 0.0 ? step / skip : 0.0;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"%s\":{\"workload\":\"%s\","
+                      "\"instructions\":%llu,\"runs\":%u,"
+                      "\"wall_seconds_step\":%.6f,"
+                      "\"wall_seconds_skip\":%.6f,"
+                      "\"speedup\":%.3f,\"identical_cycles\":%s}",
+                      c.key, c.workload,
+                      static_cast<unsigned long long>(c.instructions),
+                      kRepeat, step, skip, speedup,
+                      cycles_step == cycles_skip ? "true" : "false");
+        json += buf;
+    }
+    json += "}\n";
+    try {
+        telemetry::atomicWrite("BENCH_mainloop.json", json);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    writeMainLoopSummary();
+    return 0;
+}

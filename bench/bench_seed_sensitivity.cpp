@@ -118,6 +118,6 @@ main()
     std::printf("\nRobustness check: Bingo's margin over SMS must stay "
                 "positive for every seed%s.\n",
                 robust ? " — it does" : " — IT DOES NOT, investigate");
-    timer.report();
+    timer.report("seed_sensitivity");
     return robust ? 0 : 1;
 }

@@ -95,6 +95,6 @@ main()
     table.print();
     table.maybeWriteCsv("table2_mpki");
     reportFailures(jobs, outcomes);
-    timer.report();
+    timer.report("table2_mpki");
     return 0;
 }

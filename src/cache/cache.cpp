@@ -17,6 +17,7 @@ Cache::Cache(std::string name, const CacheConfig &config,
     : name_(std::move(name)), config_(config), events_(events),
       lower_(lower), num_sets_(config.numSets()),
       blocks_(num_sets_ * config.ways),
+      way_tags_(num_sets_ * config.ways, kNoTag),
       mshrs_(config.mshr_entries, name_ + ".mshr")
 {
     if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0)
@@ -43,10 +44,11 @@ Cache::setOf(Addr block) const
 Cache::Block *
 Cache::lookup(Addr block)
 {
-    Block *base = blocks_.data() + setOf(block) * config_.ways;
+    const std::uint64_t first = setOf(block) * config_.ways;
+    const Addr *tags = way_tags_.data() + first;
     for (unsigned w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == block)
-            return &base[w];
+        if (tags[w] == block)
+            return blocks_.data() + first + w;
     }
     return nullptr;
 }
@@ -54,10 +56,11 @@ Cache::lookup(Addr block)
 const Cache::Block *
 Cache::lookup(Addr block) const
 {
-    const Block *base = blocks_.data() + setOf(block) * config_.ways;
+    const std::uint64_t first = setOf(block) * config_.ways;
+    const Addr *tags = way_tags_.data() + first;
     for (unsigned w = 0; w < config_.ways; ++w) {
-        if (base[w].valid && base[w].tag == block)
-            return &base[w];
+        if (tags[w] == block)
+            return blocks_.data() + first + w;
     }
     return nullptr;
 }
@@ -139,6 +142,14 @@ Cache::checkInvariants(Cycle now) const
         }
     }
 
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        const Addr expect = blocks_[i].valid ? blocks_[i].tag : kNoTag;
+        if (way_tags_[i] != expect)
+            throw SimError(name_, now,
+                           "way-tag mirror out of step at way index " +
+                               std::to_string(i));
+    }
+
     std::unordered_set<Addr> in_flight;
     for (const auto &[block, entry] : mshrs_.entries()) {
         if (entry.block != block)
@@ -150,6 +161,21 @@ Cache::checkInvariants(Cycle now) const
             throw SimError(name_, now,
                            "block is both resident and in flight");
     }
+
+    // Drain invariant the run loop's fast-forward path relies on:
+    // parked demands and queued prefetches only move when a fill
+    // releases an MSHR, so either queue being nonempty means a fill
+    // event is pending. An empty MSHR file alongside queued work would
+    // leave the work stranded with no event to wake it.
+    if ((!pending_.empty() || !prefetch_queue_.empty()) &&
+        mshrs_.empty())
+        throw SimError(name_, now,
+                       "parked work (" +
+                           std::to_string(pending_.size()) +
+                           " demands, " +
+                           std::to_string(prefetch_queue_.size()) +
+                           " prefetches) with no in-flight MSHR to "
+                           "drain it");
 }
 
 void
@@ -173,7 +199,8 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
         if (hook_)
             hook_(access, true, now);
         const Cycle ready = now + config_.hit_latency;
-        events_.schedule(ready, [done, ready] { done(ready); });
+        events_.schedule(ready,
+                         [done = std::move(done), ready] { done(ready); });
         return;
     }
 
@@ -199,11 +226,7 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
         entry->demand_merged = true;
         if (access.type == AccessType::Store)
             entry->store_merged = true;
-        entry->callbacks.push_back(
-            [this, now, done = std::move(done)](Cycle cycle) {
-                stats_.demand_miss_latency += cycle - now;
-                done(cycle);
-            });
+        entry->callbacks.emplace_back(std::move(done), now);
         return;
     }
 
@@ -223,11 +246,7 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
                         access.core, now);
     entry.demand_merged = true;
     entry.store_merged = access.type == AccessType::Store;
-    entry.callbacks.push_back(
-        [this, now, done = std::move(done)](Cycle cycle) {
-            stats_.demand_miss_latency += cycle - now;
-            done(cycle);
-        });
+    entry.callbacks.emplace_back(std::move(done), now);
     issueFetch(access, now);
 }
 
@@ -324,6 +343,7 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
     Block &victim = victimize(block, fill_cycle);
     victim.valid = true;
     victim.tag = block;
+    way_tags_[&victim - blocks_.data()] = block;
     victim.dirty = entry.store_merged;
     victim.prefetched = entry.prefetch_origin && !entry.demand_merged;
     victim.core = entry.core;
@@ -336,8 +356,13 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
             lifecycle_->onFill(block, fill_cycle);
     }
 
-    for (FillCallback &cb : entry.callbacks)
-        cb(fill_cycle);
+    for (MshrCallback &cb : entry.callbacks) {
+        // Latency accrues before the callback runs, exactly where the
+        // former capturing wrapper accounted it.
+        if (cb.track)
+            stats_.demand_miss_latency += fill_cycle - cb.start;
+        cb.fn(fill_cycle);
+    }
 
     // MSHRs freed: replay parked demand fetches. Parked accesses whose
     // block arrived meanwhile (or whose miss is already in flight) are

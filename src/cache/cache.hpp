@@ -235,8 +235,18 @@ class Cache
     CacheConfig config_;
     EventQueue &events_;
     MemoryLower &lower_;
+    /// way_tags_ sentinel for an invalid way: odd, so it can never
+    /// equal a block-aligned address.
+    static constexpr Addr kNoTag = 1;
+
     std::uint64_t num_sets_;
     std::vector<Block> blocks_;
+    /// blocks_[i].tag mirrored densely (kNoTag while invalid): the way
+    /// scan in lookup() runs on every access and touches only tags, so
+    /// packing them 8 per cache line beats striding through the ~40-
+    /// byte Block records. handleFill() is the only writer of
+    /// valid/tag and keeps the mirror in step.
+    std::vector<Addr> way_tags_;
     MshrFile mshrs_;
     std::deque<PendingFetch> pending_;
     std::deque<QueuedPrefetch> prefetch_queue_;

@@ -30,6 +30,7 @@ MshrFile::MshrFile(std::size_t capacity, std::string name)
         throw std::invalid_argument("MshrFile " + name_ +
                                     ": capacity must be nonzero");
     entries_.reserve(capacity);
+    free_nodes_.reserve(capacity);
 }
 
 MshrEntry *
@@ -49,16 +50,34 @@ MshrFile::allocate(Addr block, bool prefetch_origin, CoreId core,
                            std::to_string(capacity_) +
                            " entries in flight) for block " +
                            blockHex(block));
-    auto [it, inserted] = entries_.try_emplace(block);
-    if (!inserted)
-        throw SimError(name_, now,
-                       "duplicate MSHR allocation for in-flight block " +
-                           blockHex(block));
-    MshrEntry &entry = it->second;
-    entry.block = block;
-    entry.prefetch_origin = prefetch_origin;
-    entry.core = core;
-    return entry;
+    MshrEntry *entry = nullptr;
+    if (!free_nodes_.empty()) {
+        auto node = std::move(free_nodes_.back());
+        free_nodes_.pop_back();
+        node.key() = block;
+        node.mapped() = MshrEntry{};
+        auto res = entries_.insert(std::move(node));
+        if (!res.inserted) {
+            free_nodes_.push_back(std::move(res.node));
+            throw SimError(
+                name_, now,
+                "duplicate MSHR allocation for in-flight block " +
+                    blockHex(block));
+        }
+        entry = &res.position->second;
+    } else {
+        auto [it, inserted] = entries_.try_emplace(block);
+        if (!inserted)
+            throw SimError(
+                name_, now,
+                "duplicate MSHR allocation for in-flight block " +
+                    blockHex(block));
+        entry = &it->second;
+    }
+    entry->block = block;
+    entry->prefetch_origin = prefetch_origin;
+    entry->core = core;
+    return *entry;
 }
 
 MshrEntry
@@ -70,7 +89,8 @@ MshrFile::release(Addr block, Cycle now)
                        "release of block " + blockHex(block) +
                            " with no MSHR entry");
     MshrEntry entry = std::move(it->second);
-    entries_.erase(it);
+    // Keep the map node for the next allocate instead of freeing it.
+    free_nodes_.push_back(entries_.extract(it));
     return entry;
 }
 

@@ -32,6 +32,29 @@ class Registry;
 /** Callback invoked with the cycle at which the fill completed. */
 using FillCallback = std::function<void(Cycle)>;
 
+/**
+ * A completion parked on an in-flight miss. The owning cache accounts
+ * `fill - start` of demand miss latency before invoking `fn` when
+ * `track` is set; carrying the accounting as plain data instead of
+ * wrapping `fn` in a capturing lambda keeps the common miss path free
+ * of a per-callback heap allocation (the wrapper capture outgrew
+ * std::function's inline buffer).
+ */
+struct MshrCallback
+{
+    FillCallback fn;
+    Cycle start = 0;
+    bool track = false;  ///< Accrue demand miss latency at fill time.
+
+    /// Untracked completion (replayed demands, tests).
+    MshrCallback(FillCallback f) : fn(std::move(f)) {}
+    /// Latency-tracked demand that missed at cycle `s`.
+    MshrCallback(FillCallback f, Cycle s)
+        : fn(std::move(f)), start(s), track(true)
+    {
+    }
+};
+
 /** One in-flight miss. */
 struct MshrEntry
 {
@@ -40,7 +63,7 @@ struct MshrEntry
     bool demand_merged = false;    ///< A demand joined after allocation.
     bool store_merged = false;     ///< Fill must be installed dirty.
     CoreId core = 0;               ///< Core that allocated the entry.
-    std::vector<FillCallback> callbacks;
+    std::vector<MshrCallback> callbacks;
 };
 
 /** Fixed-capacity file of MshrEntry keyed by block address. */
@@ -55,6 +78,9 @@ class MshrFile
 
     /** True when no further allocation is possible. */
     bool full() const { return entries_.size() >= capacity_; }
+
+    /** True when no miss is in flight. */
+    bool empty() const { return entries_.empty(); }
 
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }
@@ -87,9 +113,15 @@ class MshrFile
     }
 
   private:
+    using EntryMap = std::unordered_map<Addr, MshrEntry>;
+
     std::size_t capacity_;
     std::string name_;
-    std::unordered_map<Addr, MshrEntry> entries_;
+    EntryMap entries_;
+    /// Extracted map nodes kept for reuse: allocate/release run once
+    /// per miss, and recycling the node spares the hash map a heap
+    /// round trip on every one. Bounded by capacity_.
+    std::vector<EntryMap::node_type> free_nodes_;
 };
 
 } // namespace bingo

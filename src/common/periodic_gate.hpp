@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Boundary gate for periodic in-loop checks (watchdog pauses,
+ * telemetry epoch sampling).
+ *
+ * The main loop used to test `(now & mask) == 0`, which is only
+ * correct when `now` advances by exactly one cycle per iteration: any
+ * larger stride can step over a boundary and silently drop the check.
+ * PeriodicGate keeps the next boundary as an absolute cycle instead,
+ * so crossed() fires exactly once per period for *any* stride — it
+ * answers "has a boundary been reached or crossed since the last
+ * fire?", not "is now exactly on a boundary?". This is what lets the
+ * fast-forwarded run loop keep its watchdog/self-check/epoch cadence
+ * while jumping many cycles at a time.
+ *
+ * The period is (mask + 1) cycles and must be a power of two, matching
+ * the masks the loop already used. When stepping one cycle at a time,
+ * crossed() fires on exactly the cycles where `(now & mask) == 0`
+ * held, so the stepped loop's behaviour is unchanged.
+ */
+
+#ifndef BINGO_COMMON_PERIODIC_GATE_HPP
+#define BINGO_COMMON_PERIODIC_GATE_HPP
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+/** Fires once whenever the cycle counter reaches or crosses a
+ *  multiple of its period, regardless of the advance stride. */
+class PeriodicGate
+{
+  public:
+    /**
+     * @param mask Period minus one; period must be a power of two.
+     * @param start First cycle the owning loop will present: the gate
+     *   arms at the first boundary at or after `start`, so a loop
+     *   beginning exactly on a boundary still gets that first fire.
+     */
+    explicit PeriodicGate(Cycle mask, Cycle start) : mask_(mask)
+    {
+        assert(((mask + 1) & mask) == 0 && "period must be 2^k");
+        next_ = (start + mask_) & ~mask_;
+    }
+
+    /**
+     * True when `now` has reached or crossed the pending boundary;
+     * re-arms at the first boundary strictly after `now`. `now` must
+     * not decrease between calls.
+     */
+    bool
+    crossed(Cycle now)
+    {
+        if (now < next_)
+            return false;
+        next_ = (now | mask_) + 1;
+        return true;
+    }
+
+    /** The boundary the next crossed() will fire at (absolute cycle). */
+    Cycle nextBoundary() const { return next_; }
+
+  private:
+    Cycle mask_;
+    Cycle next_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_PERIODIC_GATE_HPP

@@ -24,6 +24,14 @@ using Addr = std::uint64_t;
 using Cycle = std::uint64_t;
 using CoreId = std::uint32_t;
 
+/**
+ * "No such cycle": the value nextEventCycle()/nextWakeCycle()-style
+ * queries return when a component holds no future work of its own.
+ * Taking min() over candidates leaves it unchanged only when nothing
+ * in the system has a scheduled next step.
+ */
+constexpr Cycle kNeverCycle = ~Cycle{0};
+
 /** log2 of the cache block size (64 B). */
 constexpr unsigned kBlockBits = 6;
 /** Cache block size in bytes. */

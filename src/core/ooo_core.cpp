@@ -7,10 +7,25 @@
 namespace bingo
 {
 
+namespace
+{
+
+std::uint64_t
+nextPow2(std::uint64_t n)
+{
+    std::uint64_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
 OooCore::OooCore(CoreId id, const CoreConfig &config, Cache &l1d,
                  TraceSource &trace)
     : id_(id), config_(config), l1d_(l1d), trace_(trace),
-      rob_(config.rob_entries)
+      rob_(nextPow2(config.rob_entries)),
+      rob_mask_(rob_.size() - 1), rob_capacity_(config.rob_entries)
 {
     assert(config.rob_entries > 0 && config.width > 0);
 }
@@ -18,6 +33,11 @@ OooCore::OooCore(CoreId id, const CoreConfig &config, Cache &l1d,
 void
 OooCore::step(Cycle now)
 {
+    // Lazily account any window the run loop skipped stepping this
+    // core across (it was provably blocked throughout — callbacks
+    // that changed that synced and flagged wakeDirty() already).
+    if (now > now_ + 1)
+        syncTo(now - 1);
     now_ = now;
     // A core that reached its quota idles (in-flight memory requests
     // still drain via callbacks): every statistic then covers exactly
@@ -32,11 +52,30 @@ OooCore::step(Cycle now)
 }
 
 void
+OooCore::fastForward(std::uint64_t cycles, Cycle last)
+{
+    // step() records its cycle even for a finished core (completion
+    // callbacks clamp against it), so the cursor always moves.
+    now_ = last;
+    if (measurement_done_ || cycles == 0)
+        return;
+    // The skipped step() calls would each have counted one stall
+    // cycle under the block reason that held for the whole window:
+    // dispatch() checks ROB occupancy before the LSQ, so mirror that
+    // priority.
+    stats_.cycles += cycles;
+    if (rob_tail_ - rob_head_ >= rob_capacity_)
+        stats_.rob_full_cycles += cycles;
+    else if (record_held_ && lsq_used_ >= config_.lsq_entries)
+        stats_.lsq_full_cycles += cycles;
+}
+
+void
 OooCore::retire(Cycle now)
 {
     unsigned retired = 0;
     while (retired < config_.width && rob_head_ != rob_tail_) {
-        RobSlot &slot = rob_[rob_head_ % rob_.size()];
+        RobSlot &slot = rob_[rob_head_ & rob_mask_];
         if (!slot.completed || slot.done > now)
             break;
         ++rob_head_;
@@ -57,22 +96,27 @@ OooCore::retire(Cycle now)
 void
 OooCore::dispatch(Cycle now)
 {
-    const std::uint64_t rob_capacity = rob_.size();
     unsigned dispatched = 0;
     bool noted_rob_full = false;
     bool noted_lsq_full = false;
 
     while (dispatched < config_.width) {
-        if (rob_tail_ - rob_head_ >= rob_capacity) {
+        if (rob_tail_ - rob_head_ >= rob_capacity_) {
             if (!noted_rob_full) {
                 ++stats_.rob_full_cycles;
                 noted_rob_full = true;
             }
             break;
         }
-        if (!stalled_record_)
-            stalled_record_ = trace_.next();
-        const TraceRecord &rec = *stalled_record_;
+        if (!record_held_) {
+            if (fetch_pos_ == fetch_end_) {
+                trace_.nextBatch(fetch_buffer_.data(), kFetchBatch);
+                fetch_pos_ = 0;
+                fetch_end_ = kFetchBatch;
+            }
+            record_held_ = true;
+        }
+        const TraceRecord &rec = fetch_buffer_[fetch_pos_];
 
         const bool is_mem = rec.type == InstrType::Load ||
                             rec.type == InstrType::Store;
@@ -85,7 +129,7 @@ OooCore::dispatch(Cycle now)
         }
 
         const std::uint64_t seq = rob_tail_++;
-        RobSlot &slot = rob_[seq % rob_capacity];
+        RobSlot &slot = rob_[seq & rob_mask_];
         slot.seq = seq;
         slot.completed = false;
 
@@ -112,7 +156,7 @@ OooCore::dispatch(Cycle now)
             // hold it until that load completes.
             bool deferred = false;
             if (rec.dependent && has_last_load_) {
-                RobSlot &prev = rob_[last_load_seq_ % rob_capacity];
+                RobSlot &prev = rob_[last_load_seq_ & rob_mask_];
                 if (prev.seq == last_load_seq_ && !prev.completed) {
                     prev.deferred.emplace_back(seq, access);
                     deferred = true;
@@ -136,14 +180,20 @@ OooCore::dispatch(Cycle now)
             access.pc = rec.pc;
             access.core = id_;
             access.type = AccessType::Store;
-            l1d_.access(access, now, [this](Cycle) {
+            l1d_.access(access, now, [this](Cycle when) {
+                // Account the skipped window against the pre-release
+                // block reason before freeing the LSQ slot.
+                if (when != 0)
+                    syncTo(when - 1);
+                wake_dirty_ = true;
                 assert(lsq_used_ > 0);
                 --lsq_used_;
             });
             break;
           }
         }
-        stalled_record_.reset();
+        record_held_ = false;
+        ++fetch_pos_;
         ++dispatched;
     }
 }
@@ -160,7 +210,13 @@ OooCore::issueLoad(std::uint64_t seq, const MemAccess &access,
 void
 OooCore::completeLoad(std::uint64_t seq, Cycle when)
 {
-    RobSlot &slot = rob_[seq % rob_.size()];
+    // Fired from the event queue at cycle `when`: a lazily-skipped
+    // core first accounts the window under its pre-event block
+    // reason, exactly as per-cycle stepping would have.
+    if (when != 0)
+        syncTo(when - 1);
+    wake_dirty_ = true;
+    RobSlot &slot = rob_[seq & rob_mask_];
     assert(slot.seq == seq);
     slot.done = when < now_ + 1 ? now_ + 1 : when;
     slot.completed = true;
@@ -184,6 +240,12 @@ OooCore::startMeasurement(std::uint64_t instructions, Cycle now)
     measure_start_cycle_ = now;
     completion_cycle_ = 0;
     measurement_done_ = false;
+    // The run loop may not have stepped this core for a while (lazy
+    // skip of a finished or blocked core): re-base the cursor where a
+    // cycle-by-cycle loop would have it, so the fresh counters never
+    // absorb a stale gap.
+    now_ = now == 0 ? 0 : now - 1;
+    wake_dirty_ = true;
 }
 
 double

@@ -15,8 +15,8 @@
 #ifndef BINGO_CORE_OOO_CORE_HPP
 #define BINGO_CORE_OOO_CORE_HPP
 
+#include <array>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "cache/cache.hpp"
@@ -34,6 +34,22 @@ class TraceSource
 
     /** Produce the next instruction of this core's trace. */
     virtual TraceRecord next() = 0;
+
+    /**
+     * Fill `out` with the next `count` records — exactly the sequence
+     * `count` next() calls would produce (sources are infinite:
+     * generators run forever and file replay wraps). The core pulls
+     * its instruction stream through this in blocks so the per-record
+     * virtual hop and copy chain is paid once per block, not once per
+     * instruction; layered sources should override it and forward in
+     * bulk for the same reason.
+     */
+    virtual void
+    nextBatch(TraceRecord *out, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            out[i] = next();
+    }
 };
 
 /** Counters exported by a core. */
@@ -57,6 +73,68 @@ class OooCore
 
     /** Advance one cycle: retire, then dispatch. */
     void step(Cycle now);
+
+    /**
+     * Earliest cycle after `now` at which step() could do anything
+     * beyond fixed stall bookkeeping, assuming no memory completion
+     * callback arrives first (the run loop bounds the jump by the
+     * event queue separately, so callbacks never need predicting
+     * here). Returns now + 1 whenever the core can retire or dispatch
+     * next cycle, the ROB head's completion cycle when only a timed
+     * retirement is pending, and kNeverCycle when only an external
+     * fill/store callback (or nothing — quota reached) can unblock it.
+     * Conservative by contract: never later than the true next state
+     * change. Defined inline below: the run loop probes it every
+     * working cycle, so the dispatchable fast path must fold into the
+     * caller.
+     */
+    Cycle nextWakeCycle(Cycle now) const;
+
+    /**
+     * True when step(now + 1) could retire or dispatch, i.e. the run
+     * loop must not attempt a jump. Exactly nextWakeCycle(now) ==
+     * now + 1, but cheaper on the common dispatchable path.
+     */
+    bool dispatchableNext(Cycle now) const
+    {
+        return nextWakeCycle(now) == now + 1;
+    }
+
+    /**
+     * Account for `cycles` skipped stall cycles ending at cycle
+     * `last`: applies exactly the per-cycle bookkeeping the skipped
+     * step() calls would have performed (cycle count plus the
+     * rob-full/lsq-full stall counter of the current block reason) and
+     * moves the core's cycle cursor to `last`, as step(last) would
+     * have. Only valid when nextWakeCycle() and the event queue proved
+     * the window is pure stall; the bit-identity of skipped runs
+     * rests on this mirroring step() exactly.
+     */
+    void fastForward(std::uint64_t cycles, Cycle last);
+
+    /**
+     * Catch the stall bookkeeping up through cycle `through` (no-op
+     * when the cursor is already there). The run loop skips stepping
+     * a core whose nextWakeCycle() lies ahead, so the core accounts
+     * the gap lazily: step() syncs before acting, and completion
+     * callbacks sync before mutating state — against the pre-event
+     * block reason, exactly as the stepped loop would have counted
+     * the window.
+     */
+    void
+    syncTo(Cycle through)
+    {
+        if (through > now_)
+            fastForward(through - now_, through);
+    }
+
+    /**
+     * True when a completion callback landed since the last step: the
+     * cached nextWakeCycle() bound no longer holds and the run loop
+     * must step the core again.
+     */
+    bool wakeDirty() const { return wake_dirty_; }
+    void clearWakeDirty() { wake_dirty_ = false; }
 
     /**
      * Begin a measurement interval of `instructions` retired
@@ -108,13 +186,33 @@ class OooCore
     Cache &l1d_;
     TraceSource &trace_;
 
+    /// Records read ahead from the trace in one nextBatch() call.
+    static constexpr std::size_t kFetchBatch = 64;
+
+    /// ROB storage, sized to the next power of two above the
+    /// configured capacity so slot indexing is a mask instead of a
+    /// modulo (three hot paths index per instruction). Occupancy is
+    /// still bounded by rob_capacity_, so FIFO distance never exceeds
+    /// the storage span and seq & rob_mask_ cannot alias live slots.
     std::vector<RobSlot> rob_;
+    std::uint64_t rob_mask_ = 0;      ///< rob_.size() - 1.
+    std::uint64_t rob_capacity_ = 0;  ///< Configured logical capacity.
     std::uint64_t rob_head_ = 0;  ///< Sequence number of oldest entry.
     std::uint64_t rob_tail_ = 0;  ///< Sequence number of next entry.
     unsigned lsq_used_ = 0;
     std::uint64_t last_load_seq_ = 0;
     bool has_last_load_ = false;
-    std::optional<TraceRecord> stalled_record_;
+    std::array<TraceRecord, kFetchBatch> fetch_buffer_;
+    std::uint32_t fetch_pos_ = 0;  ///< Next unconsumed buffer slot.
+    std::uint32_t fetch_end_ = 0;  ///< One past the last valid slot.
+    /// Dispatch pulled fetch_buffer_[fetch_pos_] but could not place
+    /// it (always a memory record blocked on a full LSQ) — the exact
+    /// analogue of the former held "stalled record".
+    bool record_held_ = false;
+
+    /// A completion callback arrived since the last step (see
+    /// wakeDirty()). Starts true so a fresh core is always stepped.
+    bool wake_dirty_ = true;
 
     CoreStats stats_;
     std::uint64_t measure_target_ = 0;
@@ -123,6 +221,34 @@ class OooCore
     bool measurement_done_ = false;
     Cycle now_ = 0;
 };
+
+inline Cycle
+OooCore::nextWakeCycle(Cycle now) const
+{
+    // A finished core only reacts to in-flight completions, which live
+    // in the event queue.
+    if (measurement_done_)
+        return kNeverCycle;
+
+    Cycle wake = kNeverCycle;
+    if (rob_head_ != rob_tail_) {
+        const RobSlot &head = rob_[rob_head_ & rob_mask_];
+        if (head.completed) {
+            if (head.done <= now + 1)
+                return now + 1;  // Retires next cycle.
+            wake = head.done;    // Timed retirement resumes here.
+        }
+        // An incomplete head is woken by its fill callback: an event.
+    }
+
+    // Dispatch runs every cycle unless structurally blocked; a core
+    // that can dispatch must be stepped cycle by cycle.
+    if (rob_tail_ - rob_head_ >= rob_capacity_)
+        return wake;  // ROB full: only the retirement above unblocks.
+    if (record_held_ && lsq_used_ >= config_.lsq_entries)
+        return wake;  // LSQ full: freed by a completion callback.
+    return now + 1;
+}
 
 } // namespace bingo
 

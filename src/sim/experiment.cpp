@@ -37,6 +37,7 @@ envU64(const char *name, std::uint64_t fallback)
 }
 
 std::atomic<std::uint64_t> g_completed_runs{0};
+std::atomic<std::uint64_t> g_simulated_cycles{0};
 
 /** Cache key: the full identity of a baseline run. */
 std::string
@@ -169,6 +170,8 @@ runJobWithRetries(const SweepJob &job, std::size_t index,
             system.run(job.options.warmup_instructions,
                        job.options.measure_instructions);
             g_completed_runs.fetch_add(1, std::memory_order_relaxed);
+            g_simulated_cycles.fetch_add(system.now(),
+                                         std::memory_order_relaxed);
             collect(index, system);
             maybeExportTelemetry(job, system);
             outcome.status = JobStatus::Ok;
@@ -327,6 +330,8 @@ runWorkload(const std::string &workload, const SystemConfig &config,
     system.run(options.warmup_instructions,
                options.measure_instructions);
     g_completed_runs.fetch_add(1, std::memory_order_relaxed);
+    g_simulated_cycles.fetch_add(system.now(),
+                                 std::memory_order_relaxed);
     return collectResult(system, workload);
 }
 
@@ -559,25 +564,70 @@ completedRuns()
     return g_completed_runs.load(std::memory_order_relaxed);
 }
 
+std::uint64_t
+simulatedCycles()
+{
+    return g_simulated_cycles.load(std::memory_order_relaxed);
+}
+
+void
+writeBenchSummary(const std::string &bench, double wall_seconds,
+                  std::uint64_t runs, std::uint64_t cycles)
+{
+    const double runs_per_sec =
+        wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds
+                           : 0.0;
+    const double cycles_per_sec =
+        wall_seconds > 0.0 ? static_cast<double>(cycles) / wall_seconds
+                           : 0.0;
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\":\"%s\",\"wall_seconds\":%.6f,"
+                  "\"runs\":%llu,\"runs_per_sec\":%.6f,"
+                  "\"simulated_cycles\":%llu,"
+                  "\"simulated_cycles_per_sec\":%.6g,"
+                  "\"jobs\":%u}\n",
+                  telemetry::sanitizeFileStem(bench).c_str(),
+                  wall_seconds, static_cast<unsigned long long>(runs),
+                  runs_per_sec,
+                  static_cast<unsigned long long>(cycles),
+                  cycles_per_sec, sweepJobCount());
+    const std::string path =
+        "BENCH_" + telemetry::sanitizeFileStem(bench) + ".json";
+    try {
+        telemetry::atomicWrite(path, buf);
+    } catch (const std::exception &e) {
+        // A read-only working directory must not fail the bench.
+        std::fprintf(stderr, "%s\n", e.what());
+    }
+}
+
 SweepTimer::SweepTimer()
     : start_(std::chrono::steady_clock::now()),
-      runs_at_start_(completedRuns())
+      runs_at_start_(completedRuns()),
+      cycles_at_start_(simulatedCycles())
 {
 }
 
 void
-SweepTimer::report() const
+SweepTimer::report(const char *bench_json_name) const
 {
     const auto elapsed = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start_);
     const double seconds = elapsed.count();
     const std::uint64_t runs = completedRuns() - runs_at_start_;
+    const std::uint64_t cycles = simulatedCycles() - cycles_at_start_;
     const double rate =
         seconds > 0.0 ? static_cast<double>(runs) / seconds : 0.0;
+    const double cycle_rate =
+        seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
     std::printf("Sweep wall-clock: %.2f s, %llu runs "
-                "(%.2f runs/s, BINGO_JOBS=%u)\n",
+                "(%.2f runs/s, %.3g simulated cycles/s, "
+                "BINGO_JOBS=%u)\n",
                 seconds, static_cast<unsigned long long>(runs), rate,
-                sweepJobCount());
+                cycle_rate, sweepJobCount());
+    if (bench_json_name != nullptr)
+        writeBenchSummary(bench_json_name, seconds, runs, cycles);
 }
 
 void

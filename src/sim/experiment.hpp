@@ -198,23 +198,41 @@ std::size_t reportFailures(const std::vector<SweepJob> &jobs,
 /**
  * Wall-clock + throughput reporter for a bench's sweeps. Construct at
  * bench start; report() prints one line with elapsed seconds, the
- * number of simulations finished process-wide since construction, and
- * the thread count, e.g.
- *   "Sweep wall-clock: 12.3 s, 70 runs (5.7 runs/s, BINGO_JOBS=8)".
+ * number of simulations finished process-wide since construction,
+ * simulated-cycle throughput, and the thread count, e.g.
+ *   "Sweep wall-clock: 12.3 s, 70 runs (5.7 runs/s,
+ *    2.1e+09 simulated cycles/s, BINGO_JOBS=8)".
+ * Passing a bench name additionally writes the same numbers as
+ * machine-readable JSON to BENCH_<name>.json in the working directory
+ * (atomic temp + rename, like every other artifact writer), so perf
+ * regressions are diffable without scraping stdout.
  */
 class SweepTimer
 {
   public:
     SweepTimer();
-    void report() const;
+    void report(const char *bench_json_name = nullptr) const;
 
   private:
     std::chrono::steady_clock::time_point start_;
     std::uint64_t runs_at_start_;
+    std::uint64_t cycles_at_start_;
 };
+
+/**
+ * Write BENCH_<bench>.json with a bench's wall-clock and throughput
+ * figures (wall seconds, runs and runs/sec, simulated cycles and
+ * cycles/sec, BINGO_JOBS). Used by SweepTimer::report and the main-loop
+ * microbench; I/O failures are reported to stderr, never thrown.
+ */
+void writeBenchSummary(const std::string &bench, double wall_seconds,
+                       std::uint64_t runs, std::uint64_t cycles);
 
 /** Simulations finished so far in this process (all threads). */
 std::uint64_t completedRuns();
+
+/** Simulated cycles finished so far in this process (all threads). */
+std::uint64_t simulatedCycles();
 
 /** Print the Table I configuration header every bench starts with. */
 void printConfigHeader(const SystemConfig &config);

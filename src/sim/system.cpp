@@ -1,8 +1,11 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <string>
 
+#include "common/periodic_gate.hpp"
 #include "common/sim_check.hpp"
 
 namespace bingo
@@ -24,6 +27,21 @@ constexpr Cycle kCheckIntervalMask = 0xFFF;
  * instruction boundary, still far too sparse to show in a profile.
  */
 constexpr Cycle kEpochCheckMask = 0xFF;
+
+/**
+ * Whether BINGO_NO_SKIP disables the fast-forward path ("" or "0"
+ * leave it on, mirroring the other BINGO_* switches). Read once.
+ */
+bool
+skipDisabledByEnv()
+{
+    static const bool disabled = [] {
+        const char *value = std::getenv("BINGO_NO_SKIP");
+        return value != nullptr && *value != '\0' &&
+               !(value[0] == '0' && value[1] == '\0');
+    }();
+    return disabled;
+}
 
 } // namespace
 
@@ -48,6 +66,7 @@ System::System(const SystemConfig &config,
 void
 System::build(std::vector<std::unique_ptr<TraceSource>> sources)
 {
+    skip_enabled_ = !skipDisabledByEnv();
     // Random first-touch translation (Section V): scramble page
     // numbers so the synthetic heaps' alignment regularities do not
     // alias in the physically-indexed LLC and DRAM banks.
@@ -142,6 +161,23 @@ System::reportWatchdogExpiry() const
 }
 
 void
+System::reportDeadlock() const
+{
+    std::string progress;
+    for (const auto &core : cores_) {
+        if (!progress.empty())
+            progress += ", ";
+        progress += "core" + std::to_string(core->id()) + "=" +
+                    std::to_string(core->stats().instructions) +
+                    " instrs";
+    }
+    throw SimError("system", now_,
+                   "deadlock: cores are stalled with no pending event "
+                   "to wake them; progress: " +
+                       progress);
+}
+
+void
 System::enableTelemetry(const telemetry::Options &options)
 {
     telemetry_ = std::make_unique<telemetry::Telemetry>(options);
@@ -199,6 +235,16 @@ System::sampleEpochIfDue()
         telemetry_->epochs().sample(now_, telemetrySnapshot());
 }
 
+bool
+System::allMeasurementsDone() const
+{
+    for (const auto &core : cores_) {
+        if (!core->measurementDone())
+            return false;
+    }
+    return true;
+}
+
 void
 System::runPhase(std::uint64_t instructions, const char *phase)
 {
@@ -213,29 +259,84 @@ System::runPhase(std::uint64_t instructions, const char *phase)
             phase, now_, telemetrySnapshot(),
             telemetry_->options().epoch_instructions);
     }
-    while (true) {
-        bool all_done = true;
-        for (auto &core : cores_) {
-            if (!core->measurementDone()) {
-                all_done = false;
-                break;
-            }
-        }
-        if (all_done)
-            break;
-        if (pausing && (now_ & kCheckIntervalMask) == 0) {
+    // Absolute-boundary gates replace the `(now & mask) == 0` tests:
+    // they fire on exactly the same cycles when stepping by one, and
+    // still fire once per period when the loop jumps (crossed, not
+    // landed-on, semantics).
+    PeriodicGate check_gate(kCheckIntervalMask, now_);
+    PeriodicGate epoch_gate(kEpochCheckMask, now_);
+    // Cached per-core wake cycles; 0 forces a first step of each.
+    core_wake_.assign(cores_.size(), 0);
+    while (!allMeasurementsDone()) {
+        if (pausing && check_gate.crossed(now_)) {
             if (deadline_armed_ &&
                 std::chrono::steady_clock::now() >= deadline_)
                 reportWatchdogExpiry();
             if (checks)
                 checkInvariants();
         }
-        if (telemetry_ != nullptr && (now_ & kEpochCheckMask) == 0)
+        if (telemetry_ != nullptr && epoch_gate.crossed(now_))
             sampleEpochIfDue();
         events_.runDue(now_);
-        for (auto &core : cores_)
-            core->step(now_);
-        ++now_;
+        // Per-core lazy stepping: a core whose cached wake lies ahead
+        // and that no completion callback has touched since (its
+        // wakeDirty flag) is provably mid-stall — skip its step()
+        // entirely; it accounts the gap itself (OooCore::syncTo) when
+        // next touched. The cached wakes double as the fast-path
+        // probe: no extra nextWakeCycle() calls on working cycles.
+        Cycle wake = kNeverCycle;
+        if (skip_enabled_) {
+            for (std::size_t i = 0; i < cores_.size(); ++i) {
+                OooCore &core = *cores_[i];
+                if (core_wake_[i] > now_ && !core.wakeDirty()) {
+                    wake = std::min(wake, core_wake_[i]);
+                    continue;
+                }
+                core.clearWakeDirty();
+                core.step(now_);
+                core_wake_[i] = core.nextWakeCycle(now_);
+                wake = std::min(wake, core_wake_[i]);
+            }
+        } else {
+            for (auto &core : cores_)
+                core->step(now_);
+        }
+        if (wake <= now_ + 1 || !skip_enabled_ ||
+            allMeasurementsDone()) {
+            // The stepped loop exits with now_ one past the finishing
+            // cycle; keep that identity rather than jumping.
+            ++now_;
+            continue;
+        }
+        // Fast-forward: the memory side is fully event-driven, so the
+        // earliest cycle at which anything can happen is the minimum
+        // of the next event, each core's own next wake (timed
+        // retirements), and the DRAM's self-scheduled work. Everything
+        // strictly before that is pure stall bookkeeping, accounted
+        // lazily per core. Capping at the gate boundaries keeps the
+        // watchdog/self-check cadence and lands telemetry samples on
+        // exactly the cycles the stepped loop samples, preserving
+        // bit-identical epoch streams.
+        Cycle target = std::min(wake, events_.nextEventCycle());
+        target = std::min(target, dram_->nextWorkCycle(now_));
+        if (pausing)
+            target = std::min(target, check_gate.nextBoundary());
+        if (telemetry_ != nullptr)
+            target = std::min(target, epoch_gate.nextBoundary());
+        if (target == kNeverCycle) {
+            // Live cores with no pending event anywhere: the stepped
+            // loop would spin forever. Report instead of wedging.
+            reportDeadlock();
+        }
+        // runDue(now_) drained everything at now_ and every wake/work
+        // bound is strictly in the future, so target >= now_ + 1.
+        const std::uint64_t stalled = target - now_ - 1;
+        if (stalled > 0) {
+            skipped_cycles_ += stalled;
+            now_ = target;
+        } else {
+            ++now_;
+        }
     }
     if (checks)
         checkInvariants();

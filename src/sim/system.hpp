@@ -103,17 +103,44 @@ class System
     /** Current counter values in epoch-snapshot form. */
     telemetry::EpochSnapshot telemetrySnapshot() const;
 
+    /**
+     * Enable or disable event-driven cycle skipping. On (the default
+     * unless the BINGO_NO_SKIP environment variable is set), the run
+     * loop fast-forwards through windows in which every core is
+     * provably stalled and no event is due, applying the skipped
+     * cycles' bookkeeping in bulk; results are bit-identical to the
+     * stepped loop. Off is the escape hatch for debugging and for the
+     * CI equivalence diff.
+     */
+    void setCycleSkipping(bool enabled) { skip_enabled_ = enabled; }
+
+    /** Whether the fast-forward path is active. */
+    bool cycleSkippingEnabled() const { return skip_enabled_; }
+
+    /** Cycles the run loop jumped over instead of stepping. */
+    std::uint64_t skippedCycles() const { return skipped_cycles_; }
+
   private:
     void build(std::vector<std::unique_ptr<TraceSource>> sources);
 
     /** Advance until every core's measurement quota is met. */
     void runPhase(std::uint64_t instructions, const char *phase);
 
+    /** True when every core has retired its measurement quota. */
+    bool allMeasurementsDone() const;
+
     /** Close the telemetry epoch when its boundary was crossed. */
     void sampleEpochIfDue();
 
     /** Throw the watchdog SimError with per-core progress. */
     [[noreturn]] void reportWatchdogExpiry() const;
+
+    /**
+     * Throw when the fast-forward path proves no component can ever
+     * make progress again (live cores, no pending events, idle DRAM) —
+     * the condition the stepped loop would spin on forever.
+     */
+    [[noreturn]] void reportDeadlock() const;
 
     SystemConfig config_;
     EventQueue events_;
@@ -130,6 +157,11 @@ class System
     Cycle now_ = 0;
     std::chrono::steady_clock::time_point deadline_{};
     bool deadline_armed_ = false;
+    bool skip_enabled_ = true;           ///< See setCycleSkipping().
+    std::uint64_t skipped_cycles_ = 0;   ///< Jumped, never stepped.
+    /// Cached OooCore::nextWakeCycle() per core, valid until the
+    /// core's wakeDirty flag reports a completion landed.
+    std::vector<Cycle> core_wake_;
     std::unique_ptr<telemetry::Telemetry> telemetry_;
 };
 

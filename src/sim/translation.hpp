@@ -75,6 +75,18 @@ class TranslatingSource : public TraceSource
         return rec;
     }
 
+    void
+    nextBatch(TraceRecord *out, std::size_t count) override
+    {
+        inner_->nextBatch(out, count);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (out[i].type == InstrType::Load ||
+                out[i].type == InstrType::Store) {
+                out[i].addr = translator_.translate(out[i].addr);
+            }
+        }
+    }
+
   private:
     std::unique_ptr<TraceSource> inner_;
     const AddressTranslator &translator_;

@@ -74,36 +74,6 @@ cycleToMicros(Cycle cycle, double frequency_ghz)
     return static_cast<double>(cycle) / (frequency_ghz * 1000.0);
 }
 
-/** Write `content` to `path` atomically (temp + rename). */
-void
-atomicWrite(const std::filesystem::path &path, const std::string &content)
-{
-    namespace fs = std::filesystem;
-    const std::string temp_path =
-        path.string() + ".tmp." +
-        std::to_string(std::hash<std::thread::id>{}(
-                           std::this_thread::get_id()) &
-                       0xFFFFFF);
-    {
-        std::ofstream out(temp_path, std::ios::trunc);
-        if (!out)
-            throw std::runtime_error("telemetry: cannot write " +
-                                     temp_path);
-        out << content;
-        out.flush();
-        if (!out)
-            throw std::runtime_error("telemetry: write failed for " +
-                                     temp_path);
-    }
-    std::error_code ec;
-    fs::rename(temp_path, path, ec);
-    if (ec) {
-        fs::remove(temp_path, ec);
-        throw std::runtime_error("telemetry: cannot rename into " +
-                                 path.string());
-    }
-}
-
 /** One Chrome-trace counter event. */
 void
 traceCounter(std::ostringstream &out, bool &first, const char *name,
@@ -133,6 +103,35 @@ lifecycleJson(const PrefetchLifecycle &lifecycle)
 }
 
 } // namespace
+
+void
+atomicWrite(const std::filesystem::path &path, const std::string &content)
+{
+    namespace fs = std::filesystem;
+    const std::string temp_path =
+        path.string() + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+                           std::this_thread::get_id()) &
+                       0xFFFFFF);
+    {
+        std::ofstream out(temp_path, std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("telemetry: cannot write " +
+                                     temp_path);
+        out << content;
+        out.flush();
+        if (!out)
+            throw std::runtime_error("telemetry: write failed for " +
+                                     temp_path);
+    }
+    std::error_code ec;
+    fs::rename(temp_path, path, ec);
+    if (ec) {
+        fs::remove(temp_path, ec);
+        throw std::runtime_error("telemetry: cannot rename into " +
+                                 path.string());
+    }
+}
 
 std::string
 sanitizeFileStem(const std::string &name)

@@ -25,6 +25,7 @@
 #define BINGO_TELEMETRY_EXPORT_HPP
 
 #include <cstdint>
+#include <filesystem>
 #include <string>
 
 #include "telemetry/epoch.hpp"
@@ -56,6 +57,15 @@ void writeRunTelemetry(const std::string &dir, const RunMeta &meta,
 
 /** Filesystem-safe stem: [A-Za-z0-9._-], everything else to '_'. */
 std::string sanitizeFileStem(const std::string &name);
+
+/**
+ * Write `content` to `path` atomically (unique temp file + rename),
+ * the crash-safety idiom shared by the telemetry exports, the sweep
+ * journal, and the BENCH_*.json machine-readable bench summaries.
+ * Throws std::runtime_error on I/O failure.
+ */
+void atomicWrite(const std::filesystem::path &path,
+                 const std::string &content);
 
 /** One epoch as a JSONL line (no trailing newline). */
 std::string epochJsonLine(const EpochRecord &record,

@@ -21,7 +21,7 @@
 #ifndef BINGO_WORKLOAD_GENERATOR_HPP
 #define BINGO_WORKLOAD_GENERATOR_HPP
 
-#include <deque>
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,11 +42,32 @@ class BurstSource : public TraceSource
     TraceRecord
     next() override
     {
-        while (queue_.empty())
+        while (head_ >= queue_.size()) {
+            queue_.clear();
+            head_ = 0;
             refill();
-        TraceRecord rec = queue_.front();
-        queue_.pop_front();
-        return rec;
+        }
+        return queue_[head_++];
+    }
+
+    void
+    nextBatch(TraceRecord *out, std::size_t count) override
+    {
+        std::size_t filled = 0;
+        while (filled < count) {
+            while (head_ >= queue_.size()) {
+                queue_.clear();
+                head_ = 0;
+                refill();
+            }
+            const std::size_t take = std::min(
+                count - filled, queue_.size() - head_);
+            std::copy_n(queue_.begin() +
+                            static_cast<std::ptrdiff_t>(head_),
+                        take, out + filled);
+            head_ += take;
+            filled += take;
+        }
     }
 
   protected:
@@ -95,7 +116,10 @@ class BurstSource : public TraceSource
   private:
     static constexpr Addr kAluPcBase = 0x7f0000;
 
-    std::deque<TraceRecord> queue_;
+    /// Pending burst, consumed from `head_` and compacted when empty —
+    /// a flat vector beats a deque on the per-record hot path.
+    std::vector<TraceRecord> queue_;
+    std::size_t head_ = 0;
     std::uint64_t alu_pc_ = 0;
 };
 
@@ -122,6 +146,8 @@ class InterleavedSource : public TraceSource
                       std::uint64_t seed, bool strict = false);
 
     TraceRecord next() override;
+
+    void nextBatch(TraceRecord *out, std::size_t count) override;
 
   private:
     std::vector<std::unique_ptr<TraceSource>> sources_;

@@ -10,6 +10,7 @@
 
 #include "common/event_queue.hpp"
 #include "common/hash.hpp"
+#include "common/periodic_gate.hpp"
 #include "common/rng.hpp"
 #include "common/sat_counter.hpp"
 #include "common/stats.hpp"
@@ -251,12 +252,70 @@ TEST(EventQueue, EventsMayScheduleEvents)
 TEST(EventQueue, NextEventCycle)
 {
     EventQueue q;
-    EXPECT_EQ(q.nextEventCycle(), ~Cycle{0});
+    EXPECT_EQ(q.nextEventCycle(), kNeverCycle);
     q.schedule(42, [] {});
     EXPECT_EQ(q.nextEventCycle(), 42u);
     EXPECT_EQ(q.size(), 1u);
     q.runDue(42);
     EXPECT_TRUE(q.empty());
+}
+
+TEST(PeriodicGate, MatchesMaskTestUnderUnitStride)
+{
+    // Stepping one cycle at a time, crossed() must fire on exactly the
+    // cycles where the old `(now & mask) == 0` test held.
+    constexpr Cycle kMask = 0xF;
+    PeriodicGate gate(kMask, 0);
+    for (Cycle now = 0; now < 100; ++now)
+        EXPECT_EQ(gate.crossed(now), (now & kMask) == 0) << now;
+}
+
+TEST(PeriodicGate, StartOffBoundaryArmsAtNextBoundary)
+{
+    constexpr Cycle kMask = 0xFF;
+    PeriodicGate gate(kMask, 300);
+    EXPECT_EQ(gate.nextBoundary(), 512u);
+    EXPECT_FALSE(gate.crossed(300));
+    EXPECT_FALSE(gate.crossed(511));
+    EXPECT_TRUE(gate.crossed(512));
+    EXPECT_FALSE(gate.crossed(513));
+}
+
+TEST(PeriodicGate, StartOnBoundaryFiresImmediately)
+{
+    PeriodicGate gate(0xFF, 512);
+    EXPECT_TRUE(gate.crossed(512));
+    EXPECT_EQ(gate.nextBoundary(), 768u);
+}
+
+TEST(PeriodicGate, IrregularStridesMissNoBoundary)
+{
+    // Advance by irregular strides (including jumps spanning several
+    // periods) and check against a reference that enumerates every
+    // boundary: the gate must fire exactly once per crossed span and
+    // re-arm at the first boundary after the landing cycle.
+    constexpr Cycle kMask = 0xFF;
+    constexpr Cycle kPeriod = kMask + 1;
+    PeriodicGate gate(kMask, 0);
+    const Cycle strides[] = {1, 3, 255, 256, 257, 1, 1023, 2048,
+                             5,  64, 191, 513, 2,  300,  4096, 7};
+    Cycle now = 0;
+    Cycle next_boundary = 0;  // First boundary not yet fired.
+    std::uint64_t fired = 0;
+    std::uint64_t boundaries_crossed = 0;
+    for (const Cycle stride : strides) {
+        const bool expect_fire = now >= next_boundary;
+        if (expect_fire) {
+            ++boundaries_crossed;
+            next_boundary = (now / kPeriod + 1) * kPeriod;
+        }
+        EXPECT_EQ(gate.crossed(now), expect_fire) << "at " << now;
+        fired += expect_fire ? 1 : 0;
+        EXPECT_EQ(gate.nextBoundary(), next_boundary) << "at " << now;
+        now += stride;
+    }
+    EXPECT_EQ(fired, boundaries_crossed);
+    EXPECT_GT(fired, 4u);  // The strides cross many boundaries.
 }
 
 } // namespace

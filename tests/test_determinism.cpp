@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "workload/generator.hpp"
@@ -38,6 +39,24 @@ runOnce(PrefetcherKind kind, std::uint64_t seed)
     config.seed = seed;
     System system(config, "Data Serving");
     system.run(10000, 20000);
+    return collectResult(system, "Data Serving");
+}
+
+/** One run with the fast-forward path explicitly toggled. */
+RunResult
+runWithSkip(PrefetcherKind kind, bool skip, Cycle *final_cycle,
+            std::uint64_t *skipped)
+{
+    SystemConfig config = SystemConfig::singleCore();
+    config.prefetcher.kind = kind;
+    config.seed = 7;
+    System system(config, "Data Serving");
+    system.setCycleSkipping(skip);
+    system.run(10000, 20000);
+    if (final_cycle != nullptr)
+        *final_cycle = system.now();
+    if (skipped != nullptr)
+        *skipped = system.skippedCycles();
     return collectResult(system, "Data Serving");
 }
 
@@ -114,6 +133,91 @@ TEST(Determinism, TelemetryDoesNotPerturbResults)
             measure_instructions += record.delta.instructions;
     }
     EXPECT_EQ(measure_instructions, observed.instructions);
+}
+
+/**
+ * The tentpole guarantee of the fast-forward run loop: skipping stall
+ * cycles must be bit-identical to stepping through them — same
+ * counters, same final cycle — across prefetcher configs with very
+ * different stall structure (no prefetcher stalls the most; Bingo and
+ * BOP overlap misses and reshape every stall window).
+ */
+class SkipEquivalenceTest
+    : public ::testing::TestWithParam<PrefetcherKind>
+{
+};
+
+TEST_P(SkipEquivalenceTest, SkipOnMatchesSkipOffBitIdentically)
+{
+    Cycle stepped_end = 0;
+    Cycle skipped_end = 0;
+    std::uint64_t stepped_jumps = 0;
+    std::uint64_t skipped_jumps = 0;
+    const RunResult stepped =
+        runWithSkip(GetParam(), false, &stepped_end, &stepped_jumps);
+    const RunResult skipped =
+        runWithSkip(GetParam(), true, &skipped_end, &skipped_jumps);
+
+    expectIdenticalResults(stepped, skipped);
+    EXPECT_EQ(stepped_end, skipped_end);
+    // The toggle must actually change the execution strategy, or this
+    // test proves nothing.
+    EXPECT_EQ(stepped_jumps, 0u);
+    EXPECT_GT(skipped_jumps, 0u);
+    EXPECT_LT(skipped_jumps, skipped_end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefetchers, SkipEquivalenceTest,
+                         ::testing::Values(PrefetcherKind::None,
+                                           PrefetcherKind::Bingo,
+                                           PrefetcherKind::Bop));
+
+/**
+ * With telemetry on, the skipped loop must produce exactly the same
+ * epoch stream: same record count, phases, boundaries, and deltas.
+ * (The fast-forward path caps jumps at the epoch-check boundary so
+ * samples land on the same cycles the stepped loop samples at.)
+ */
+TEST(Determinism, SkipPreservesTelemetryEpochStreams)
+{
+    const auto runTelemetry = [](bool skip) {
+        SystemConfig config = SystemConfig::singleCore();
+        config.prefetcher.kind = PrefetcherKind::Bingo;
+        config.seed = 7;
+        auto system =
+            std::make_unique<System>(config, "Data Serving");
+        system->setCycleSkipping(skip);
+        telemetry::Options options;
+        options.epoch_instructions = 2000;  // Many epoch boundaries.
+        system->enableTelemetry(options);
+        system->run(10000, 20000);
+        return system;
+    };
+    const auto stepped = runTelemetry(false);
+    const auto skipped = runTelemetry(true);
+    EXPECT_GT(skipped->skippedCycles(), 0u);
+
+    const auto &a = stepped->telemetry()->epochs().records();
+    const auto &b = skipped->telemetry()->epochs().records();
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].phase, b[i].phase) << "epoch " << i;
+        EXPECT_EQ(a[i].index, b[i].index) << "epoch " << i;
+        EXPECT_EQ(a[i].start_cycle, b[i].start_cycle) << "epoch " << i;
+        EXPECT_EQ(a[i].end_cycle, b[i].end_cycle) << "epoch " << i;
+        EXPECT_EQ(a[i].delta.instructions, b[i].delta.instructions)
+            << "epoch " << i;
+        EXPECT_EQ(a[i].delta.llc_demand_misses,
+                  b[i].delta.llc_demand_misses)
+            << "epoch " << i;
+        EXPECT_EQ(a[i].delta.dram_reads, b[i].delta.dram_reads)
+            << "epoch " << i;
+        EXPECT_EQ(a[i].delta.pf_issued, b[i].delta.pf_issued)
+            << "epoch " << i;
+        EXPECT_EQ(a[i].delta.pf_useful, b[i].delta.pf_useful)
+            << "epoch " << i;
+    }
 }
 
 /** The factory builds every advertised prefetcher. */

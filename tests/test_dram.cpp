@@ -191,5 +191,53 @@ TEST_P(DramRandomTrafficTest, CompletionsRespectMinimumLatency)
 INSTANTIATE_TEST_SUITE_P(Seeds, DramRandomTrafficTest,
                          ::testing::Range(1u, 9u));
 
+TEST(Dram, StartsIdleWithNoSelfScheduledWork)
+{
+    DramController dram(smallConfig());
+    EXPECT_TRUE(dram.idle(0));
+    EXPECT_EQ(dram.busyUntil(), 0u);
+    EXPECT_EQ(dram.nextWorkCycle(0), kNeverCycle);
+}
+
+TEST(Dram, BusyUntilCoversTheLastCompletion)
+{
+    DramController dram(smallConfig());
+    const Cycle done = dram.read(0, 0);
+    // The bank stays committed at least until the data is returned.
+    EXPECT_GE(dram.busyUntil(), done);
+    EXPECT_FALSE(dram.idle(done - 1));
+    EXPECT_EQ(dram.nextWorkCycle(done - 1), dram.busyUntil());
+    // Once every timer drains, the idle short-circuit takes over.
+    EXPECT_TRUE(dram.idle(dram.busyUntil()));
+    EXPECT_EQ(dram.nextWorkCycle(dram.busyUntil()), kNeverCycle);
+}
+
+TEST(Dram, BusyUntilIsMonotoneUnderTraffic)
+{
+    DramController dram(smallConfig());
+    Rng rng(3);
+    Cycle bound = 0;
+    for (int i = 0; i < 200; ++i) {
+        const Cycle now = static_cast<Cycle>(i) * 7;
+        const Cycle done =
+            dram.read(blockAlign(rng.next() & 0xffffffULL), now);
+        EXPECT_GE(dram.busyUntil(), bound);
+        EXPECT_GE(dram.busyUntil(), done);
+        bound = dram.busyUntil();
+        // The cached bound must dominate every bank/bus timer.
+        dram.checkInvariants(now);
+    }
+}
+
+TEST(Dram, ResetClearsBusyBound)
+{
+    DramController dram(smallConfig());
+    dram.read(0, 0);
+    EXPECT_GT(dram.busyUntil(), 0u);
+    dram.reset();
+    EXPECT_EQ(dram.busyUntil(), 0u);
+    EXPECT_TRUE(dram.idle(0));
+}
+
 } // namespace
 } // namespace bingo

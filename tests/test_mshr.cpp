@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "cache/mshr.hpp"
+#include "common/sim_check.hpp"
 
 namespace bingo
 {
@@ -44,13 +45,53 @@ TEST(Mshr, CallbacksTravelWithRelease)
     MshrFile mshrs(1);
     MshrEntry &entry = mshrs.allocate(0x40, false, 0);
     int called = 0;
-    entry.callbacks.push_back([&](Cycle) { ++called; });
-    entry.callbacks.push_back([&](Cycle) { ++called; });
+    entry.callbacks.emplace_back([&](Cycle) { ++called; });
+    entry.callbacks.emplace_back([&](Cycle) { ++called; });
 
     MshrEntry released = mshrs.release(0x40);
-    for (FillCallback &cb : released.callbacks)
-        cb(10);
+    for (MshrCallback &cb : released.callbacks)
+        cb.fn(10);
     EXPECT_EQ(called, 2);
+}
+
+TEST(Mshr, CallbackTrackingMetadata)
+{
+    // The converting constructor marks a callback untracked (replayed
+    // demands); the two-argument form records the miss cycle for the
+    // cache's latency accounting.
+    MshrCallback untracked([](Cycle) {});
+    EXPECT_FALSE(untracked.track);
+
+    MshrCallback tracked([](Cycle) {}, 42);
+    EXPECT_TRUE(tracked.track);
+    EXPECT_EQ(tracked.start, 42u);
+}
+
+TEST(Mshr, RecycledEntriesStartClean)
+{
+    // release() keeps the map node for reuse; a later allocate of a
+    // different block must hand back a fully reset entry.
+    MshrFile mshrs(2);
+    MshrEntry &first = mshrs.allocate(0x40, true, 3);
+    first.demand_merged = true;
+    first.store_merged = true;
+    first.callbacks.emplace_back([](Cycle) {});
+    mshrs.release(0x40);
+
+    MshrEntry &second = mshrs.allocate(0x80, false, 1);
+    EXPECT_EQ(second.block, 0x80u);
+    EXPECT_EQ(second.core, 1u);
+    EXPECT_FALSE(second.prefetch_origin);
+    EXPECT_FALSE(second.demand_merged);
+    EXPECT_FALSE(second.store_merged);
+    EXPECT_TRUE(second.callbacks.empty());
+    ASSERT_NE(mshrs.find(0x80), nullptr);
+    EXPECT_EQ(mshrs.find(0x40), nullptr);
+
+    // Duplicate allocation through the recycled-node path still throws
+    // and leaves the file consistent.
+    EXPECT_THROW(mshrs.allocate(0x80, false, 0), SimError);
+    EXPECT_EQ(mshrs.size(), 1u);
 }
 
 TEST(Mshr, MergeFlagsPersist)

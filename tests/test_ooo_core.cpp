@@ -196,6 +196,118 @@ TEST_F(CoreTest, MeasurementCountsExactly)
     EXPECT_FALSE(core->measurementDone());
 }
 
+TEST_F(CoreTest, NextWakeIsNextCycleWhenDispatchable)
+{
+    auto core = makeCore({});
+    core->startMeasurement(100, 0);
+    events_.runDue(0);
+    core->step(0);
+    // ALU stream, ROB nearly empty: the core can dispatch every cycle.
+    EXPECT_EQ(core->nextWakeCycle(0), 1u);
+}
+
+TEST_F(CoreTest, NextWakeNeverOnceMeasurementDone)
+{
+    auto core = makeCore({});
+    core->startMeasurement(10, 0);
+    run(*core, 20);
+    ASSERT_TRUE(core->measurementDone());
+    EXPECT_EQ(core->nextWakeCycle(20), kNeverCycle);
+}
+
+TEST_F(CoreTest, NextWakeWaitsOnEventBehindMissWithRobFull)
+{
+    CoreConfig config;
+    config.rob_entries = 4;
+    std::vector<TraceRecord> script = {load(0x400, 0x1000)};
+    for (int i = 0; i < 50; ++i)
+        script.push_back(alu());
+    auto core = makeCore(std::move(script), /*mem_latency=*/300,
+                         config);
+    core->startMeasurement(51, 0);
+    run(*core, 5);
+    // ROB is full behind the incomplete load at its head: only the
+    // fill callback — an event — can unblock the core, so the wake
+    // must defer entirely to the event queue.
+    EXPECT_GT(core->stats().rob_full_cycles, 0u);
+    EXPECT_EQ(core->nextWakeCycle(4), kNeverCycle);
+}
+
+TEST_F(CoreTest, NextWakeIsTimedRetirementWhenHeadIsCompleted)
+{
+    CoreConfig config;
+    config.rob_entries = 4;
+    config.alu_latency = 20;
+    auto core = makeCore({}, 50, config);
+    core->startMeasurement(100, 0);
+    events_.runDue(0);
+    core->step(0);
+    // Four ALUs fill the ROB with completion time 20: nothing can
+    // happen until the head's timed retirement.
+    EXPECT_EQ(core->nextWakeCycle(0), 20u);
+}
+
+TEST_F(CoreTest, FastForwardMirrorsSteppedStallWindow)
+{
+    CoreConfig config;
+    config.rob_entries = 4;
+    config.alu_latency = 20;
+
+    // Reference: step through the ROB-full window cycle by cycle,
+    // including the wake cycle 20 where the head finally retires.
+    CoreStats ref_window;
+    CoreStats ref_after;
+    {
+        auto stepped = makeCore({}, 50, config);
+        stepped->startMeasurement(100, 0);
+        run(*stepped, 20);  // Cycles 0..19: dispatch burst + stall.
+        ref_window = stepped->stats();
+        events_.runDue(20);
+        stepped->step(20);
+        ref_after = stepped->stats();
+    }
+
+    // Same machine, but the window is applied in one fastForward.
+    // (makeCore rebuilt the L1/source, so the first core is gone.)
+    auto jumped = makeCore({}, 50, config);
+    jumped->startMeasurement(100, 0);
+    events_.runDue(0);
+    jumped->step(0);
+    ASSERT_EQ(jumped->nextWakeCycle(0), 20u);
+    jumped->fastForward(19, 19);
+    EXPECT_EQ(jumped->stats().cycles, ref_window.cycles);
+    EXPECT_EQ(jumped->stats().rob_full_cycles,
+              ref_window.rob_full_cycles);
+    EXPECT_EQ(jumped->stats().lsq_full_cycles,
+              ref_window.lsq_full_cycles);
+    EXPECT_EQ(jumped->stats().instructions, ref_window.instructions);
+
+    // It resumes exactly as the stepped core did at the wake cycle.
+    events_.runDue(20);
+    jumped->step(20);
+    EXPECT_EQ(jumped->stats().instructions, ref_after.instructions);
+    EXPECT_EQ(jumped->stats().cycles, ref_after.cycles);
+}
+
+TEST_F(CoreTest, FastForwardAttributesLsqStalls)
+{
+    CoreConfig config;
+    config.lsq_entries = 2;
+    std::vector<TraceRecord> script;
+    for (int i = 0; i < 16; ++i)
+        script.push_back(load(0x400, 0x1000 + i * kBlockSize));
+    auto core = makeCore(std::move(script), /*mem_latency=*/100,
+                         config);
+    core->startMeasurement(16, 0);
+    run(*core, 3);
+    // Two loads in flight, a third parked on the full LSQ: freed only
+    // by a completion callback, so the wake defers to the event queue.
+    EXPECT_EQ(core->nextWakeCycle(2), kNeverCycle);
+    const std::uint64_t before = core->stats().lsq_full_cycles;
+    core->fastForward(5, 7);
+    EXPECT_EQ(core->stats().lsq_full_cycles, before + 5);
+}
+
 TEST_F(CoreTest, TypeCountersTrack)
 {
     std::vector<TraceRecord> script = {

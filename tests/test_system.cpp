@@ -88,6 +88,36 @@ TEST(SystemIntegration, BaselineRunsAndMisses)
     EXPECT_GT(result.dram.reads, 0u);
 }
 
+TEST(SystemIntegration, CycleSkippingIsOnByDefaultAndUsed)
+{
+    // The fast-forward path is the default execution strategy (the
+    // BINGO_NO_SKIP escape hatch is not set in the test environment),
+    // and a latency-bound workload must actually exercise it.
+    SystemConfig config = tinyConfig(PrefetcherKind::None);
+    std::vector<std::unique_ptr<TraceSource>> sources;
+    sources.push_back(std::make_unique<FootprintWorkload>(7));
+    System system(config, std::move(sources));
+    EXPECT_TRUE(system.cycleSkippingEnabled());
+    EXPECT_EQ(system.skippedCycles(), 0u);
+    system.run(10000, 20000);
+    EXPECT_GT(system.skippedCycles(), 0u);
+    EXPECT_LT(system.skippedCycles(), system.now());
+}
+
+TEST(SystemIntegration, SkipToggleDoesNotChangeTheClock)
+{
+    const auto finalCycle = [](bool skip) {
+        SystemConfig config = tinyConfig(PrefetcherKind::None);
+        std::vector<std::unique_ptr<TraceSource>> sources;
+        sources.push_back(std::make_unique<FootprintWorkload>(7));
+        System system(config, std::move(sources));
+        system.setCycleSkipping(skip);
+        system.run(10000, 20000);
+        return system.now();
+    };
+    EXPECT_EQ(finalCycle(false), finalCycle(true));
+}
+
 TEST(SystemIntegration, BingoCoversFootprintWorkload)
 {
     const RunResult base = runTiny(PrefetcherKind::None);
