@@ -11,15 +11,40 @@
 #define BINGO_BENCH_COMMON_HPP
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
+#include "sim/experiment.hpp"
 
 namespace bingo::benchutil
 {
 
 /** Table cell of a job that failed every retry. */
 inline constexpr const char *kFailCell = "FAIL";
+
+/**
+ * Table cell of a job whose prefetcher was quarantined mid-run: the
+ * run completed (prefetcher-off from the quarantine point), so the
+ * row survives, but the number is not a clean measurement.
+ */
+inline constexpr const char *kDegradedCell = "DEGRADED";
+
+/**
+ * Render `value` as `outcome`'s table cell, downgrading to FAIL for
+ * failed jobs and DEGRADED for quarantined ones (including journal-
+ * resumed results recorded as degraded).
+ */
+inline std::string
+cellFor(const JobOutcome &outcome, const std::string &value)
+{
+    if (!outcome.ok())
+        return kFailCell;
+    if (outcome.status == JobStatus::Degraded ||
+        outcome.result.degraded)
+        return kDegradedCell;
+    return value;
+}
 
 /**
  * Mean over however many samples actually arrived — failed sweep jobs

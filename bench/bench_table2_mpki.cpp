@@ -65,14 +65,11 @@ main()
     for (std::size_t i = 0; i < workloads.size(); ++i) {
         const JobOutcome &outcome = outcomes[2 * i];
         const JobOutcome &bingo_outcome = outcomes[2 * i + 1];
-        const std::string bingo_mpki =
-            bingo_outcome.ok()
-                ? fmtDouble(bingo_outcome.result.llcMpki(), 1)
-                : benchutil::kFailCell;
-        const std::string late_rate =
-            bingo_outcome.ok()
-                ? fmtLateHitRate(bingo_outcome.result.llc)
-                : benchutil::kFailCell;
+        const std::string bingo_mpki = benchutil::cellFor(
+            bingo_outcome,
+            fmtDouble(bingo_outcome.result.llcMpki(), 1));
+        const std::string late_rate = benchutil::cellFor(
+            bingo_outcome, fmtLateHitRate(bingo_outcome.result.llc));
         if (!outcome.ok()) {
             table.addRow({workloads[i],
                           workloadDescription(workloads[i]),
@@ -83,14 +80,18 @@ main()
             continue;
         }
         const RunResult &result = outcome.result;
-        table.addRow({workloads[i], workloadDescription(workloads[i]),
-                      fmtDouble(paperMpki(workloads[i]), 1),
-                      fmtDouble(result.llcMpki(), 1),
-                      fmtDouble(result.ipcSum() /
-                                    static_cast<double>(
-                                        result.core_ipc.size()),
-                                2),
-                      bingo_mpki, late_rate});
+        table.addRow(
+            {workloads[i], workloadDescription(workloads[i]),
+             fmtDouble(paperMpki(workloads[i]), 1),
+             benchutil::cellFor(outcome,
+                                fmtDouble(result.llcMpki(), 1)),
+             benchutil::cellFor(
+                 outcome,
+                 fmtDouble(result.ipcSum() /
+                               static_cast<double>(
+                                   result.core_ipc.size()),
+                           2)),
+             bingo_mpki, late_rate});
     }
     table.print();
     table.maybeWriteCsv("table2_mpki");

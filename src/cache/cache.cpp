@@ -1,6 +1,5 @@
 #include "cache/cache.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -95,6 +94,17 @@ Cache::addEvictionListener(EvictionListener listener)
 }
 
 void
+Cache::forEachResident(
+    const std::function<void(Addr block, bool dirty, CoreId core)> &fn)
+    const
+{
+    for (const Block &b : blocks_) {
+        if (b.valid)
+            fn(b.tag, b.dirty, b.core);
+    }
+}
+
+void
 Cache::checkInvariants(Cycle now) const
 {
     if (mshrs_.size() > mshrs_.capacity())
@@ -181,7 +191,9 @@ Cache::checkInvariants(Cycle now) const
 void
 Cache::access(const MemAccess &access, Cycle now, FillCallback done)
 {
-    assert(access.type != AccessType::Prefetch);
+    if (access.type == AccessType::Prefetch)
+        throw SimError(name_, now,
+                       "prefetch presented to the demand access path");
     ++stats_.demand_accesses;
 
     if (Block *block = lookup(access.block)) {
@@ -264,6 +276,12 @@ void
 Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
 {
     ++stats_.prefetch_requests;
+    // Chaos MSHR-occupancy spike: consulted exactly once per prefetch
+    // request (so the fault schedule is per-opportunity), applied at
+    // the headroom decision below. Demand traffic is never parked by
+    // it, and drainPrefetchQueue() sees real occupancy only.
+    const bool pressure_spike =
+        mshr_pressure_hook_ && mshr_pressure_hook_();
     if (contains(block)) {
         ++stats_.prefetch_drops;
         ++stats_.prefetch_drop_present;
@@ -274,7 +292,7 @@ Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
         ++stats_.prefetch_drop_inflight;
         return;
     }
-    if (!prefetchMshrAvailable()) {
+    if (pressure_spike || !prefetchMshrAvailable()) {
         // Park in the prefetch queue (bounded); oldest-first issue as
         // MSHRs free up. When the queue is full the request is lost,
         // as in hardware.
@@ -516,7 +534,9 @@ DramLower::DramLower(DramController &dram, EventQueue &events)
 void
 DramLower::fetch(const MemAccess &access, Cycle now, FillCallback done)
 {
-    const Cycle completion = dram_.read(access.block, now);
+    Cycle completion = dram_.read(access.block, now);
+    if (fault_hook_)
+        completion = fault_hook_(access, now, completion);
     events_.schedule(completion,
                      [done = std::move(done), completion] {
                          done(completion);

@@ -129,6 +129,15 @@ class Cache
     using AccessHook =
         std::function<void(const MemAccess &, bool hit, Cycle now)>;
 
+    /**
+     * Chaos hook consulted once per prefetch() call; returning true
+     * makes the request behave as if the MSHR file had no prefetch
+     * headroom (queued, or dropped when the queue is full). Queued
+     * prefetches drain on fills as usual — the spike models transient
+     * pressure at issue time, not a wedged MSHR file.
+     */
+    using MshrPressureHook = std::function<bool()>;
+
     Cache(std::string name, const CacheConfig &config, EventQueue &events,
           MemoryLower &lower);
 
@@ -152,7 +161,20 @@ class Cache
     bool containsOrInFlight(Addr block);
 
     void setAccessHook(AccessHook hook) { hook_ = std::move(hook); }
+    void setMshrPressureHook(MshrPressureHook hook)
+    {
+        mshr_pressure_hook_ = std::move(hook);
+    }
     void addEvictionListener(EvictionListener listener);
+
+    /**
+     * Visit every resident block (valid lines only) with its dirty
+     * flag and last-toucher core. Cold path: used by the shadow-model
+     * cross-check and diagnostics.
+     */
+    void forEachResident(
+        const std::function<void(Addr block, bool dirty, CoreId core)>
+            &fn) const;
 
     /**
      * Attach a prefetch lifecycle tracker (telemetry). Null detaches;
@@ -252,6 +274,7 @@ class Cache
     std::deque<QueuedPrefetch> prefetch_queue_;
     CacheStats stats_;
     AccessHook hook_;
+    MshrPressureHook mshr_pressure_hook_;
     telemetry::PrefetchLifecycle *lifecycle_ = nullptr;
     std::vector<EvictionListener> eviction_listeners_;
     std::uint64_t tick_ = 0;
@@ -262,15 +285,30 @@ class Cache
 class DramLower : public MemoryLower
 {
   public:
+    /**
+     * Chaos hook over DRAM response timing: given the access and the
+     * controller-computed completion cycle, returns the cycle the fill
+     * actually lands (later for an injected delay; a drop-and-retry
+     * re-reads the controller). Identity when unset.
+     */
+    using DramFaultHook = std::function<Cycle(
+        const MemAccess &access, Cycle now, Cycle completion)>;
+
     DramLower(class DramController &dram, EventQueue &events);
 
     void fetch(const MemAccess &access, Cycle now,
                FillCallback done) override;
     void writeback(Addr block, CoreId core, Cycle now) override;
 
+    void setFaultHook(DramFaultHook hook)
+    {
+        fault_hook_ = std::move(hook);
+    }
+
   private:
     DramController &dram_;
     EventQueue &events_;
+    DramFaultHook fault_hook_;
 };
 
 /** Adapts a Cache (the LLC) to the MemoryLower interface for an L1. */

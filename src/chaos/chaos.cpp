@@ -1,0 +1,147 @@
+#include "chaos/chaos.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+namespace bingo::chaos
+{
+
+namespace
+{
+
+[[noreturn]] void
+rejectSpec(const std::string &spec, const std::string &why)
+{
+    throw std::invalid_argument("BINGO_CHAOS spec \"" + spec +
+                                "\": " + why);
+}
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = text.find(sep, start);
+        if (pos == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+struct SiteName
+{
+    const char *name;
+    ChaosSite site;
+};
+
+constexpr SiteName kSiteNames[] = {
+    {"trace", ChaosSite::Trace},   {"dram", ChaosSite::Dram},
+    {"meta", ChaosSite::Metadata}, {"mshr", ChaosSite::Mshr},
+    {"pf", ChaosSite::Prefetcher},
+};
+
+unsigned
+parseSites(const std::string &spec, const std::string &sites)
+{
+    if (sites == "all")
+        return (1u << kNumChaosSites) - 1;
+    unsigned mask = 0;
+    for (const std::string &part : splitOn(sites, ',')) {
+        bool found = false;
+        for (const SiteName &entry : kSiteNames) {
+            if (part == entry.name) {
+                mask |= siteBit(entry.site);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            rejectSpec(spec, "unknown site \"" + part +
+                                 "\" (want trace,dram,meta,mshr,pf "
+                                 "or all)");
+    }
+    return mask;
+}
+
+} // namespace
+
+ChaosConfig
+parseChaosSpec(const std::string &spec)
+{
+    const std::vector<std::string> parts = splitOn(spec, ':');
+    if (parts.size() < 2 || parts.size() > 3)
+        rejectSpec(spec, "want seed:rate[:sites]");
+
+    ChaosConfig config;
+    config.enabled = true;
+
+    try {
+        std::size_t used = 0;
+        config.seed = std::stoull(parts[0], &used, 0);
+        if (used != parts[0].size())
+            throw std::invalid_argument("trailing characters");
+    } catch (const std::exception &) {
+        rejectSpec(spec, "bad seed \"" + parts[0] + "\"");
+    }
+
+    try {
+        std::size_t used = 0;
+        config.rate = std::stod(parts[1], &used);
+        if (used != parts[1].size())
+            throw std::invalid_argument("trailing characters");
+    } catch (const std::exception &) {
+        rejectSpec(spec, "bad rate \"" + parts[1] + "\"");
+    }
+    if (!(config.rate >= 0.0 && config.rate <= 1.0))
+        rejectSpec(spec, "rate must be within [0, 1]");
+
+    config.site_mask = parts.size() == 3
+                           ? parseSites(spec, parts[2])
+                           : (1u << kNumChaosSites) - 1;
+    if (config.site_mask == 0)
+        rejectSpec(spec, "no sites enabled");
+    return config;
+}
+
+std::string
+formatChaosSpec(const ChaosConfig &config)
+{
+    if (!config.enabled)
+        return "off";
+    std::string sites;
+    for (const SiteName &entry : kSiteNames) {
+        if ((config.site_mask & siteBit(entry.site)) == 0)
+            continue;
+        if (!sites.empty())
+            sites += ',';
+        sites += entry.name;
+    }
+    return std::to_string(config.seed) + ":" +
+           std::to_string(config.rate) + ":" + sites;
+}
+
+const ChaosConfig &
+chaosFromEnv()
+{
+    static const ChaosConfig config = [] {
+        const char *spec = std::getenv("BINGO_CHAOS");
+        if (spec == nullptr || spec[0] == '\0')
+            return ChaosConfig{};
+        return parseChaosSpec(spec);
+    }();
+    return config;
+}
+
+void
+applyEnvChaos(SystemConfig &cfg)
+{
+    if (!cfg.chaos.enabled)
+        cfg.chaos = chaosFromEnv();
+}
+
+} // namespace bingo::chaos

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Differential-verification backstop: a slow functional memory model
+ * cross-checked against the timing hierarchy under BINGO_CHECK.
+ *
+ * The timing caches move block-granular metadata, not data, so the
+ * property a functional model can check is provenance: a dirty block
+ * can only exist in a cache that some store actually wrote. The shadow
+ * keeps a flat map of block -> writer-core mask, fed by the L1D access
+ * hooks (every store access fires its cache's hook exactly once, on
+ * both the hit and miss paths), and the periodic checkInvariants sweep
+ * walks every resident line: a dirty line in core c's L1D that no
+ * store of core c ever touched — or a dirty LLC line no store of any
+ * core touched — means the hierarchy invented or misrouted a write,
+ * and becomes a located SimError instead of a silent stat skew.
+ *
+ * Cost: one hash-map insert per store access plus a full cache walk
+ * per check interval, and the map grows with the store footprint of
+ * the run — which is why it only exists under BINGO_CHECK.
+ */
+
+#ifndef BINGO_CHAOS_SHADOW_MEMORY_HPP
+#define BINGO_CHAOS_SHADOW_MEMORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+class Cache;
+}
+
+namespace bingo::chaos
+{
+
+/** Functional block -> last-writers model (see file comment). */
+class ShadowMemory
+{
+  public:
+    /** Record a store by `core` to block-aligned address `block`. */
+    void
+    recordWrite(Addr block, CoreId core)
+    {
+        // Cores beyond 63 alias into the mask; aliasing can only turn
+        // a true violation into a pass, never a clean run into a
+        // false alarm.
+        writers_[block] |= 1ULL << (core & 63);
+    }
+
+    bool
+    writtenBy(Addr block, CoreId core) const
+    {
+        const auto it = writers_.find(block);
+        return it != writers_.end() &&
+               (it->second & (1ULL << (core & 63))) != 0;
+    }
+
+    bool
+    writtenAny(Addr block) const
+    {
+        return writers_.find(block) != writers_.end();
+    }
+
+    /**
+     * Every dirty line of core `core`'s private cache must trace back
+     * to a store by that core. Throws SimError("shadow", now, ...)
+     * naming the cache and block on the first violation.
+     */
+    void verifyPrivate(const Cache &cache, CoreId core,
+                       Cycle now) const;
+
+    /**
+     * Every dirty line of the shared cache must trace back to a store
+     * by some core (the LLC's per-line core field is the last toucher,
+     * not the writer, so per-core attribution is not checkable there).
+     */
+    void verifyShared(const Cache &cache, Cycle now) const;
+
+    std::size_t trackedBlocks() const { return writers_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> writers_;
+};
+
+} // namespace bingo::chaos
+
+#endif // BINGO_CHAOS_SHADOW_MEMORY_HPP

@@ -190,6 +190,11 @@ SystemConfig::validate() const
         reject("prefetcher.num_events",
                "must be in [1, 5], got " +
                    std::to_string(pf.num_events));
+
+    requireFraction("chaos.rate", chaos.rate);
+    if (chaos.enabled && chaos.site_mask == 0)
+        reject("chaos.site_mask",
+               "must enable at least one site when chaos is on");
 }
 
 SystemConfig

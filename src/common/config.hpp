@@ -154,6 +154,23 @@ struct PrefetcherConfig
     std::uint64_t storageBytes() const;
 };
 
+/**
+ * Deterministic fault-injection plan (src/chaos). Disabled by default;
+ * populated from `BINGO_CHAOS=seed:rate[:sites]` by applyEnvChaos() or
+ * set directly by chaos-aware benches. The plan participates in job
+ * fingerprints, so chaos runs journal separately from clean runs; with
+ * `enabled == false` the serialized config is byte-identical to
+ * pre-chaos builds.
+ */
+struct ChaosConfig
+{
+    bool enabled = false;
+    std::uint64_t seed = 0;      ///< Chaos stream seed (independent of
+                                 ///< SystemConfig::seed).
+    double rate = 0.0;           ///< Per-opportunity fault probability.
+    unsigned site_mask = 0x1F;   ///< Bit per ChaosSite (default: all).
+};
+
 /** Whole-system configuration (Table I defaults). */
 struct SystemConfig
 {
@@ -164,6 +181,7 @@ struct SystemConfig
     CacheConfig llc{8 * 1024 * 1024, 16, 15, 128, 256};
     DramConfig dram;
     PrefetcherConfig prefetcher;
+    ChaosConfig chaos;
     std::uint64_t seed = 42;
 
     /** Single-core convenience variant used by unit tests. */

@@ -1,35 +1,74 @@
 #include "common/footprint.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/sim_check.hpp"
 
 namespace bingo
 {
+namespace
+{
+
+/**
+ * An out-of-range offset can only reach a footprint through corrupt
+ * metadata (a bad region decode, a perturbed table entry); fail as a
+ * located machine invariant rather than silently shifting past the
+ * region. These are the always-on cheap preconditions of the
+ * self-check layer — one predicted-never branch per bit op.
+ */
+void
+checkOffset(unsigned offset, unsigned width)
+{
+    if (offset >= width) {
+        throw SimError("footprint", 0,
+                       "offset " + std::to_string(offset) +
+                           " outside region width " +
+                           std::to_string(width));
+    }
+}
+
+void
+checkSameWidth(unsigned a, unsigned b)
+{
+    if (a != b) {
+        throw SimError("footprint", 0,
+                       "width mismatch: " + std::to_string(a) +
+                           " vs " + std::to_string(b));
+    }
+}
+
+} // namespace
 
 Footprint::Footprint(unsigned width)
     : width_(width)
 {
-    assert(width >= 1 && width <= 64);
+    if (width < 1 || width > 64) {
+        throw std::invalid_argument(
+            "Footprint width must be in [1, 64], got " +
+            std::to_string(width));
+    }
 }
 
 void
 Footprint::set(unsigned offset)
 {
-    assert(offset < width_);
+    checkOffset(offset, width_);
     bits_ |= 1ULL << offset;
 }
 
 void
 Footprint::clear(unsigned offset)
 {
-    assert(offset < width_);
+    checkOffset(offset, width_);
     bits_ &= ~(1ULL << offset);
 }
 
 bool
 Footprint::test(unsigned offset) const
 {
-    assert(offset < width_);
+    checkOffset(offset, width_);
     return (bits_ >> offset) & 1;
 }
 
@@ -60,21 +99,21 @@ Footprint::offsets() const
 Footprint
 Footprint::operator&(const Footprint &other) const
 {
-    assert(width_ == other.width_);
+    checkSameWidth(width_, other.width_);
     return fromRaw(bits_ & other.bits_, width_);
 }
 
 Footprint
 Footprint::operator|(const Footprint &other) const
 {
-    assert(width_ == other.width_);
+    checkSameWidth(width_, other.width_);
     return fromRaw(bits_ | other.bits_, width_);
 }
 
 unsigned
 Footprint::overlap(const Footprint &actual) const
 {
-    assert(width_ == actual.width_);
+    checkSameWidth(width_, actual.width_);
     return std::popcount(bits_ & actual.bits_);
 }
 
@@ -96,7 +135,7 @@ FootprintVote::FootprintVote(unsigned width)
 void
 FootprintVote::add(const Footprint &fp)
 {
-    assert(fp.width() == width_);
+    checkSameWidth(fp.width(), width_);
     for (unsigned i = 0; i < width_; ++i) {
         if (fp.test(i))
             ++counts_[i];

@@ -22,7 +22,7 @@
 #ifndef BINGO_COMMON_PERIODIC_GATE_HPP
 #define BINGO_COMMON_PERIODIC_GATE_HPP
 
-#include <cassert>
+#include <stdexcept>
 
 #include "common/types.hpp"
 
@@ -42,7 +42,10 @@ class PeriodicGate
      */
     explicit PeriodicGate(Cycle mask, Cycle start) : mask_(mask)
     {
-        assert(((mask + 1) & mask) == 0 && "period must be 2^k");
+        if (((mask + 1) & mask) != 0) {
+            throw std::invalid_argument(
+                "PeriodicGate period must be a power of two");
+        }
         next_ = (start + mask_) & ~mask_;
     }
 

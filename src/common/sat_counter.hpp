@@ -7,8 +7,9 @@
 #ifndef BINGO_COMMON_SAT_COUNTER_HPP
 #define BINGO_COMMON_SAT_COUNTER_HPP
 
-#include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace bingo
 {
@@ -20,8 +21,16 @@ class SatCounter
     explicit SatCounter(unsigned bits = 2, unsigned initial = 0)
         : value_(initial), max_((1U << bits) - 1)
     {
-        assert(bits >= 1 && bits <= 31);
-        assert(initial <= max_);
+        if (bits < 1 || bits > 31) {
+            throw std::invalid_argument(
+                "SatCounter bits must be in [1, 31], got " +
+                std::to_string(bits));
+        }
+        if (initial > max_) {
+            throw std::invalid_argument(
+                "SatCounter initial value " + std::to_string(initial) +
+                " exceeds maximum " + std::to_string(max_));
+        }
     }
 
     /** Increment, saturating at the maximum. */

@@ -20,9 +20,12 @@
 #ifndef BINGO_COMMON_TABLE_HPP
 #define BINGO_COMMON_TABLE_HPP
 
-#include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "common/sim_check.hpp"
 
 namespace bingo
 {
@@ -49,8 +52,13 @@ class SetAssocTable
         : sets_(num_sets), ways_(num_ways),
           entries_(num_sets * num_ways)
     {
-        assert(num_sets > 0 && (num_sets & (num_sets - 1)) == 0);
-        assert(num_ways > 0);
+        if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0)
+            throw std::invalid_argument(
+                "SetAssocTable: num_sets must be a nonzero power "
+                "of two");
+        if (num_ways == 0)
+            throw std::invalid_argument(
+                "SetAssocTable: num_ways must be nonzero");
     }
 
     std::size_t numSets() const { return sets_; }
@@ -206,19 +214,46 @@ class SetAssocTable
         tick_ = 0;
     }
 
+    /**
+     * Direct entry access by flat index in [0, capacity()). Used by
+     * the chaos layer to pick a random metadata entry to perturb;
+     * not part of any lookup path.
+     */
+    Entry &entryAt(std::size_t index) { return entries_[index]; }
+    const Entry &entryAt(std::size_t index) const
+    {
+        return entries_[index];
+    }
+
   private:
     Entry *
     setBase(std::size_t set)
     {
-        assert(set < sets_);
+        checkSet(set);
         return entries_.data() + set * ways_;
     }
 
     const Entry *
     setBase(std::size_t set) const
     {
-        assert(set < sets_);
+        checkSet(set);
         return entries_.data() + set * ways_;
+    }
+
+    /**
+     * A set index past the table can only come from a broken index
+     * derivation — a machine invariant, reported as one rather than
+     * silently reading another set's entries.
+     */
+    void
+    checkSet(std::size_t set) const
+    {
+        if (set >= sets_) {
+            throw SimError("table", 0,
+                           "set index " + std::to_string(set) +
+                               " outside " + std::to_string(sets_) +
+                               " sets");
+        }
     }
 
     std::size_t sets_;

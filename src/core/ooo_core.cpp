@@ -1,7 +1,8 @@
 #include "core/ooo_core.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
+#include "common/sim_check.hpp"
 #include "telemetry/registry.hpp"
 
 namespace bingo
@@ -27,7 +28,9 @@ OooCore::OooCore(CoreId id, const CoreConfig &config, Cache &l1d,
       rob_(nextPow2(config.rob_entries)),
       rob_mask_(rob_.size() - 1), rob_capacity_(config.rob_entries)
 {
-    assert(config.rob_entries > 0 && config.width > 0);
+    if (config.rob_entries == 0 || config.width == 0)
+        throw std::invalid_argument(
+            "OooCore: rob_entries and width must be nonzero");
 }
 
 void
@@ -186,7 +189,10 @@ OooCore::dispatch(Cycle now)
                 if (when != 0)
                     syncTo(when - 1);
                 wake_dirty_ = true;
-                assert(lsq_used_ > 0);
+                if (lsq_used_ == 0)
+                    throw SimError(
+                        "core" + std::to_string(id_), when,
+                        "store completion with no LSQ entry held");
                 --lsq_used_;
             });
             break;
@@ -217,10 +223,17 @@ OooCore::completeLoad(std::uint64_t seq, Cycle when)
         syncTo(when - 1);
     wake_dirty_ = true;
     RobSlot &slot = rob_[seq & rob_mask_];
-    assert(slot.seq == seq);
+    if (slot.seq != seq)
+        throw SimError("core" + std::to_string(id_), when,
+                       "load completion for ROB sequence " +
+                           std::to_string(seq) +
+                           " found slot holding sequence " +
+                           std::to_string(slot.seq));
     slot.done = when < now_ + 1 ? now_ + 1 : when;
     slot.completed = true;
-    assert(lsq_used_ > 0);
+    if (lsq_used_ == 0)
+        throw SimError("core" + std::to_string(id_), when,
+                       "load completion with no LSQ entry held");
     --lsq_used_;
     if (!slot.deferred.empty()) {
         // Release the pointer chasers waiting on this load's data.

@@ -109,4 +109,26 @@ BingoPrefetcher::onEviction(Addr block)
     harvest();
 }
 
+void
+BingoPrefetcher::perturbMetadata(Rng &rng)
+{
+    // Soft error in the unified history SRAM: pick any entry; a valid
+    // one gets a single bit flipped in its footprint or short-event
+    // key (the two learned fields). An invalid victim means the flip
+    // landed in dead metadata — the draw is still consumed, keeping
+    // the fault schedule independent of table occupancy.
+    auto &entry = history_.entryAt(rng.below(history_.capacity()));
+    const bool flip_key = (rng.next() & 1) != 0;
+    if (!entry.valid)
+        return;
+    if (flip_key) {
+        entry.data.short_key ^= 1ULL << rng.below(64);
+    } else {
+        const unsigned width = entry.data.footprint.width();
+        entry.data.footprint = Footprint::fromRaw(
+            entry.data.footprint.raw() ^ (1ULL << rng.below(width)),
+            width);
+    }
+}
+
 } // namespace bingo

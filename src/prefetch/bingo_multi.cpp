@@ -1,6 +1,6 @@
 #include "prefetch/bingo_multi.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace bingo
 {
@@ -10,8 +10,10 @@ BingoMultiPrefetcher::BingoMultiPrefetcher(const PrefetcherConfig &config)
       tracker_(config.filter_entries, config.accumulation_entries,
                config.region_blocks)
 {
-    assert(config.num_events >= 1 &&
-           config.num_events <= kNumEventKinds);
+    if (config.num_events < 1 || config.num_events > kNumEventKinds)
+        throw std::invalid_argument(
+            "BingoMultiPrefetcher: num_events must be in [1, " +
+            std::to_string(kNumEventKinds) + "]");
     tables_.reserve(config.num_events);
     for (unsigned i = 0; i < config.num_events; ++i) {
         tables_.emplace_back(config.pht_entries / config.pht_ways,

@@ -129,4 +129,21 @@ BopPrefetcher::onAccess(const PrefetchAccess &access,
     }
 }
 
+void
+BopPrefetcher::perturbMetadata(Rng &rng)
+{
+    // Soft error in the RR table's hashed tags or the per-offset score
+    // registers (both SRAM in a hardware BOP). Scores live below
+    // bop_score_max (default 31); flipping one of the low 6 bits can
+    // push a score past the max, which the round logic must tolerate.
+    const bool hit_rr = (rng.next() & 1) != 0;
+    if (hit_rr) {
+        const std::size_t index = rng.below(rr_table_.size());
+        rr_table_[index] ^= 1ULL << rng.below(12);
+        return;
+    }
+    const std::size_t index = rng.below(scores_.size());
+    scores_[index] ^= 1u << rng.below(6);
+}
+
 } // namespace bingo

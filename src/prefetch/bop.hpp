@@ -32,6 +32,7 @@ class BopPrefetcher : public Prefetcher
 
     void onAccess(const PrefetchAccess &access,
                   std::vector<Addr> &out) override;
+    void perturbMetadata(Rng &rng) override;
 
     std::string name() const override { return "BOP"; }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -62,6 +63,16 @@ class Prefetcher
     /** A block left the LLC (eviction or invalidation). */
     virtual void onEviction(Addr block) { (void)block; }
 
+    /**
+     * Chaos hook: flip one bit (or a comparably small unit) of this
+     * prefetcher's metadata, choosing the victim entry from `rng`.
+     * Models a soft error in the metadata SRAM — the model must
+     * tolerate any resulting state (mispredictions are fine, crashes
+     * are not; the GuardedPrefetcher wrapper quarantines the latter).
+     * The default is a no-op for models without perturbable state.
+     */
+    virtual void perturbMetadata(Rng &rng) { (void)rng; }
+
     /** Display name matching the paper's figures. */
     virtual std::string name() const = 0;
 
@@ -72,10 +83,11 @@ class Prefetcher
     /**
      * Register this prefetcher's StatSet as a probe group under
      * `prefix` — counters are read live at snapshot time, so counters
-     * a subclass creates later still appear.
+     * a subclass creates later still appear. Virtual so wrappers can
+     * expose both their own and the wrapped model's counters.
      */
-    void registerTelemetry(telemetry::Registry &registry,
-                           const std::string &prefix) const;
+    virtual void registerTelemetry(telemetry::Registry &registry,
+                                   const std::string &prefix) const;
 
   protected:
     PrefetcherConfig config_;

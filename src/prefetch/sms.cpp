@@ -57,4 +57,19 @@ SmsPrefetcher::onEviction(Addr block)
     harvest();
 }
 
+void
+SmsPrefetcher::perturbMetadata(Rng &rng)
+{
+    // Soft error in the PHT: one footprint bit of a random entry. An
+    // invalid victim consumes the draw without flipping, keeping the
+    // fault schedule independent of occupancy.
+    auto &entry = pht_.entryAt(rng.below(pht_.capacity()));
+    const std::uint64_t bit_draw = rng.next();
+    if (!entry.valid)
+        return;
+    const unsigned width = entry.data.width();
+    entry.data = Footprint::fromRaw(
+        entry.data.raw() ^ (1ULL << (bit_draw % width)), width);
+}
+
 } // namespace bingo

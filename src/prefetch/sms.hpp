@@ -30,6 +30,7 @@ class SmsPrefetcher : public Prefetcher
     void onAccess(const PrefetchAccess &access,
                   std::vector<Addr> &out) override;
     void onEviction(Addr block) override;
+    void perturbMetadata(Rng &rng) override;
 
     std::string name() const override { return "SMS"; }
 

@@ -147,4 +147,36 @@ SppPrefetcher::onAccess(const PrefetchAccess &access,
     }
 }
 
+void
+SppPrefetcher::perturbMetadata(Rng &rng)
+{
+    // Soft error in either learned structure: a 12-bit signature bit
+    // in the signature table, or a delta/counter bit of one pattern
+    // slot. Invalid victims consume the draws without flipping.
+    const bool hit_signature = (rng.next() & 1) != 0;
+    if (hit_signature) {
+        auto &entry = signature_table_.entryAt(
+            rng.below(signature_table_.capacity()));
+        const unsigned bit = static_cast<unsigned>(rng.below(12));
+        if (!entry.valid)
+            return;
+        entry.data.signature ^= static_cast<std::uint16_t>(1u << bit);
+        return;
+    }
+    auto &entry =
+        pattern_table_.entryAt(rng.below(pattern_table_.capacity()));
+    const unsigned slot = static_cast<unsigned>(
+        rng.below(kDeltasPerEntry));
+    const std::uint64_t field_draw = rng.next();
+    if (!entry.valid)
+        return;
+    PatternSlot &ps = entry.data.slots[slot];
+    if (field_draw & 1)
+        ps.counter ^= static_cast<std::uint8_t>(
+            1u << (field_draw >> 1 & 3));
+    else
+        ps.delta ^= static_cast<std::int32_t>(
+            1 << (field_draw >> 1 & 7));
+}
+
 } // namespace bingo

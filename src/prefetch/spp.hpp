@@ -34,6 +34,7 @@ class SppPrefetcher : public Prefetcher
 
     void onAccess(const PrefetchAccess &access,
                   std::vector<Addr> &out) override;
+    void perturbMetadata(Rng &rng) override;
 
     std::string name() const override { return "SPP"; }
 

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "chaos/chaos.hpp"
 #include "sim/journal.hpp"
 #include "sim/report.hpp"
 #include "sim/thread_pool.hpp"
@@ -107,10 +108,13 @@ retryBackoff(unsigned attempt)
  * The file stem carries workload, prefetcher, and the job fingerprint,
  * so concurrent workers and repeated configs never collide. Export
  * failures are reported but never fail the job: the RunResult is
- * already safe.
+ * already safe. Called for failed attempts too (`failure_reason`
+ * non-empty), so even a run that died mid-simulation leaves a
+ * well-formed run.json explaining why.
  */
 void
-maybeExportTelemetry(const SweepJob &job, System &system)
+maybeExportTelemetry(const SweepJob &job, System &system,
+                     const std::string &failure_reason)
 {
     if (system.telemetry() == nullptr)
         return;
@@ -122,6 +126,11 @@ maybeExportTelemetry(const SweepJob &job, System &system)
     meta.prefetcher = prefetcherName(job.config.prefetcher.kind);
     meta.seed = job.options.seed;
     meta.frequency_ghz = job.config.frequency_ghz;
+    meta.degraded = system.anyQuarantined();
+    if (meta.degraded)
+        meta.degraded_reason = system.quarantineReport();
+    meta.failed = !failure_reason.empty();
+    meta.failure_reason = failure_reason;
     meta.base_name =
         telemetry::sanitizeFileStem(meta.workload + "_" +
                                     meta.prefetcher) +
@@ -156,6 +165,7 @@ runJobWithRetries(const SweepJob &job, std::size_t index,
                 fault_hook(index, attempt);
             SystemConfig cfg = job.config;
             cfg.seed = job.options.seed;
+            chaos::applyEnvChaos(cfg);
             cfg.validate();
             System system(cfg, job.workload);
             if (telemetry::requested())
@@ -167,15 +177,34 @@ runJobWithRetries(const SweepJob &job, std::size_t index,
                         std::chrono::steady_clock::duration>(
                         std::chrono::duration<double>(timeout_s)));
             }
-            system.run(job.options.warmup_instructions,
-                       job.options.measure_instructions);
+            try {
+                system.run(job.options.warmup_instructions,
+                           job.options.measure_instructions);
+            } catch (const std::exception &e) {
+                // The run died, but the System still holds partial
+                // telemetry — flush it with the failure reason so the
+                // run.json is complete, then fail the attempt.
+                maybeExportTelemetry(job, system, e.what());
+                throw;
+            } catch (...) {
+                maybeExportTelemetry(job, system, "unknown exception");
+                throw;
+            }
             g_completed_runs.fetch_add(1, std::memory_order_relaxed);
             g_simulated_cycles.fetch_add(system.now(),
                                          std::memory_order_relaxed);
             collect(index, system);
-            maybeExportTelemetry(job, system);
-            outcome.status = JobStatus::Ok;
-            outcome.error.clear();
+            maybeExportTelemetry(job, system, std::string());
+            // Quarantine is graceful degradation, not failure: the
+            // result is valid and retrying would reproduce the same
+            // deterministic fault, so report Degraded and stop.
+            if (system.anyQuarantined()) {
+                outcome.status = JobStatus::Degraded;
+                outcome.error = system.quarantineReport();
+            } else {
+                outcome.status = JobStatus::Ok;
+                outcome.error.clear();
+            }
             outcome.exception = nullptr;
             break;
         } catch (const std::exception &e) {
@@ -325,6 +354,7 @@ runWorkload(const std::string &workload, const SystemConfig &config,
 {
     SystemConfig cfg = config;
     cfg.seed = options.seed;
+    chaos::applyEnvChaos(cfg);
     cfg.validate();
     System system(cfg, workload);
     system.run(options.warmup_instructions,
@@ -523,19 +553,51 @@ std::size_t
 reportFailures(const std::vector<SweepJob> &jobs,
                const std::vector<JobOutcome> &outcomes)
 {
+    // A job counts as degraded whether it was quarantined this run
+    // (status Degraded) or resumed from a journal entry recorded as
+    // degraded (status Skipped, result.degraded).
+    const auto isDegraded = [](const JobOutcome &outcome) {
+        return outcome.status == JobStatus::Degraded ||
+               (outcome.status == JobStatus::Skipped &&
+                outcome.result.degraded);
+    };
     std::size_t skipped = 0;
     std::size_t failed = 0;
+    std::size_t degraded = 0;
     for (const JobOutcome &outcome : outcomes) {
         if (outcome.status == JobStatus::Skipped)
             ++skipped;
         else if (outcome.status == JobStatus::Failed)
             ++failed;
+        if (isDegraded(outcome))
+            ++degraded;
     }
     if (skipped > 0) {
         std::printf("Journal: resumed %llu of %llu jobs from %s\n",
                     static_cast<unsigned long long>(skipped),
                     static_cast<unsigned long long>(outcomes.size()),
                     sweepJournalDir().c_str());
+    }
+    if (degraded > 0) {
+        std::printf("NOTE: %llu of %llu sweep jobs completed with a "
+                    "quarantined prefetcher; their table cells are "
+                    "marked DEGRADED\n",
+                    static_cast<unsigned long long>(degraded),
+                    static_cast<unsigned long long>(outcomes.size()));
+        TextTable table({"job", "workload", "prefetcher", "reason"});
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            if (!isDegraded(outcomes[i]))
+                continue;
+            const std::string &reason =
+                outcomes[i].status == JobStatus::Degraded
+                    ? outcomes[i].error
+                    : outcomes[i].result.degraded_reason;
+            table.addRow(
+                {std::to_string(i), jobs[i].workload,
+                 prefetcherName(jobs[i].config.prefetcher.kind),
+                 reason});
+        }
+        table.print();
     }
     if (failed == 0)
         return 0;

@@ -119,6 +119,11 @@ enum class JobStatus
 {
     Ok,       ///< Simulated successfully (possibly after retries).
     Skipped,  ///< Result restored from the journal; not re-simulated.
+    /// Completed with its prefetcher quarantined mid-run: the result
+    /// is valid (the run finished prefetcher-off from the quarantine
+    /// cycle onward), but the cell must be marked DEGRADED rather
+    /// than reported as a clean measurement.
+    Degraded,
     Failed,   ///< Every attempt threw; see error/exception.
 };
 
@@ -127,7 +132,9 @@ struct JobOutcome
 {
     JobStatus status = JobStatus::Failed;
     RunResult result;        ///< Valid when ok() on the runSweep path.
-    std::string error;       ///< what() of the last failing attempt.
+    /// what() of the last failing attempt; for Degraded jobs, the
+    /// quarantine report.
+    std::string error;
     unsigned attempts = 0;   ///< Attempts consumed (0 when Skipped).
     double wall_seconds = 0.0;  ///< Wall time across all attempts.
     std::exception_ptr exception;  ///< Last failure, for rethrowing.
@@ -188,9 +195,12 @@ void runSweepSystems(
 
 /**
  * Print a table of the failed jobs of a sweep (workload, prefetcher,
- * attempts, error) plus a journal-resume summary when jobs were
- * skipped. Prints nothing when every job ran fresh and succeeded, so
- * a clean sweep's output is unchanged. Returns the failure count.
+ * attempts, error), a table of degraded jobs (quarantined prefetcher,
+ * including journal-resumed results recorded as degraded), plus a
+ * journal-resume summary when jobs were skipped. Prints nothing when
+ * every job ran fresh and succeeded, so a clean sweep's output is
+ * unchanged. Returns the failure count (degraded jobs are not
+ * failures).
  */
 std::size_t reportFailures(const std::vector<SweepJob> &jobs,
                            const std::vector<JobOutcome> &outcomes);

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "sim/experiment.hpp"
 
 namespace bingo
@@ -112,6 +113,16 @@ serializeConfig(std::ostringstream &out, const SystemConfig &cfg)
     put(out, pf.stride_table_entries);
     put(out, pf.stride_degree);
     put(out, pf.num_events);
+
+    // Chaos identity is appended only when fault injection is on, so
+    // every chaos-off fingerprint — and therefore every existing
+    // journal — is byte-identical to the pre-chaos format.
+    if (cfg.chaos.enabled) {
+        put(out, 1u);
+        put(out, cfg.chaos.seed);
+        put(out, doubleBits(cfg.chaos.rate));
+        put(out, cfg.chaos.site_mask);
+    }
 }
 
 /** Cache counters in a fixed order shared by store and load. */
@@ -189,10 +200,13 @@ jobFingerprint(const SweepJob &job)
 {
     std::ostringstream identity;
     put(identity, job.workload);
-    // The runner overwrites config.seed with options.seed before
-    // simulating; normalize here so equivalent jobs hash equal.
+    // The runner overwrites config.seed with options.seed and overlays
+    // the BINGO_CHAOS fault plan before simulating; normalize both here
+    // so the fingerprint names what actually runs — and so a chaos run
+    // can never be resumed from (or poison) a clean journal.
     SystemConfig cfg = job.config;
     cfg.seed = job.options.seed;
+    chaos::applyEnvChaos(cfg);
     serializeConfig(identity, cfg);
     put(identity, job.options.warmup_instructions);
     put(identity, job.options.measure_instructions);
@@ -281,7 +295,26 @@ journalLoad(const std::string &dir, const std::string &fingerprint,
     if (!expect(in, "storage") ||
         !(in >> result.prefetch_storage_bytes))
         return false;
-    if (!expect(in, "end"))
+    // Optional degraded verdict (length-prefixed reason, like the
+    // workload name): absent in clean-run records, including every
+    // record written before the field existed.
+    std::string token;
+    if (!(in >> token))
+        return false;
+    if (token == "degraded") {
+        std::size_t reason_len = 0;
+        if (!(in >> reason_len) || reason_len > 4096 ||
+            in.get() != ' ')
+            return false;
+        result.degraded = true;
+        result.degraded_reason.resize(reason_len);
+        if (!in.read(result.degraded_reason.data(),
+                     static_cast<std::streamsize>(reason_len)))
+            return false;
+        if (!(in >> token))
+            return false;
+    }
+    if (token != "end")
         return false;
 
     out = std::move(result);
@@ -331,6 +364,10 @@ journalStore(const std::string &dir, const std::string &fingerprint,
         writeStatsLine(out, "dram", fields);
 
         out << "storage " << result.prefetch_storage_bytes << '\n';
+        if (result.degraded) {
+            out << "degraded " << result.degraded_reason.size() << ' '
+                << result.degraded_reason << '\n';
+        }
         out << "end\n";
         out.flush();
         if (!out)

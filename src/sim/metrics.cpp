@@ -39,6 +39,9 @@ collectResult(System &system, const std::string &workload)
     }
     result.llc = system.llc().stats();
     result.dram = system.dram().stats();
+    result.degraded = system.anyQuarantined();
+    if (result.degraded)
+        result.degraded_reason = system.quarantineReport();
     return result;
 }
 

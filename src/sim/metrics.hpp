@@ -38,6 +38,11 @@ struct RunResult
     CacheStats l1d;                  ///< Aggregated over cores.
     DramStats dram;
     std::uint64_t prefetch_storage_bytes = 0;
+    /// The run completed with its prefetcher quarantined mid-run
+    /// (graceful degradation — stats are valid, prefetcher-off from
+    /// the quarantine cycle onward).
+    bool degraded = false;
+    std::string degraded_reason;
 
     /** System throughput: sum of per-core IPC. */
     double ipcSum() const;

@@ -1,8 +1,9 @@
 #include "sim/report.hpp"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "cache/cache.hpp"
 
@@ -12,13 +13,19 @@ namespace bingo
 TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
-    assert(!headers_.empty());
+    if (headers_.empty())
+        throw std::logic_error("TextTable needs at least one column");
 }
 
 void
 TextTable::addRow(std::vector<std::string> cells)
 {
-    assert(cells.size() == headers_.size());
+    if (cells.size() != headers_.size()) {
+        throw std::logic_error(
+            "TextTable row has " + std::to_string(cells.size()) +
+            " cells for " + std::to_string(headers_.size()) +
+            " columns");
+    }
     rows_.push_back(std::move(cells));
 }
 

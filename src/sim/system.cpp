@@ -1,8 +1,8 @@
 #include "sim/system.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 #include "common/periodic_gate.hpp"
@@ -59,7 +59,11 @@ System::System(const SystemConfig &config,
                std::vector<std::unique_ptr<TraceSource>> sources)
     : config_(config)
 {
-    assert(sources.size() == config.num_cores);
+    if (sources.size() != config.num_cores)
+        throw std::invalid_argument(
+            "System: got " + std::to_string(sources.size()) +
+            " trace sources for " + std::to_string(config.num_cores) +
+            " cores");
     build(std::move(sources));
 }
 
@@ -67,13 +71,30 @@ void
 System::build(std::vector<std::unique_ptr<TraceSource>> sources)
 {
     skip_enabled_ = !skipDisabledByEnv();
+    if (config_.chaos.enabled)
+        chaos_ = std::make_unique<chaos::ChaosEngine>(config_.chaos,
+                                                      config_.seed);
+    // The shadow model only exists under BINGO_CHECK: it costs a map
+    // insert per store and a full cache walk per check interval.
+    if (simCheckEnabled())
+        shadow_ = std::make_unique<chaos::ShadowMemory>();
     // Random first-touch translation (Section V): scramble page
     // numbers so the synthetic heaps' alignment regularities do not
     // alias in the physically-indexed LLC and DRAM banks.
     translator_ = AddressTranslator(config_.seed);
     sources_.clear();
     sources_.reserve(sources.size());
-    for (auto &source : sources) {
+    for (CoreId c = 0; c < sources.size(); ++c) {
+        std::unique_ptr<TraceSource> source = std::move(sources[c]);
+        // Trace corruption sits under the translation layer: it flips
+        // bits of *virtual* addresses, so the translator's own guards
+        // stay exercised and corruption can land anywhere.
+        if (chaos_ && chaos_->siteEnabled(chaos::ChaosSite::Trace)) {
+            source = std::make_unique<chaos::ChaosTraceSource>(
+                std::move(source), chaos_->config().rate,
+                chaos_->traceSeed(c),
+                &chaos_->counters().trace_corruptions);
+        }
         sources_.push_back(std::make_unique<TranslatingSource>(
             std::move(source), translator_));
     }
@@ -90,7 +111,64 @@ System::build(std::vector<std::unique_ptr<TraceSource>> sources)
             *llc_lower_));
         cores_.push_back(std::make_unique<OooCore>(
             c, config_.core, *l1ds_.back(), *sources_[c]));
-        prefetchers_.push_back(makePrefetcher(config_.prefetcher));
+        // Every model runs behind a quarantine wrapper: a faulty
+        // prefetcher degrades the run instead of aborting it.
+        std::unique_ptr<Prefetcher> model =
+            makePrefetcher(config_.prefetcher);
+        if (model != nullptr) {
+            auto guard = std::make_unique<chaos::GuardedPrefetcher>(
+                std::move(model), "pf" + std::to_string(c));
+            guards_.push_back(guard.get());
+            prefetchers_.push_back(std::move(guard));
+        } else {
+            guards_.push_back(nullptr);
+            prefetchers_.push_back(nullptr);
+        }
+    }
+
+    if (shadow_) {
+        // Every store access fires its L1D's hook exactly once (hit
+        // and miss paths both), and core c's L1D sees only core c's
+        // accesses — so the shadow learns exact per-core write
+        // provenance.
+        for (auto &l1 : l1ds_) {
+            l1->setAccessHook([this](const MemAccess &access, bool,
+                                     Cycle) {
+                if (access.type == AccessType::Store)
+                    shadow_->recordWrite(access.block, access.core);
+            });
+        }
+    }
+
+    if (chaos_ && chaos_->siteEnabled(chaos::ChaosSite::Mshr)) {
+        llc_->setMshrPressureHook([this] {
+            if (!chaos_->fires(chaos::ChaosSite::Mshr))
+                return false;
+            ++chaos_->counters().mshr_spikes;
+            return true;
+        });
+    }
+
+    if (chaos_ && chaos_->siteEnabled(chaos::ChaosSite::Dram)) {
+        dram_lower_->setFaultHook([this](const MemAccess &access,
+                                         Cycle /*now*/,
+                                         Cycle completion) {
+            if (!chaos_->fires(chaos::ChaosSite::Dram))
+                return completion;
+            Rng &rng = chaos_->stream(chaos::ChaosSite::Dram);
+            if (rng.next() & 1) {
+                // Wedged response: the data limps home late.
+                ++chaos_->counters().dram_delays;
+                return completion + rng.range(1, 200);
+            }
+            // Dropped response: the controller re-issues the read
+            // after a detection gap; the retry re-runs the full bank
+            // timing (DramController::read classifies each call once,
+            // so counter identities hold).
+            ++chaos_->counters().dram_drops;
+            return dram_->read(access.block,
+                               completion + rng.range(16, 64));
+        });
     }
 
     // LLC demand accesses train the requesting core's prefetcher;
@@ -100,6 +178,22 @@ System::build(std::vector<std::unique_ptr<TraceSource>> sources)
         Prefetcher *pf = prefetchers_[access.core].get();
         if (pf == nullptr)
             return;
+        if (chaos_) {
+            // One fault opportunity per LLC demand access for the two
+            // prefetcher-targeted sites. Draws are per-opportunity
+            // from per-site streams, so the schedule is identical
+            // whether the run loop steps or skips cycles.
+            chaos::GuardedPrefetcher *guard = guards_[access.core];
+            if (chaos_->fires(chaos::ChaosSite::Metadata)) {
+                ++chaos_->counters().metadata_flips;
+                guard->perturbMetadata(
+                    chaos_->stream(chaos::ChaosSite::Metadata));
+            }
+            if (chaos_->fires(chaos::ChaosSite::Prefetcher)) {
+                ++chaos_->counters().injected_prefetcher_faults;
+                guard->injectFault();
+            }
+        }
         PrefetchAccess pa;
         pa.pc = access.pc;
         pa.block = access.block;
@@ -141,6 +235,42 @@ System::checkInvariants() const
     for (const auto &l1 : l1ds_)
         l1->checkInvariants(now_);
     dram_->checkInvariants(now_);
+    if (shadow_) {
+        // Differential verification against the functional model:
+        // every dirty line must trace back to a store that actually
+        // happened (per core in the private L1Ds, any core at the
+        // shared LLC).
+        for (CoreId c = 0; c < l1ds_.size(); ++c)
+            shadow_->verifyPrivate(*l1ds_[c], c, now_);
+        shadow_->verifyShared(*llc_, now_);
+    }
+}
+
+bool
+System::anyQuarantined() const
+{
+    for (const chaos::GuardedPrefetcher *guard : guards_) {
+        if (guard != nullptr && guard->quarantined())
+            return true;
+    }
+    return false;
+}
+
+std::string
+System::quarantineReport() const
+{
+    std::string report;
+    for (CoreId c = 0; c < guards_.size(); ++c) {
+        const chaos::GuardedPrefetcher *guard = guards_[c];
+        if (guard == nullptr || !guard->quarantined())
+            continue;
+        if (!report.empty())
+            report += "; ";
+        report += "pf" + std::to_string(c) + ": " +
+                  guard->quarantineReason() + " @cycle " +
+                  std::to_string(guard->quarantineCycle());
+    }
+    return report;
 }
 
 void
@@ -196,6 +326,20 @@ System::enableTelemetry(const telemetry::Options &options)
             prefetchers_[c]->registerTelemetry(
                 registry, "pf" + std::to_string(c) + ".");
         }
+    }
+    if (chaos_) {
+        registry.probeGroup(
+            "chaos.",
+            [this](std::map<std::string, std::uint64_t> &out) {
+                const chaos::ChaosCounters &c = chaos_->counters();
+                out["trace_corruptions"] = c.trace_corruptions;
+                out["dram_delays"] = c.dram_delays;
+                out["dram_drops"] = c.dram_drops;
+                out["metadata_flips"] = c.metadata_flips;
+                out["mshr_spikes"] = c.mshr_spikes;
+                out["injected_prefetcher_faults"] =
+                    c.injected_prefetcher_faults;
+            });
     }
 }
 

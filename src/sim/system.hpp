@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "cache/cache.hpp"
+#include "chaos/chaos.hpp"
+#include "chaos/guarded_prefetcher.hpp"
+#include "chaos/shadow_memory.hpp"
 #include "common/config.hpp"
 #include "common/event_queue.hpp"
 #include "core/ooo_core.hpp"
@@ -62,8 +65,40 @@ class System
     DramController &dram() { return *dram_; }
     const DramController &dram() const { return *dram_; }
 
-    /** Per-core prefetcher; nullptr when kind is None. */
-    Prefetcher *prefetcher(CoreId i) { return prefetchers_[i].get(); }
+    /**
+     * Per-core prefetcher *model*; nullptr when kind is None. Models
+     * are wrapped in a GuardedPrefetcher for fault isolation — this
+     * returns the wrapped model so tests and event-study benches keep
+     * seeing the concrete type.
+     */
+    Prefetcher *prefetcher(CoreId i)
+    {
+        return guards_[i] != nullptr ? guards_[i]->inner()
+                                     : prefetchers_[i].get();
+    }
+
+    /** The quarantine wrapper of core `i`; nullptr when kind is None. */
+    chaos::GuardedPrefetcher *guard(CoreId i) { return guards_[i]; }
+
+    /** True when any core's prefetcher was quarantined mid-run. */
+    bool anyQuarantined() const;
+
+    /**
+     * Human-readable quarantine verdict, e.g.
+     * "pf0: Bingo: chaos-injected prefetcher fault @cycle 1234".
+     * Empty when no prefetcher is quarantined.
+     */
+    std::string quarantineReport() const;
+
+    /** The run's fault plan; nullptr unless config.chaos.enabled. */
+    chaos::ChaosEngine *chaosEngine() { return chaos_.get(); }
+    const chaos::ChaosEngine *chaosEngine() const
+    {
+        return chaos_.get();
+    }
+
+    /** The functional shadow model; nullptr unless BINGO_CHECK. */
+    chaos::ShadowMemory *shadow() { return shadow_.get(); }
 
     unsigned numCores() const
     {
@@ -145,6 +180,11 @@ class System
     SystemConfig config_;
     EventQueue events_;
     AddressTranslator translator_{0};
+    /// Declared before sources_: ChaosTraceSources hold a counter
+    /// pointer into the engine, so the engine must outlive them
+    /// (members destroy in reverse declaration order).
+    std::unique_ptr<chaos::ChaosEngine> chaos_;
+    std::unique_ptr<chaos::ShadowMemory> shadow_;
     std::unique_ptr<DramController> dram_;
     std::unique_ptr<DramLower> dram_lower_;
     std::unique_ptr<Cache> llc_;
@@ -153,6 +193,9 @@ class System
     std::vector<std::unique_ptr<Cache>> l1ds_;
     std::vector<std::unique_ptr<OooCore>> cores_;
     std::vector<std::unique_ptr<Prefetcher>> prefetchers_;
+    /// Non-owning view of prefetchers_ as quarantine wrappers
+    /// (nullptr where kind is None).
+    std::vector<chaos::GuardedPrefetcher *> guards_;
     std::vector<Addr> candidate_buffer_;
     Cycle now_ = 0;
     std::chrono::steady_clock::time_point deadline_{};

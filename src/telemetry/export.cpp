@@ -254,6 +254,15 @@ writeRunTelemetry(const std::string &dir, const RunMeta &meta,
             << ",\"prefetcher\":" << jsonString(meta.prefetcher)
             << ",\"seed\":" << meta.seed
             << ",\"frequency_ghz\":" << jsonNumber(meta.frequency_ghz)
+            // Verdict fields are always present so consumers can
+            // filter degraded/failed runs without key-existence
+            // checks; a clean run reads false/"".
+            << ",\"degraded\":"
+            << (meta.degraded ? "true" : "false")
+            << ",\"degraded_reason\":"
+            << jsonString(meta.degraded_reason)
+            << ",\"failed\":" << (meta.failed ? "true" : "false")
+            << ",\"failure_reason\":" << jsonString(meta.failure_reason)
             << ",\"epoch_instructions\":"
             << telemetry.epochs().epochInstructions()
             << ",\"epochs\":" << telemetry.epochs().records().size();

@@ -45,6 +45,12 @@ struct RunMeta
     double frequency_ghz = 3.2;
     /** File stem; built from workload + prefetcher when empty. */
     std::string base_name;
+    /** Run finished with its prefetcher quarantined (see chaos/). */
+    bool degraded = false;
+    std::string degraded_reason;
+    /** Run threw before finishing; the export is still well-formed. */
+    bool failed = false;
+    std::string failure_reason;
 };
 
 /**

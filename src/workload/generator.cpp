@@ -1,6 +1,6 @@
 #include "workload/generator.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace bingo
 {
@@ -11,8 +11,15 @@ InterleavedSource::InterleavedSource(
     : sources_(std::move(sources)), min_run_(min_run),
       max_run_(max_run), rng_(seed), strict_(strict)
 {
-    assert(!sources_.empty());
-    assert(min_run_ >= 1 && max_run_ >= min_run_);
+    if (sources_.empty()) {
+        throw std::invalid_argument(
+            "InterleavedSource needs at least one source");
+    }
+    if (min_run_ < 1 || max_run_ < min_run_) {
+        throw std::invalid_argument(
+            "InterleavedSource run bounds must satisfy "
+            "1 <= min_run <= max_run");
+    }
 }
 
 TraceRecord
@@ -55,8 +62,15 @@ RecordClass::makeClasses(unsigned count, unsigned trigger_sites,
                          unsigned region_blocks, unsigned min_fields,
                          unsigned max_fields, Rng &rng)
 {
-    assert(min_fields >= 1 && max_fields <= region_blocks);
-    assert(trigger_sites >= 1);
+    if (min_fields < 1 || max_fields > region_blocks) {
+        throw std::invalid_argument(
+            "RecordClass fields must satisfy 1 <= min_fields and "
+            "max_fields <= region blocks");
+    }
+    if (trigger_sites < 1) {
+        throw std::invalid_argument(
+            "RecordClass needs at least one trigger site");
+    }
 
     // One trigger event (PC, offset) per site; classes round-robin
     // over the sites.

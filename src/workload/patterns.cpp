@@ -1,6 +1,6 @@
 #include "workload/patterns.hpp"
 
-#include <cassert>
+#include <stdexcept>
 
 #include "common/hash.hpp"
 
@@ -11,7 +11,10 @@ RecordStoreApp::RecordStoreApp(const RecordStoreParams &params,
                                std::uint64_t seed)
     : BurstSource(seed), params_(params)
 {
-    assert(params_.hot_regions <= params_.num_regions);
+    if (params_.hot_regions > params_.num_regions) {
+        throw std::invalid_argument(
+            "RecordStoreParams: hot_regions exceeds num_regions");
+    }
     // Class layouts derive from a *fixed* seed so that all cores of a
     // server workload share the same record schema, as threads of one
     // application would; only the visit sequence differs per core.
@@ -105,8 +108,12 @@ PointerChaseApp::PointerChaseApp(const PointerChaseParams &params,
     : BurstSource(seed), params_(params),
       current_node_(rng_.below(params.num_nodes))
 {
-    assert(params_.node_blocks >= 1 &&
-           params_.node_blocks <= kBlocksPerRegion);
+    if (params_.node_blocks < 1 ||
+        params_.node_blocks > kBlocksPerRegion) {
+        throw std::invalid_argument(
+            "PointerChaseParams: node_blocks must be in [1, "
+            "blocks-per-region]");
+    }
 }
 
 Addr

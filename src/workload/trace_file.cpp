@@ -19,23 +19,25 @@ putU64(std::FILE *f, std::uint64_t v)
         throw std::runtime_error("trace write failed");
 }
 
-/** Read 8 bytes; returns false only at a clean end-of-file. */
-bool
-getU64(std::FILE *f, std::uint64_t &v)
+std::uint64_t
+loadU64(const unsigned char *buf)
 {
-    unsigned char buf[8];
-    const std::size_t n = std::fread(buf, 1, 8, f);
-    if (n == 0)
-        return false;
-    if (n != 8)
-        throw std::runtime_error("truncated trace record");
-    v = 0;
+    std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i)
         v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
-    return true;
+    return v;
 }
 
 } // namespace
+
+TraceFormatError::TraceFormatError(std::string path,
+                                   std::uint64_t byte_offset,
+                                   const std::string &message)
+    : std::runtime_error(message + " at byte offset " +
+                         std::to_string(byte_offset) + " in " + path),
+      path_(std::move(path)), byte_offset_(byte_offset)
+{
+}
 
 void
 writeTrace(const std::string &path,
@@ -64,12 +66,15 @@ std::vector<TraceRecord>
 readTrace(const std::string &path)
 {
     constexpr long kRecordBytes = 17;  // pc(8) + addr(8) + type(1).
+    // Traces are replayed from memory; anything past this cap is not a
+    // trace this simulator can sensibly load (and a length-lying or
+    // garbage file must not OOM the host before the format checks).
+    constexpr long kMaxTraceBytes = 1L << 30;
 
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (f == nullptr)
         throw std::runtime_error("cannot open trace: " + path);
     std::vector<TraceRecord> records;
-    std::uint64_t pc;
     try {
         // Reject garbage up front, before any record reaches the
         // simulator: a size that is not a whole number of records
@@ -80,26 +85,45 @@ readTrace(const std::string &path)
         if (size < 0)
             throw std::runtime_error("cannot stat trace: " + path);
         if (size == 0)
-            throw std::runtime_error("empty trace file: " + path);
+            throw TraceFormatError(path, 0, "empty trace file");
+        if (size > kMaxTraceBytes)
+            throw TraceFormatError(
+                path, static_cast<std::uint64_t>(kMaxTraceBytes),
+                "oversized trace file (" + std::to_string(size) +
+                    " bytes exceeds the " +
+                    std::to_string(kMaxTraceBytes) + "-byte cap)");
         if (size % kRecordBytes != 0)
-            throw std::runtime_error(
+            throw TraceFormatError(
+                path,
+                static_cast<std::uint64_t>(size - size % kRecordBytes),
                 "truncated trace file (" + std::to_string(size) +
-                " bytes is not a multiple of the " +
-                std::to_string(kRecordBytes) + "-byte record): " +
-                path);
+                    " bytes is not a multiple of the " +
+                    std::to_string(kRecordBytes) + "-byte record)");
         std::rewind(f);
 
-        while (getU64(f, pc)) {
+        const std::size_t count =
+            static_cast<std::size_t>(size / kRecordBytes);
+        records.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint64_t offset =
+                static_cast<std::uint64_t>(i) * kRecordBytes;
+            unsigned char buf[kRecordBytes];
+            if (std::fread(buf, 1, kRecordBytes, f) !=
+                static_cast<std::size_t>(kRecordBytes))
+                throw TraceFormatError(
+                    path, offset,
+                    "truncated trace file (short read of the " +
+                        std::to_string(kRecordBytes) +
+                        "-byte record)");
             TraceRecord rec;
-            rec.pc = pc;
-            unsigned char type;
-            if (!getU64(f, rec.addr) || std::fread(&type, 1, 1, f) != 1)
-                throw std::runtime_error("truncated trace record in " +
-                                         path);
+            rec.pc = loadU64(buf);
+            rec.addr = loadU64(buf + 8);
+            const unsigned char type = buf[16];
             if (type > static_cast<unsigned char>(InstrType::Branch))
-                throw std::runtime_error(
+                throw TraceFormatError(
+                    path, offset + 16,
                     "out-of-range instruction type " +
-                    std::to_string(type) + " in " + path);
+                        std::to_string(type));
             rec.type = static_cast<InstrType>(type);
             records.push_back(rec);
         }

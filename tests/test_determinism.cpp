@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "chaos/chaos.hpp"
 #include "workload/generator.hpp"
 #include "prefetch/ampm.hpp"
 #include "prefetch/bingo.hpp"
@@ -218,6 +219,96 @@ TEST(Determinism, SkipPreservesTelemetryEpochStreams)
         EXPECT_EQ(a[i].delta.pf_useful, b[i].delta.pf_useful)
             << "epoch " << i;
     }
+}
+
+/**
+ * Chaos does not weaken the reproducibility guarantee: fault draws
+ * happen per opportunity (per record, access, fetch), never per cycle,
+ * so a chaos run is bit-identical across repeats and across the
+ * fast-forward toggle — the property that makes a chaos experiment a
+ * reproducible experiment rather than a flaky one.
+ */
+RunResult
+runChaos(bool skip, std::uint64_t chaos_seed,
+         chaos::ChaosCounters *counters, std::uint64_t *skipped)
+{
+    SystemConfig config = SystemConfig::singleCore();
+    config.prefetcher.kind = PrefetcherKind::Bingo;
+    config.seed = 7;
+    config.chaos.enabled = true;
+    config.chaos.seed = chaos_seed;
+    config.chaos.rate = 0.002;
+    config.chaos.site_mask = 0x1F;
+    System system(config, "Data Serving");
+    system.setCycleSkipping(skip);
+    system.run(10000, 20000);
+    if (counters != nullptr)
+        *counters = system.chaosEngine()->counters();
+    if (skipped != nullptr)
+        *skipped = system.skippedCycles();
+    return collectResult(system, "Data Serving");
+}
+
+void
+expectIdenticalChaosCounters(const chaos::ChaosCounters &a,
+                             const chaos::ChaosCounters &b)
+{
+    EXPECT_EQ(a.trace_corruptions, b.trace_corruptions);
+    EXPECT_EQ(a.dram_delays, b.dram_delays);
+    EXPECT_EQ(a.dram_drops, b.dram_drops);
+    EXPECT_EQ(a.metadata_flips, b.metadata_flips);
+    EXPECT_EQ(a.mshr_spikes, b.mshr_spikes);
+    EXPECT_EQ(a.injected_prefetcher_faults,
+              b.injected_prefetcher_faults);
+}
+
+TEST(ChaosDeterminism, SameSeedsSameFaultsSameRun)
+{
+    chaos::ChaosCounters ca;
+    chaos::ChaosCounters cb;
+    const RunResult a = runChaos(true, 99, &ca, nullptr);
+    const RunResult b = runChaos(true, 99, &cb, nullptr);
+    expectIdenticalResults(a, b);
+    expectIdenticalChaosCounters(ca, cb);
+    // The injector must actually have been injecting.
+    EXPECT_GT(ca.trace_corruptions, 0u);
+}
+
+TEST(ChaosDeterminism, SkipOnMatchesSkipOffUnderChaos)
+{
+    chaos::ChaosCounters stepped_counters;
+    chaos::ChaosCounters skipped_counters;
+    std::uint64_t stepped_jumps = 0;
+    std::uint64_t skipped_jumps = 0;
+    const RunResult stepped =
+        runChaos(false, 99, &stepped_counters, &stepped_jumps);
+    const RunResult skipped =
+        runChaos(true, 99, &skipped_counters, &skipped_jumps);
+    expectIdenticalResults(stepped, skipped);
+    expectIdenticalChaosCounters(stepped_counters, skipped_counters);
+    // Same faults, but genuinely different execution strategies.
+    EXPECT_EQ(stepped_jumps, 0u);
+    EXPECT_GT(skipped_jumps, 0u);
+}
+
+TEST(ChaosDeterminism, DifferentChaosSeedDifferentFaults)
+{
+    chaos::ChaosCounters ca;
+    chaos::ChaosCounters cb;
+    const RunResult a = runChaos(true, 99, &ca, nullptr);
+    const RunResult b = runChaos(true, 100, &cb, nullptr);
+    const bool counters_differ =
+        ca.trace_corruptions != cb.trace_corruptions ||
+        ca.dram_delays != cb.dram_delays ||
+        ca.dram_drops != cb.dram_drops ||
+        ca.metadata_flips != cb.metadata_flips ||
+        ca.mshr_spikes != cb.mshr_spikes ||
+        ca.injected_prefetcher_faults !=
+            cb.injected_prefetcher_faults;
+    const bool results_differ =
+        a.llc.demand_misses != b.llc.demand_misses ||
+        a.dram.reads != b.dram.reads;
+    EXPECT_TRUE(counters_differ || results_differ);
 }
 
 /** The factory builds every advertised prefetcher. */
