@@ -18,6 +18,7 @@
 #include "common/event_queue.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "mem/dram.hpp"
 #include "prefetch/bingo.hpp"
@@ -27,6 +28,7 @@
 #include "telemetry/export.hpp"
 #include "telemetry/histogram.hpp"
 #include "workload/generator.hpp"
+#include "workload/trace_cache.hpp"
 
 namespace
 {
@@ -223,6 +225,102 @@ BM_WorkloadGeneration(benchmark::State &state)
 }
 BENCHMARK(BM_WorkloadGeneration);
 
+/** Pin the level named by a benchmark Arg: 0 scalar, 1 detected. */
+simd::Level
+pinLevel(std::int64_t arg)
+{
+    const simd::Level level =
+        arg == 0 ? simd::Level::Scalar : simd::detectedLevel();
+    simd::setLevel(level);
+    return level;
+}
+
+/**
+ * The batch footprint reductions behind pattern-table aggregation:
+ * union / intersection / popcount over a candidate set of raw
+ * footprint words. Arg(0) scalar oracle, Arg(1) widest vector level.
+ */
+void
+BM_FootprintBatchOps(benchmark::State &state)
+{
+    const simd::Level level = pinLevel(state.range(0));
+    Rng rng(51);
+    std::array<std::uint64_t, 16> raws;
+    for (auto &raw : raws)
+        raw = rng.next() & ((1ULL << kBlocksPerRegion) - 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Footprint::unionOf(raws.data(), raws.size()));
+        benchmark::DoNotOptimize(
+            Footprint::intersectOf(raws.data(), raws.size()));
+        benchmark::DoNotOptimize(
+            Footprint::totalCount(raws.data(), raws.size()));
+    }
+    state.SetItemsProcessed(state.iterations() * raws.size() * 3);
+    state.SetLabel(simd::levelName(level));
+    simd::setLevel(simd::detectedLevel());
+}
+BENCHMARK(BM_FootprintBatchOps)->Arg(0)->Arg(1);
+
+/**
+ * The SoA way-tag compare at the heart of every cache lookup: find
+ * one 64-bit block key among the ways of a set. Half the probes hit,
+ * half miss (key 3 is never block-aligned).
+ */
+void
+BM_WayTagLookupSimd(benchmark::State &state)
+{
+    const simd::Level level = pinLevel(state.range(0));
+    constexpr std::size_t kSets = 4096;
+    constexpr std::size_t kWays = 16;
+    Rng rng(57);
+    std::vector<std::uint64_t> tags(kSets * kWays);
+    for (auto &tag : tags)
+        tag = blockAlign(rng.next() & 0xffffffffULL);
+    for (auto _ : state) {
+        const std::size_t set = rng.below(kSets);
+        const std::uint64_t key =
+            (rng.next() & 1) != 0
+                ? tags[set * kWays + rng.below(kWays)]
+                : 3;
+        benchmark::DoNotOptimize(simd::findEqual64(
+            tags.data() + set * kWays, kWays, key));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(simd::levelName(level));
+    simd::setLevel(simd::detectedLevel());
+}
+BENCHMARK(BM_WayTagLookupSimd)->Arg(0)->Arg(1);
+
+/**
+ * Replaying an already-generated trace from the shared cache — the
+ * per-job cost a sweep pays after the first run of a workload.
+ * Compare against BM_WorkloadGeneration for the memoization win.
+ */
+void
+BM_TraceCacheHit(benchmark::State &state)
+{
+    TraceCache &cache = TraceCache::instance();
+    auto source = cache.acquire("Data Serving", 0, 42);
+    std::array<TraceRecord, 256> batch;
+    source->nextBatch(batch.data(), batch.size());  // Commit chunk 0.
+    std::size_t reads = 1;
+    for (auto _ : state) {
+        source->nextBatch(batch.data(), batch.size());
+        benchmark::DoNotOptimize(batch);
+        // Wrap within the committed chunk so the buffer never grows:
+        // re-acquiring (a cache hit) rewinds the replay cursor.
+        if (++reads * batch.size() >=
+            TraceBuffer::kChunkRecords - batch.size()) {
+            source = cache.acquire("Data Serving", 0, 42);
+            reads = 0;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * batch.size());
+    state.SetLabel(cache.enabled() ? "cached" : "bypass");
+}
+BENCHMARK(BM_TraceCacheHit);
+
 void
 BM_MshrAllocateRelease(benchmark::State &state)
 {
@@ -362,11 +460,119 @@ timeMainLoop(const char *workload, bool skip,
         .count();
 }
 
+/** Wall seconds of `fn()` repeated `iters` times. */
+template <typename Fn>
+double
+timeIt(unsigned iters, const Fn &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < iters; ++i)
+        fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Scalar vs widest-level wall time of the two structure kernels the
+ * SIMD layer targets, as a JSON fragment: the numbers the perf-smoke
+ * CI step tracks alongside the loop speedups.
+ */
+std::string
+microKernelSummary()
+{
+    constexpr unsigned kIters = 200000;
+    Rng rng(61);
+    std::array<std::uint64_t, 16> raws;
+    for (auto &raw : raws)
+        raw = rng.next() & ((1ULL << kBlocksPerRegion) - 1);
+    std::vector<std::uint64_t> tags(4096 * 16);
+    for (auto &tag : tags)
+        tag = blockAlign(rng.next() & 0xffffffffULL);
+
+    const auto footprints = [&raws] {
+        benchmark::DoNotOptimize(
+            Footprint::unionOf(raws.data(), raws.size()));
+        benchmark::DoNotOptimize(
+            Footprint::totalCount(raws.data(), raws.size()));
+    };
+    std::uint64_t probe = 0;
+    const auto way_find = [&tags, &probe] {
+        const std::size_t set = (probe += 0x9E3779B9u) & 4095;
+        benchmark::DoNotOptimize(
+            simd::findEqual64(tags.data() + set * 16, 16, 3));
+    };
+
+    simd::setLevel(simd::Level::Scalar);
+    const double fp_scalar = timeIt(kIters, footprints);
+    const double way_scalar = timeIt(kIters, way_find);
+    simd::setLevel(simd::detectedLevel());
+    const double fp_vector = timeIt(kIters, footprints);
+    const double way_vector = timeIt(kIters, way_find);
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"simd\":{\"detected\":\"%s\","
+        "\"footprint_batch_scalar_seconds\":%.6f,"
+        "\"footprint_batch_vector_seconds\":%.6f,"
+        "\"footprint_batch_speedup\":%.3f,"
+        "\"way_tag_find_scalar_seconds\":%.6f,"
+        "\"way_tag_find_vector_seconds\":%.6f,"
+        "\"way_tag_find_speedup\":%.3f}",
+        simd::levelName(simd::detectedLevel()), fp_scalar, fp_vector,
+        fp_vector > 0.0 ? fp_scalar / fp_vector : 0.0, way_scalar,
+        way_vector, way_vector > 0.0 ? way_scalar / way_vector : 0.0);
+    return buf;
+}
+
+/**
+ * Generation vs cached-replay wall time over one chunk of records,
+ * plus the cache's own counters, as a JSON fragment.
+ */
+std::string
+traceCacheSummary()
+{
+    TraceCache &cache = TraceCache::instance();
+    const std::size_t n = TraceBuffer::kChunkRecords;
+    std::vector<TraceRecord> sink(n);
+
+    const double generate = timeIt(3, [&sink, n] {
+        auto source = makeWorkload("Data Serving", 1, 4242);
+        source->nextBatch(sink.data(), n);
+    });
+    auto primer = cache.acquire("Data Serving", 1, 4242);
+    primer->nextBatch(sink.data(), n);
+    const double replay = timeIt(3, [&cache, &sink, n] {
+        auto source = cache.acquire("Data Serving", 1, 4242);
+        source->nextBatch(sink.data(), n);
+    });
+
+    const TraceCacheStats stats = cache.stats();
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"trace_cache\":{\"enabled\":%s,"
+        "\"generate_chunk_seconds\":%.6f,"
+        "\"replay_chunk_seconds\":%.6f,\"replay_speedup\":%.3f,"
+        "\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+        "\"bytes\":%llu,\"records_generated\":%llu}",
+        cache.enabled() ? "true" : "false", generate, replay,
+        replay > 0.0 ? generate / replay : 0.0,
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.bytes),
+        static_cast<unsigned long long>(stats.records_generated));
+    return buf;
+}
+
 /**
  * BENCH_mainloop.json: skip-off vs skip-on wall time of the stall- and
  * compute-heavy loop configurations, with the speedup ratios — the
  * machine-readable record the figure-bench BENCH_*.json files are
- * compared against in EXPERIMENTS.md.
+ * compared against in EXPERIMENTS.md — plus the SIMD kernel and
+ * trace-cache micro numbers the perf-smoke CI step tracks.
  */
 void
 writeMainLoopSummary()
@@ -405,6 +611,8 @@ writeMainLoopSummary()
                       cycles_step == cycles_skip ? "true" : "false");
         json += buf;
     }
+    json += microKernelSummary();
+    json += traceCacheSummary();
     json += "}\n";
     try {
         telemetry::atomicWrite("BENCH_mainloop.json", json);

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_mainloop.json against a committed baseline.
+
+Two families of numbers are checked, with opposite directions:
+
+  * wall-clock fields (``*_seconds*``): the current value must not
+    exceed the baseline by more than the tolerance band — a >20 %
+    slowdown on any timed section fails the build;
+  * ratio fields (``*speedup*``): scale-free, so they transfer across
+    machines better than raw seconds; the current ratio must not fall
+    below the baseline by more than the tolerance band.
+
+Boolean identity fields (``identical_cycles``) must simply stay true.
+Fields present in only one file are reported but not fatal, so adding
+a new benchmark section does not break the gate until the baseline is
+refreshed with ``--update``.
+
+Usage:
+    check_perf.py CURRENT BASELINE [--tolerance 0.20] [--update]
+"""
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def walk(prefix, node, out):
+    """Flatten nested dicts into {dotted.path: leaf} pairs."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            walk(f"{prefix}.{key}" if prefix else key, value, out)
+    else:
+        out[prefix] = node
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="fractional band (default 0.20 = 20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy CURRENT over BASELINE and exit")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline refreshed from {args.current}")
+        return 0
+
+    with open(args.current) as f:
+        current = {}
+        walk("", json.load(f), current)
+    with open(args.baseline) as f:
+        baseline = {}
+        walk("", json.load(f), baseline)
+
+    failures = []
+    checked = 0
+    for path, base in sorted(baseline.items()):
+        if path not in current:
+            print(f"NOTE  {path}: missing from current run")
+            continue
+        cur = current[path]
+        if path.endswith("identical_cycles"):
+            checked += 1
+            if cur is not True:
+                failures.append(f"{path}: identity broken ({cur})")
+            continue
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            continue
+        if "seconds" in path:
+            checked += 1
+            limit = base * (1.0 + args.tolerance)
+            verdict = "FAIL" if cur > limit and base > 0 else "ok"
+            print(f"{verdict:4}  {path}: {cur:.6f}s vs "
+                  f"{base:.6f}s baseline (limit {limit:.6f}s)")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{path}: {cur:.6f}s exceeds {limit:.6f}s "
+                    f"(+{(cur / base - 1) * 100:.1f}%)")
+        elif "speedup" in path:
+            checked += 1
+            floor = base * (1.0 - args.tolerance)
+            verdict = "FAIL" if cur < floor else "ok"
+            print(f"{verdict:4}  {path}: {cur:.3f}x vs "
+                  f"{base:.3f}x baseline (floor {floor:.3f}x)")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{path}: {cur:.3f}x below floor {floor:.3f}x")
+
+    for path in sorted(set(current) - set(baseline)):
+        print(f"NOTE  {path}: not in baseline (run with --update)")
+
+    if not checked:
+        print("FAIL  no comparable fields found", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf check OK: {checked} fields within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

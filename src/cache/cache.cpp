@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/sim_check.hpp"
+#include "common/simd.hpp"
 #include "mem/dram.hpp"
 #include "telemetry/lifecycle.hpp"
 #include "telemetry/registry.hpp"
@@ -17,6 +18,9 @@ Cache::Cache(std::string name, const CacheConfig &config,
       lower_(lower), num_sets_(config.numSets()),
       blocks_(num_sets_ * config.ways),
       way_tags_(num_sets_ * config.ways, kNoTag),
+      way_lru_(num_sets_ * config.ways, 0),
+      way_rrpv_(num_sets_ * config.ways, 3),
+      set_filled_(num_sets_, 0),
       mshrs_(config.mshr_entries, name_ + ".mshr")
 {
     if (num_sets_ == 0 || (num_sets_ & (num_sets_ - 1)) != 0)
@@ -27,11 +31,11 @@ Cache::Cache(std::string name, const CacheConfig &config,
 }
 
 void
-Cache::touchBlock(Block &block)
+Cache::touchBlock(std::size_t way_index)
 {
-    block.lru = ++tick_;
+    way_lru_[way_index] = ++tick_;
     if (config_.replacement == ReplacementKind::Srrip)
-        block.rrpv = 0;  // Near re-reference on a hit.
+        way_rrpv_[way_index] = 0;  // Near re-reference on a hit.
 }
 
 std::uint64_t
@@ -43,25 +47,21 @@ Cache::setOf(Addr block) const
 Cache::Block *
 Cache::lookup(Addr block)
 {
+    // Resident tags are unique per set and kNoTag never matches a
+    // block address, so any hit the vector compare reports is THE hit.
     const std::uint64_t first = setOf(block) * config_.ways;
-    const Addr *tags = way_tags_.data() + first;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (tags[w] == block)
-            return blocks_.data() + first + w;
-    }
-    return nullptr;
+    const std::size_t w = simd::findEqual64(way_tags_.data() + first,
+                                            config_.ways, block);
+    return w == simd::kNpos ? nullptr : blocks_.data() + first + w;
 }
 
 const Cache::Block *
 Cache::lookup(Addr block) const
 {
     const std::uint64_t first = setOf(block) * config_.ways;
-    const Addr *tags = way_tags_.data() + first;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (tags[w] == block)
-            return blocks_.data() + first + w;
-    }
-    return nullptr;
+    const std::size_t w = simd::findEqual64(way_tags_.data() + first,
+                                            config_.ways, block);
+    return w == simd::kNpos ? nullptr : blocks_.data() + first + w;
 }
 
 bool
@@ -122,6 +122,7 @@ Cache::checkInvariants(Cycle now) const
 
     for (std::uint64_t set = 0; set < num_sets_; ++set) {
         const Block *base = blocks_.data() + set * config_.ways;
+        const std::uint64_t *lru = way_lru_.data() + set * config_.ways;
         for (unsigned w = 0; w < config_.ways; ++w) {
             const Block &blk = base[w];
             if (!blk.valid)
@@ -132,9 +133,9 @@ Cache::checkInvariants(Cycle now) const
                                    std::to_string(setOf(blk.tag)) +
                                    " but lives in set " +
                                    std::to_string(set));
-            if (blk.lru > tick_)
+            if (lru[w] > tick_)
                 throw SimError(name_, now,
-                               "LRU stamp " + std::to_string(blk.lru) +
+                               "LRU stamp " + std::to_string(lru[w]) +
                                    " is ahead of the recency clock " +
                                    std::to_string(tick_));
             for (unsigned v = w + 1; v < config_.ways; ++v) {
@@ -142,12 +143,12 @@ Cache::checkInvariants(Cycle now) const
                     throw SimError(name_, now,
                                    "duplicate resident block in set " +
                                        std::to_string(set));
-                if (base[v].valid && base[v].lru == blk.lru)
+                if (base[v].valid && lru[v] == lru[w])
                     throw SimError(
                         name_, now,
                         "two blocks of set " + std::to_string(set) +
                             " share LRU stamp " +
-                            std::to_string(blk.lru));
+                            std::to_string(lru[w]));
             }
         }
     }
@@ -160,17 +161,31 @@ Cache::checkInvariants(Cycle now) const
                                std::to_string(i));
     }
 
-    std::unordered_set<Addr> in_flight;
-    for (const auto &[block, entry] : mshrs_.entries()) {
-        if (entry.block != block)
+    for (std::uint64_t set = 0; set < num_sets_; ++set) {
+        unsigned filled = 0;
+        for (unsigned w = 0; w < config_.ways; ++w)
+            filled += blocks_[set * config_.ways + w].valid ? 1 : 0;
+        if (filled != set_filled_[set])
             throw SimError(name_, now,
-                           "MSHR entry key/block mismatch");
-        if (!in_flight.insert(block).second)
+                           "set " + std::to_string(set) + " holds " +
+                               std::to_string(filled) +
+                               " valid ways but the fill counter "
+                               "says " +
+                               std::to_string(set_filled_[set]));
+    }
+
+    std::unordered_set<Addr> in_flight;
+    mshrs_.forEach([&](const MshrEntry &entry) {
+        if (!in_flight.insert(entry.block).second)
             throw SimError(name_, now, "duplicate in-flight block");
-        if (contains(block))
+        if (contains(entry.block))
             throw SimError(name_, now,
                            "block is both resident and in flight");
-    }
+    });
+    if (in_flight.size() != mshrs_.size())
+        throw SimError(name_, now,
+                       "MSHR occupancy count disagrees with live "
+                       "slots");
 
     // Drain invariant the run loop's fast-forward path relies on:
     // parked demands and queued prefetches only move when a fill
@@ -198,7 +213,7 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
 
     if (Block *block = lookup(access.block)) {
         ++stats_.demand_hits;
-        touchBlock(*block);
+        touchBlock(static_cast<std::size_t>(block - blocks_.data()));
         block->core = access.core;
         if (block->prefetched) {
             block->prefetched = false;
@@ -259,7 +274,7 @@ Cache::access(const MemAccess &access, Cycle now, FillCallback done)
     entry.demand_merged = true;
     entry.store_merged = access.type == AccessType::Store;
     entry.callbacks.emplace_back(std::move(done), now);
-    issueFetch(access, now);
+    issueFetch(access, mshrs_.slotOf(entry), now);
 }
 
 bool
@@ -304,7 +319,8 @@ Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
         }
         return;
     }
-    mshrs_.allocate(block, /*prefetch_origin=*/true, core, now);
+    MshrEntry &entry =
+        mshrs_.allocate(block, /*prefetch_origin=*/true, core, now);
     if (lifecycle_)
         lifecycle_->onIssue(block, now);
     MemAccess access;
@@ -312,7 +328,7 @@ Cache::prefetch(Addr block, Addr pc, CoreId core, Cycle now)
     access.pc = pc;
     access.core = core;
     access.type = AccessType::Prefetch;
-    issueFetch(access, now);
+    issueFetch(access, mshrs_.slotOf(entry), now);
 }
 
 void
@@ -331,8 +347,8 @@ Cache::drainPrefetchQueue(Cycle now)
             ++stats_.prefetch_drop_inflight;
             continue;
         }
-        mshrs_.allocate(qp.block, /*prefetch_origin=*/true, qp.core,
-                        now);
+        MshrEntry &entry = mshrs_.allocate(
+            qp.block, /*prefetch_origin=*/true, qp.core, now);
         if (lifecycle_)
             lifecycle_->onIssue(qp.block, now);
         MemAccess access;
@@ -340,34 +356,44 @@ Cache::drainPrefetchQueue(Cycle now)
         access.pc = qp.pc;
         access.core = qp.core;
         access.type = AccessType::Prefetch;
-        issueFetch(access, now);
+        issueFetch(access, mshrs_.slotOf(entry), now);
     }
 }
 
 void
-Cache::issueFetch(const MemAccess &access, Cycle now)
+Cache::issueFetch(const MemAccess &access, std::size_t slot, Cycle now)
 {
-    const Addr block = access.block;
+    // Capture only the 4-byte slot (the MSHR entry carries the block):
+    // this + slot fits std::function's inline buffer, so issuing a
+    // fetch allocates nothing.
+    const auto slot32 = static_cast<std::uint32_t>(slot);
     // The miss is detected after the tag lookup completes.
     lower_.fetch(access, now + config_.hit_latency,
-                 [this, block](Cycle cycle) { handleFill(block, cycle); });
+                 [this, slot32](Cycle cycle) {
+                     handleFill(slot32, cycle);
+                 });
 }
 
 void
-Cache::handleFill(Addr block, Cycle fill_cycle)
+Cache::handleFill(std::size_t slot, Cycle fill_cycle)
 {
-    MshrEntry entry = mshrs_.release(block, fill_cycle);
+    MshrEntry entry = mshrs_.releaseSlot(slot, fill_cycle);
+    const Addr block = entry.block;
 
     Block &victim = victimize(block, fill_cycle);
+    const auto way_index =
+        static_cast<std::size_t>(&victim - blocks_.data());
+    if (!victim.valid)
+        ++set_filled_[way_index / config_.ways];
     victim.valid = true;
     victim.tag = block;
-    way_tags_[&victim - blocks_.data()] = block;
+    way_tags_[way_index] = block;
     victim.dirty = entry.store_merged;
     victim.prefetched = entry.prefetch_origin && !entry.demand_merged;
     victim.core = entry.core;
-    victim.lru = ++tick_;
+    way_lru_[way_index] = ++tick_;
     // SRRIP inserts at "long" re-reference (2 of 3).
-    victim.rrpv = 2;
+    way_rrpv_[way_index] = 2;
     if (entry.prefetch_origin) {
         ++stats_.prefetch_fills;
         if (lifecycle_)
@@ -381,6 +407,9 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
             stats_.demand_miss_latency += fill_cycle - cb.start;
         cb.fn(fill_cycle);
     }
+    // Park the callback vector's capacity for the next allocation;
+    // with it, a steady-state miss makes no heap round trips at all.
+    mshrs_.recycle(std::move(entry));
 
     // MSHRs freed: replay parked demand fetches. Parked accesses whose
     // block arrived meanwhile (or whose miss is already in flight) are
@@ -390,7 +419,7 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
         if (Block *hit = lookup(pending_.front().access.block)) {
             PendingFetch replay = std::move(pending_.front());
             pending_.pop_front();
-            touchBlock(*hit);
+            touchBlock(static_cast<std::size_t>(hit - blocks_.data()));
             if (hit->prefetched) {
                 hit->prefetched = false;
                 ++stats_.useful_prefetches;
@@ -423,7 +452,7 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
         fresh.demand_merged = true;
         fresh.store_merged = acc.type == AccessType::Store;
         fresh.callbacks.push_back(std::move(replay.done));
-        issueFetch(acc, fill_cycle);
+        issueFetch(acc, mshrs_.slotOf(fresh), fill_cycle);
     }
 
     drainPrefetchQueue(fill_cycle);
@@ -432,39 +461,51 @@ Cache::handleFill(Addr block, Cycle fill_cycle)
 Cache::Block &
 Cache::victimize(Addr block, Cycle now)
 {
-    Block *base = blocks_.data() + setOf(block) * config_.ways;
+    const std::uint64_t set = setOf(block);
+    const std::size_t first = set * config_.ways;
+    Block *base = blocks_.data() + first;
     Block *victim = nullptr;
-    for (unsigned w = 0; w < config_.ways; ++w) {
-        if (!base[w].valid) {
-            victim = &base[w];
-            break;
-        }
+    // Fill order: any invalid way first (sets never un-fill, so the
+    // counter lets the steady state skip the scan entirely); the
+    // first kNoTag match is the same way the Block-by-Block scan
+    // would pick.
+    if (set_filled_[set] < config_.ways) {
+        const std::size_t invalid_way =
+            simd::findEqual64(way_tags_.data() + first, config_.ways,
+                              kNoTag);
+        if (invalid_way != simd::kNpos)
+            victim = base + invalid_way;
     }
     if (victim == nullptr) {
         switch (config_.replacement) {
-          case ReplacementKind::Lru:
-            victim = base;
+          case ReplacementKind::Lru: {
+            const std::uint64_t *lru = way_lru_.data() + first;
+            unsigned best = 0;
             for (unsigned w = 1; w < config_.ways; ++w) {
-                if (base[w].lru < victim->lru)
-                    victim = &base[w];
+                if (lru[w] < lru[best])
+                    best = w;
             }
+            victim = base + best;
             break;
-          case ReplacementKind::Srrip:
+          }
+          case ReplacementKind::Srrip: {
             // Find a distant (rrpv==3) block, aging the set until one
             // appears.
+            std::uint8_t *rrpv = way_rrpv_.data() + first;
             while (victim == nullptr) {
                 for (unsigned w = 0; w < config_.ways; ++w) {
-                    if (base[w].rrpv >= 3) {
-                        victim = &base[w];
+                    if (rrpv[w] >= 3) {
+                        victim = base + w;
                         break;
                     }
                 }
                 if (victim == nullptr) {
                     for (unsigned w = 0; w < config_.ways; ++w)
-                        ++base[w].rrpv;
+                        ++rrpv[w];
                 }
             }
             break;
+          }
           case ReplacementKind::Random:
             // xorshift64 victim pick.
             victim_rng_ ^= victim_rng_ << 13;

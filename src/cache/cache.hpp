@@ -213,8 +213,10 @@ class Cache
         bool prefetched = false;  ///< Filled by prefetch, unused so far.
         Addr tag = 0;             ///< Full block address.
         CoreId core = 0;          ///< Last toucher (for writeback path).
-        std::uint64_t lru = 0;    ///< Recency stamp (LRU policy).
-        std::uint8_t rrpv = 3;    ///< Re-reference prediction (SRRIP).
+        // Replacement state (LRU stamp, RRPV) lives in the way_lru_ /
+        // way_rrpv_ SoA arrays: victim selection scans a whole set of
+        // it on every fill, and packed arrays keep that scan inside
+        // two cache lines instead of striding through Block records.
     };
 
     struct PendingFetch
@@ -241,14 +243,19 @@ class Cache
     Block *lookup(Addr block);
 
     /** Recency bookkeeping on a hit/fill, per the configured policy. */
-    void touchBlock(Block &block);
+    void touchBlock(std::size_t way_index);
     const Block *lookup(Addr block) const;
 
-    /** Start the lower-level fetch for an allocated MSHR entry. */
-    void issueFetch(const MemAccess &access, Cycle now);
+    /**
+     * Start the lower-level fetch for an allocated MSHR entry.
+     * `slot` is the entry's slotOf() index, carried through the fill
+     * callback so completion releases the MSHR without a key scan.
+     */
+    void issueFetch(const MemAccess &access, std::size_t slot,
+                    Cycle now);
 
-    /** Install a fill and drain its MSHR callbacks. */
-    void handleFill(Addr block, Cycle fill_cycle);
+    /** Install the fill for MSHR `slot` and drain its callbacks. */
+    void handleFill(std::size_t slot, Cycle fill_cycle);
 
     /** Pick a victim way and evict it if valid. */
     Block &victimize(Addr block, Cycle now);
@@ -269,6 +276,14 @@ class Cache
     /// byte Block records. handleFill() is the only writer of
     /// valid/tag and keeps the mirror in step.
     std::vector<Addr> way_tags_;
+    /// Per-way recency stamps and RRPVs, packed like way_tags_ so the
+    /// victim scan (and SRRIP aging) stays in a few cache lines.
+    std::vector<std::uint64_t> way_lru_;
+    std::vector<std::uint8_t> way_rrpv_;
+    /// Valid ways per set. Blocks are never invalidated, so once a
+    /// set fills this saturates at `ways` and victimize() skips the
+    /// invalid-way scan for good.
+    std::vector<std::uint8_t> set_filled_;
     MshrFile mshrs_;
     std::deque<PendingFetch> pending_;
     std::deque<QueuedPrefetch> prefetch_queue_;

@@ -29,15 +29,12 @@ MshrFile::MshrFile(std::size_t capacity, std::string name)
     if (capacity == 0)
         throw std::invalid_argument("MshrFile " + name_ +
                                     ": capacity must be nonzero");
-    entries_.reserve(capacity);
-    free_nodes_.reserve(capacity);
-}
-
-MshrEntry *
-MshrFile::find(Addr block)
-{
-    auto it = entries_.find(block);
-    return it == entries_.end() ? nullptr : &it->second;
+    slots_.resize(capacity);
+    slot_blocks_.assign(capacity, kFreeSlot);
+    free_slots_.reserve(capacity);
+    for (std::size_t i = capacity; i > 0; --i)
+        free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
+    callback_pool_.reserve(capacity);
 }
 
 MshrEntry &
@@ -50,48 +47,89 @@ MshrFile::allocate(Addr block, bool prefetch_origin, CoreId core,
                            std::to_string(capacity_) +
                            " entries in flight) for block " +
                            blockHex(block));
-    MshrEntry *entry = nullptr;
-    if (!free_nodes_.empty()) {
-        auto node = std::move(free_nodes_.back());
-        free_nodes_.pop_back();
-        node.key() = block;
-        node.mapped() = MshrEntry{};
-        auto res = entries_.insert(std::move(node));
-        if (!res.inserted) {
-            free_nodes_.push_back(std::move(res.node));
-            throw SimError(
-                name_, now,
-                "duplicate MSHR allocation for in-flight block " +
-                    blockHex(block));
-        }
-        entry = &res.position->second;
-    } else {
-        auto [it, inserted] = entries_.try_emplace(block);
-        if (!inserted)
-            throw SimError(
-                name_, now,
-                "duplicate MSHR allocation for in-flight block " +
-                    blockHex(block));
-        entry = &it->second;
+    if (block == kFreeSlot)
+        throw SimError(name_, now,
+                       "MSHR allocation for the reserved sentinel "
+                       "address " +
+                           blockHex(block));
+    // Every caller probes find(block) before allocating, so this scan
+    // is a pure double-check; run it only under the BINGO_CHECK layer
+    // (checkInvariants sweeps for duplicates periodically as well).
+    if (simCheckEnabled() && find(block) != nullptr)
+        throw SimError(name_, now,
+                       "duplicate MSHR allocation for in-flight "
+                       "block " +
+                           blockHex(block));
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    MshrEntry &entry = slots_[slot];
+    entry.block = block;
+    entry.prefetch_origin = prefetch_origin;
+    entry.demand_merged = false;
+    entry.store_merged = false;
+    entry.core = core;
+    if (!entry.callbacks.empty())
+        entry.callbacks.clear();
+    if (entry.callbacks.capacity() == 0 && !callback_pool_.empty()) {
+        entry.callbacks = std::move(callback_pool_.back());
+        callback_pool_.pop_back();
     }
-    entry->block = block;
-    entry->prefetch_origin = prefetch_origin;
-    entry->core = core;
-    return *entry;
+    slot_blocks_[slot] = block;
+    ++size_;
+    return entry;
 }
 
 MshrEntry
 MshrFile::release(Addr block, Cycle now)
 {
-    auto it = entries_.find(block);
-    if (it == entries_.end())
+    const std::size_t slot = simd::findEqual64(
+        slot_blocks_.data(), slot_blocks_.size(), block);
+    if (slot == simd::kNpos)
         throw SimError(name_, now,
                        "release of block " + blockHex(block) +
                            " with no MSHR entry");
-    MshrEntry entry = std::move(it->second);
-    // Keep the map node for the next allocate instead of freeing it.
-    free_nodes_.push_back(entries_.extract(it));
+    return releaseAt(slot, block, now);
+}
+
+MshrEntry
+MshrFile::releaseAt(std::size_t slot, Addr block, Cycle now)
+{
+    if (slot >= slot_blocks_.size() || slot_blocks_[slot] != block)
+        throw SimError(name_, now,
+                       "release of block " + blockHex(block) +
+                           " at slot " + std::to_string(slot) +
+                           " which does not hold it");
+    return releaseSlot(slot, now);
+}
+
+MshrEntry
+MshrFile::releaseSlot(std::size_t slot, Cycle now)
+{
+    if (slot >= slot_blocks_.size() || slot_blocks_[slot] == kFreeSlot)
+        throw SimError(name_, now,
+                       "release of slot " + std::to_string(slot) +
+                           " which holds no in-flight miss");
+    MshrEntry entry = std::move(slots_[slot]);
+    slots_[slot] = MshrEntry{};
+    slot_blocks_[slot] = kFreeSlot;
+    free_slots_.push_back(static_cast<std::uint32_t>(slot));
+    --size_;
     return entry;
+}
+
+void
+MshrFile::clear()
+{
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        if (slot_blocks_[i] == kFreeSlot)
+            continue;
+        slots_[i] = MshrEntry{};
+        slot_blocks_[i] = kFreeSlot;
+    }
+    size_ = 0;
+    free_slots_.clear();
+    for (std::size_t i = capacity_; i > 0; --i)
+        free_slots_.push_back(static_cast<std::uint32_t>(i - 1));
 }
 
 void
@@ -100,7 +138,7 @@ MshrFile::registerTelemetry(telemetry::Registry &registry,
 {
     registry.probeGroup(
         prefix, [this](std::map<std::string, std::uint64_t> &out) {
-            out["occupancy"] = entries_.size();
+            out["occupancy"] = size_;
             out["capacity"] = capacity_;
         });
 }

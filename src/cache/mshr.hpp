@@ -3,11 +3,23 @@
  * Miss Status Holding Registers: track outstanding misses per block and
  * merge secondary misses into the primary's entry.
  *
- * Structural violations (allocation past capacity, duplicate in-flight
- * blocks, release of an absent entry) throw SimError with the owning
- * component's name and the simulated cycle — these replace the bare
- * asserts that used to guard the same paths, and hold in release
- * builds too.
+ * Storage is a fixed-capacity slot pool with a dense block-key array:
+ * the file's capacity is a hardware parameter known at construction,
+ * so entries live in a preallocated slot vector (references stay valid
+ * until release, as before) and lookups scan the packed key array with
+ * the SIMD equality kernel instead of hashing — at MSHR sizes (16-64)
+ * the scan is a handful of vector compares and beats the hash map it
+ * replaced, while allocation/release become a free-stack push/pop with
+ * no allocator traffic at all. Released callback vectors park their
+ * capacity in a recycle pool (see recycle()), so the steady-state miss
+ * path performs zero heap operations.
+ *
+ * Structural violations (allocation past capacity, release of an
+ * absent entry, releaseAt() of a mismatched slot) throw SimError with
+ * the owning component's name and the simulated cycle, and hold in
+ * release builds too. The duplicate-allocation scan runs only under
+ * BINGO_CHECK: every caller probes find() immediately beforehand, and
+ * checkInvariants() sweeps the file for duplicates periodically.
  */
 
 #ifndef BINGO_CACHE_MSHR_HPP
@@ -16,9 +28,9 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace bingo
@@ -74,15 +86,21 @@ class MshrFile
     explicit MshrFile(std::size_t capacity, std::string name = "mshr");
 
     /** Entry for `block`, or nullptr when not in flight. */
-    MshrEntry *find(Addr block);
+    MshrEntry *
+    find(Addr block)
+    {
+        const std::size_t slot = simd::findEqual64(
+            slot_blocks_.data(), slot_blocks_.size(), block);
+        return slot == simd::kNpos ? nullptr : &slots_[slot];
+    }
 
     /** True when no further allocation is possible. */
-    bool full() const { return entries_.size() >= capacity_; }
+    bool full() const { return size_ >= capacity_; }
 
     /** True when no miss is in flight. */
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return size_ == 0; }
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
     const std::string &name() const { return name_; }
 
@@ -100,28 +118,86 @@ class MshrFile
      */
     MshrEntry release(Addr block, Cycle now = 0);
 
-    void clear() { entries_.clear(); }
+    /**
+     * Slot index of a live entry returned by allocate() — stable
+     * until that entry is released, so a fill callback can carry it
+     * back to releaseAt() and skip the key scan.
+     */
+    std::size_t
+    slotOf(const MshrEntry &entry) const
+    {
+        return static_cast<std::size_t>(&entry - slots_.data());
+    }
+
+    /**
+     * release() by slot index: the scan-free path for callers that
+     * kept slotOf() of the allocation. Still verifies the slot holds
+     * `block` (SimError otherwise), so a stale index cannot silently
+     * free someone else's miss.
+     */
+    MshrEntry releaseAt(std::size_t slot, Addr block, Cycle now = 0);
+
+    /**
+     * release() by slot index alone, for the fill path: the entry
+     * carries its own block, so the callback needs to keep only the
+     * 4-byte slot (a capture small enough for std::function's inline
+     * buffer — adding the block would heap-allocate every fetch).
+     * Throws SimError when the slot is out of range or free.
+     */
+    MshrEntry releaseSlot(std::size_t slot, Cycle now = 0);
+
+    /**
+     * Park a released entry's callback-vector capacity for reuse by a
+     * later allocate(). Optional: skipping it only costs the heap
+     * round trip the pool exists to avoid.
+     */
+    void
+    recycle(MshrEntry &&entry)
+    {
+        if (entry.callbacks.capacity() == 0 ||
+            callback_pool_.size() >= capacity_)
+            return;
+        entry.callbacks.clear();
+        callback_pool_.push_back(std::move(entry.callbacks));
+    }
+
+    void clear();
 
     /** Register occupancy/capacity probes under `prefix`. */
     void registerTelemetry(telemetry::Registry &registry,
                            const std::string &prefix) const;
 
-    /** All in-flight entries, unordered (self-checks/diagnostics). */
-    const std::unordered_map<Addr, MshrEntry> &entries() const
+    /** Visit every in-flight entry, unordered (self-checks only). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
     {
-        return entries_;
+        for (std::size_t i = 0; i < slot_blocks_.size(); ++i) {
+            if (slot_blocks_[i] != kFreeSlot)
+                fn(slots_[i]);
+        }
     }
 
   private:
-    using EntryMap = std::unordered_map<Addr, MshrEntry>;
+    /// Key-array sentinel for a free slot: not block-aligned, so it
+    /// can never equal a real block address.
+    static constexpr Addr kFreeSlot = ~Addr{0};
 
     std::size_t capacity_;
     std::string name_;
-    EntryMap entries_;
-    /// Extracted map nodes kept for reuse: allocate/release run once
-    /// per miss, and recycling the node spares the hash map a heap
-    /// round trip on every one. Bounded by capacity_.
-    std::vector<EntryMap::node_type> free_nodes_;
+    std::size_t size_ = 0;
+    /// Entry slots, preallocated; slots_[i] is live iff
+    /// slot_blocks_[i] != kFreeSlot.
+    std::vector<MshrEntry> slots_;
+    /// Dense key mirror scanned by find(); packing the 8-byte keys
+    /// separately from the ~80-byte entries is what makes the SIMD
+    /// scan touch one cache line per 8 ways.
+    std::vector<Addr> slot_blocks_;
+    /// Free slot indices (stack).
+    std::vector<std::uint32_t> free_slots_;
+    /// Retired callback vectors with warm capacity. Bounded by
+    /// capacity_.
+    std::vector<std::vector<MshrCallback>> callback_pool_;
 };
 
 } // namespace bingo

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Bump-pointer arena with size-bucketed free lists, plus a standard
+ * allocator adaptor.
+ *
+ * The simulator's steady-state malloc traffic comes from a handful of
+ * per-System containers that churn small nodes on the miss path:
+ * prefetch-lifecycle records, event-queue storage, and (before the
+ * pool rewrite) MSHR map nodes. An Arena serves those from chunked
+ * slabs: allocation is a bump (or a free-list pop after the first
+ * round trip), deallocation is a free-list push, and reset() retires
+ * everything at once while keeping the slabs for reuse — so a
+ * long-running sweep process touches the global allocator only while
+ * a container grows past its previous high-water mark.
+ *
+ * Requests are rounded up to power-of-two size classes (>= 16 bytes),
+ * which keeps every served address 16-byte aligned and makes free
+ * lists trivially exact: a block freed from class k satisfies any
+ * later request of class k. Alignments above 16 are not supported
+ * (nothing in the simulator needs them) and throw.
+ *
+ * Arena is deliberately not thread-safe: each owning component (one
+ * event queue, one lifecycle tracker) lives inside one System, and a
+ * System runs on one worker thread.
+ */
+
+#ifndef BINGO_COMMON_ARENA_HPP
+#define BINGO_COMMON_ARENA_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+namespace bingo
+{
+
+/** Chunked bump allocator with per-size-class free lists. */
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+    static constexpr std::size_t kMinSlotBytes = 16;
+    static constexpr std::size_t kMaxAlign = 16;
+
+    explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+        : chunk_bytes_(chunk_bytes < kMinSlotBytes ? kMinSlotBytes
+                                                   : chunk_bytes)
+    {
+    }
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Allocate `bytes` with `align` (<= 16); never returns null. */
+    void *
+    allocateBytes(std::size_t bytes, std::size_t align)
+    {
+        if (align > kMaxAlign)
+            throw std::invalid_argument(
+                "Arena: alignment above 16 is unsupported");
+        const std::size_t cls = sizeClass(bytes);
+        ++allocations_;
+        if (FreeBlock *&head = free_lists_[cls]; head != nullptr) {
+            FreeBlock *block = head;
+            head = block->next;
+            ++free_list_hits_;
+            return block;
+        }
+        return bump(slotBytes(cls));
+    }
+
+    /** Return a block obtained with the same `bytes` to the arena. */
+    void
+    deallocateBytes(void *p, std::size_t bytes) noexcept
+    {
+        const std::size_t cls = sizeClass(bytes);
+        auto *block = static_cast<FreeBlock *>(p);
+        block->next = free_lists_[cls];
+        free_lists_[cls] = block;
+    }
+
+    /**
+     * Retire every live allocation at once and make the chunks
+     * available for reuse. Callers must ensure no served pointer is
+     * used afterwards (destroy or clear the containers first).
+     */
+    void
+    reset() noexcept
+    {
+        active_chunk_ = 0;
+        bump_offset_ = 0;
+        for (FreeBlock *&head : free_lists_)
+            head = nullptr;
+    }
+
+    /** Total slab bytes owned (reused across reset()). */
+    std::size_t
+    bytesReserved() const noexcept
+    {
+        std::size_t total = 0;
+        for (const Chunk &chunk : chunks_)
+            total += chunk.size;
+        return total;
+    }
+
+    std::size_t chunkCount() const noexcept { return chunks_.size(); }
+    /** allocateBytes() calls since construction. */
+    std::uint64_t allocations() const noexcept { return allocations_; }
+    /** Allocations served from a free list (no bump, no malloc). */
+    std::uint64_t
+    freeListHits() const noexcept
+    {
+        return free_list_hits_;
+    }
+
+  private:
+    struct FreeBlock
+    {
+        FreeBlock *next;
+    };
+
+    struct Chunk
+    {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t size = 0;
+    };
+
+    /// 16, 32, 64, ... size classes; class 24 serves 256 MB, far past
+    /// any container node in the simulator.
+    static constexpr std::size_t kNumClasses = 25;
+
+    static std::size_t
+    sizeClass(std::size_t bytes)
+    {
+        if (bytes <= kMinSlotBytes)
+            return 0;
+        const std::size_t cls = static_cast<std::size_t>(
+            std::bit_width(bytes - 1)) - 4;
+        if (cls >= kNumClasses)
+            throw std::bad_alloc();
+        return cls;
+    }
+
+    static std::size_t
+    slotBytes(std::size_t cls)
+    {
+        return kMinSlotBytes << cls;
+    }
+
+    void *
+    bump(std::size_t slot_bytes)
+    {
+        while (active_chunk_ < chunks_.size()) {
+            Chunk &chunk = chunks_[active_chunk_];
+            if (bump_offset_ + slot_bytes <= chunk.size) {
+                void *p = chunk.data.get() + bump_offset_;
+                bump_offset_ += slot_bytes;
+                return p;
+            }
+            ++active_chunk_;
+            bump_offset_ = 0;
+        }
+        // No retained chunk fits: grow by one chunk sized for the
+        // request (operator new[] returns max_align_t-aligned memory,
+        // and slot sizes are multiples of 16, so every bump offset
+        // stays 16-aligned).
+        Chunk chunk;
+        chunk.size =
+            slot_bytes > chunk_bytes_ ? slot_bytes : chunk_bytes_;
+        chunk.data = std::make_unique<unsigned char[]>(chunk.size);
+        chunks_.push_back(std::move(chunk));
+        active_chunk_ = chunks_.size() - 1;
+        void *p = chunks_.back().data.get();
+        bump_offset_ = slot_bytes;
+        return p;
+    }
+
+    std::size_t chunk_bytes_;
+    std::vector<Chunk> chunks_;
+    std::size_t active_chunk_ = 0;
+    std::size_t bump_offset_ = 0;
+    FreeBlock *free_lists_[kNumClasses] = {};
+    std::uint64_t allocations_ = 0;
+    std::uint64_t free_list_hits_ = 0;
+};
+
+/**
+ * Standard allocator adaptor over a (non-owned) Arena. Containers
+ * using it must not outlive the arena; equality compares arenas, so
+ * containers only exchange storage when they share one.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena *arena) noexcept : arena_(arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) noexcept
+        : arena_(other.arena())
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        static_assert(alignof(T) <= Arena::kMaxAlign,
+                      "ArenaAllocator: over-aligned type");
+        return static_cast<T *>(
+            arena_->allocateBytes(n * sizeof(T), alignof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        arena_->deallocateBytes(p, n * sizeof(T));
+    }
+
+    Arena *arena() const noexcept { return arena_; }
+
+    using propagate_on_container_copy_assignment = std::true_type;
+    using propagate_on_container_move_assignment = std::true_type;
+    using propagate_on_container_swap = std::true_type;
+
+    template <typename U>
+    bool
+    operator==(const ArenaAllocator<U> &other) const noexcept
+    {
+        return arena_ == other.arena();
+    }
+
+  private:
+    Arena *arena_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_ARENA_HPP

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/sim_check.hpp"
+
 namespace bingo
 {
 
@@ -166,6 +168,20 @@ SystemConfig::validate() const
         reject("prefetcher.region_blocks",
                "must be a nonzero power of two, got " +
                    std::to_string(pf.region_blocks));
+    // Footprint packs one region into a single 64-bit word. A wider
+    // region would silently truncate every learned footprint, so the
+    // geometry is rejected here, as a located machine invariant,
+    // before any table is built.
+    if (pf.region_blocks > 64) {
+        throw SimError(
+            "config", 0,
+            "prefetcher.region_blocks = " +
+                std::to_string(pf.region_blocks) +
+                " exceeds the 64-block footprint word (" +
+                std::to_string(pf.region_blocks * kBlockSize) +
+                "-byte regions are not representable); shrink the "
+                "region or widen Footprint first");
+    }
     requireNonzero("prefetcher.pht_ways", pf.pht_ways);
     requireNonzero("prefetcher.pht_entries", pf.pht_entries);
     if (pf.pht_entries % pf.pht_ways != 0 ||

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 
 namespace bingo
@@ -134,6 +135,18 @@ class InlineCallback
 class EventQueue
 {
   public:
+    EventQueue()
+        : heap_(std::greater<>{}, EventVec(EventAlloc(&arena_)))
+    {
+        // Slot vectors share the queue's arena: growth to steady-state
+        // capacity cycles through the arena's free lists instead of
+        // the global allocator, and the slabs persist for the queue's
+        // lifetime.
+        slots_.reserve(kWheelSlots);
+        for (std::size_t i = 0; i < kWheelSlots; ++i)
+            slots_.emplace_back(CallbackAlloc(&arena_));
+    }
+
     /** Schedule `fn` to run at cycle `when` (must not be in the past). */
     template <typename Fn>
     void
@@ -228,11 +241,14 @@ class EventQueue
         }
     };
 
+    using CallbackAlloc = ArenaAllocator<InlineCallback>;
+    using SlotVec = std::vector<InlineCallback, CallbackAlloc>;
+
     /** Fire bucket `c` in FIFO order, then recompute wheel_min_. */
     void
     drainSlot(Cycle c)
     {
-        std::vector<InlineCallback> &slot = slots_[c & kWheelMask];
+        SlotVec &slot = slots_[c & kWheelMask];
         // Index loop: a callback scheduling back into this same cycle
         // appends behind the iteration point and still fires now,
         // matching heap semantics.
@@ -281,7 +297,10 @@ class EventQueue
         return base + ((s - s0) & kWheelMask);
     }
 
-    std::array<std::vector<InlineCallback>, kWheelSlots> slots_;
+    /// Backs the slot vectors and the overflow heap; declared first so
+    /// it outlives every container that allocates from it.
+    Arena arena_;
+    std::vector<SlotVec> slots_;
     std::array<std::uint64_t, kWords> bitmap_{};
     std::uint64_t summary_ = 0;
     std::size_t wheel_count_ = 0;
@@ -292,8 +311,10 @@ class EventQueue
     /// [cursor_, cursor_ + kWheelSlots). Never decreases.
     Cycle cursor_ = 0;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        heap_;
+    using EventAlloc = ArenaAllocator<Event>;
+    using EventVec = std::vector<Event, EventAlloc>;
+
+    std::priority_queue<Event, EventVec, std::greater<>> heap_;
     std::uint64_t seq_ = 0;
 };
 

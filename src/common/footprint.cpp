@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/sim_check.hpp"
+#include "common/simd.hpp"
 
 namespace bingo
 {
@@ -127,6 +128,26 @@ Footprint::toString() const
     return out;
 }
 
+Footprint
+Footprint::unionOf(const std::uint64_t *raws, std::size_t count,
+                   unsigned width)
+{
+    return fromRaw(simd::orReduce(raws, count), width);
+}
+
+Footprint
+Footprint::intersectOf(const std::uint64_t *raws, std::size_t count,
+                       unsigned width)
+{
+    return fromRaw(simd::andReduce(raws, count), width);
+}
+
+std::uint64_t
+Footprint::totalCount(const std::uint64_t *raws, std::size_t count)
+{
+    return simd::popcountSum(raws, count);
+}
+
 FootprintVote::FootprintVote(unsigned width)
     : counts_(width, 0), width_(width)
 {
@@ -136,10 +157,7 @@ void
 FootprintVote::add(const Footprint &fp)
 {
     checkSameWidth(fp.width(), width_);
-    for (unsigned i = 0; i < width_; ++i) {
-        if (fp.test(i))
-            ++counts_[i];
-    }
+    simd::voteAdd(counts_.data(), fp.raw(), width_);
     ++voters_;
 }
 
@@ -152,11 +170,10 @@ FootprintVote::resolve(double threshold) const
     const auto needed = static_cast<unsigned>(
         std::ceil(threshold * static_cast<double>(voters_)));
     const unsigned min_votes = needed == 0 ? 1 : needed;
-    for (unsigned i = 0; i < width_; ++i) {
-        if (counts_[i] >= min_votes)
-            result.set(i);
-    }
-    return result;
+    return Footprint::fromRaw(
+        simd::voteResolve(counts_.data(), width_,
+                          static_cast<std::uint16_t>(min_votes)),
+        width_);
 }
 
 } // namespace bingo

@@ -1,0 +1,252 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#ifdef BINGO_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace bingo::simd
+{
+
+namespace
+{
+
+Level
+detectLevel()
+{
+#ifdef BINGO_SIMD_X86
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+#endif
+    return Level::Scalar;
+}
+
+/** Whether BINGO_NO_SIMD forces the scalar oracle ("" and "0" = no). */
+bool
+simdDisabledByEnv()
+{
+    const char *value = std::getenv("BINGO_NO_SIMD");
+    return value != nullptr && *value != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+}
+
+Level
+startupLevel()
+{
+    return simdDisabledByEnv() ? Level::Scalar : detectLevel();
+}
+
+std::atomic<Level> g_level{startupLevel()};
+
+} // namespace
+
+namespace detail
+{
+
+std::atomic<bool> g_avx2{startupLevel() == Level::Avx2};
+
+#ifdef BINGO_SIMD_X86
+
+/*
+ * AVX2 kernels, compiled with a per-function target attribute so no
+ * special build flags are needed and the rest of the TU stays at the
+ * baseline ISA. Only reached after __builtin_cpu_supports("avx2").
+ * Each must agree bit-for-bit with the inline scalar loop in
+ * simd.hpp — those loops are the oracle the determinism tests compare
+ * against.
+ */
+
+__attribute__((target("avx2"))) std::uint64_t
+equalMask64Avx2(const std::uint64_t *values, std::size_t count,
+                std::uint64_t key)
+{
+    const __m256i vkey =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    std::uint64_t mask = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        const __m256i eq = _mm256_cmpeq_epi64(v, vkey);
+        const unsigned m = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+        mask |= static_cast<std::uint64_t>(m) << i;
+    }
+    for (; i < count; ++i) {
+        if (values[i] == key)
+            mask |= 1ULL << i;
+    }
+    return mask;
+}
+
+__attribute__((target("avx2"))) std::size_t
+findEqual64Avx2(const std::uint64_t *values, std::size_t count,
+                std::uint64_t key)
+{
+    const __m256i vkey =
+        _mm256_set1_epi64x(static_cast<long long>(key));
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + i));
+        const __m256i eq = _mm256_cmpeq_epi64(v, vkey);
+        const unsigned m = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+        if (m != 0)
+            return i + static_cast<std::size_t>(std::countr_zero(m));
+    }
+    for (; i < count; ++i) {
+        if (values[i] == key)
+            return i;
+    }
+    return kNpos;
+}
+
+namespace
+{
+
+/**
+ * Compress the even bits of a 32-bit movemask_epi8 result (two mask
+ * bits per 16-bit lane) down to one bit per lane.
+ */
+inline std::uint32_t
+compressEvenBits(std::uint32_t m)
+{
+    m &= 0x55555555u;
+    m = (m | (m >> 1)) & 0x33333333u;
+    m = (m | (m >> 2)) & 0x0F0F0F0Fu;
+    m = (m | (m >> 4)) & 0x00FF00FFu;
+    m = (m | (m >> 8)) & 0x0000FFFFu;
+    return m;
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) void
+voteAddAvx2(std::uint16_t *counts, std::uint64_t bits, unsigned width)
+{
+    // Per 16-lane chunk: broadcast the matching 16 bits, AND with the
+    // per-lane bit {1, 2, 4, ..., 0x8000}, compare equal -> 0xFFFF
+    // (-1) in lanes whose bit is set, and subtract to increment.
+    const __m256i lane_bits = _mm256_setr_epi16(
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+        8192, 16384, static_cast<short>(32768));
+    unsigned i = 0;
+    for (; i + 16 <= width; i += 16) {
+        const auto chunk = static_cast<short>((bits >> i) & 0xFFFF);
+        const __m256i sel = _mm256_and_si256(
+            _mm256_set1_epi16(chunk), lane_bits);
+        const __m256i hit = _mm256_cmpeq_epi16(sel, lane_bits);
+        __m256i c = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(counts + i));
+        c = _mm256_sub_epi16(c, hit);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(counts + i),
+                            c);
+    }
+    for (; i < width; ++i) {
+        if ((bits >> i) & 1)
+            ++counts[i];
+    }
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+voteResolveAvx2(const std::uint16_t *counts, unsigned width,
+                std::uint16_t min_votes)
+{
+    // Unsigned 16-bit >= via max: max(c, min) == c <=> c >= min.
+    const __m256i vmin =
+        _mm256_set1_epi16(static_cast<short>(min_votes));
+    std::uint64_t bits = 0;
+    unsigned i = 0;
+    for (; i + 16 <= width; i += 16) {
+        const __m256i c = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(counts + i));
+        const __m256i ge =
+            _mm256_cmpeq_epi16(_mm256_max_epu16(c, vmin), c);
+        const auto m = static_cast<std::uint32_t>(
+            _mm256_movemask_epi8(ge));
+        bits |= static_cast<std::uint64_t>(compressEvenBits(m)) << i;
+    }
+    for (; i < width; ++i) {
+        if (counts[i] >= min_votes)
+            bits |= 1ULL << i;
+    }
+    return bits;
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+orReduceAvx2(const std::uint64_t *words, std::size_t count)
+{
+    __m256i acc = _mm256_setzero_si256();
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        acc = _mm256_or_si256(
+            acc, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(words + i)));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t result = lanes[0] | lanes[1] | lanes[2] | lanes[3];
+    for (; i < count; ++i)
+        result |= words[i];
+    return result;
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+andReduceAvx2(const std::uint64_t *words, std::size_t count)
+{
+    __m256i acc = _mm256_set1_epi64x(-1);
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        acc = _mm256_and_si256(
+            acc, _mm256_loadu_si256(
+                     reinterpret_cast<const __m256i *>(words + i)));
+    }
+    alignas(32) std::uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    std::uint64_t result = lanes[0] & lanes[1] & lanes[2] & lanes[3];
+    for (; i < count; ++i)
+        result &= words[i];
+    return result;
+}
+
+#endif // BINGO_SIMD_X86
+
+} // namespace detail
+
+Level
+detectedLevel()
+{
+    static const Level level = detectLevel();
+    return level;
+}
+
+Level
+activeLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLevel(Level level)
+{
+    if (level > detectedLevel())
+        level = detectedLevel();
+    g_level.store(level, std::memory_order_relaxed);
+    detail::g_avx2.store(level == Level::Avx2,
+                         std::memory_order_relaxed);
+}
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Scalar: return "scalar";
+      case Level::Avx2: return "avx2";
+    }
+    return "unknown";
+}
+
+} // namespace bingo::simd

@@ -57,8 +57,42 @@ class StatSet
     /** Reset every counter to zero. */
     void clear() { counters_.clear(); }
 
+    /**
+     * Direct reference to counter `name`, creating it at zero if new.
+     * Map nodes are stable, so the reference stays valid for the
+     * set's lifetime (clear() invalidates it) — hot paths resolve a
+     * name once and bump through the pointer instead of paying a
+     * string-keyed lookup per event.
+     */
+    std::uint64_t &counter(const std::string &name)
+    {
+        return counters_[name];
+    }
+
   private:
     std::map<std::string, std::uint64_t> counters_;
+};
+
+/**
+ * Lazily-resolved cached counter: the first bump() looks the name up
+ * in the StatSet (creating the counter, exactly like add()), later
+ * bumps are a single pointer increment. Laziness keeps the exported
+ * key set identical to per-call add() — a counter that never fires
+ * never appears.
+ */
+class CachedStat
+{
+  public:
+    void
+    bump(StatSet &stats, const char *name, std::uint64_t delta = 1)
+    {
+        if (ptr_ == nullptr)
+            ptr_ = &stats.counter(name);
+        *ptr_ += delta;
+    }
+
+  private:
+    std::uint64_t *ptr_ = nullptr;
 };
 
 } // namespace bingo

@@ -20,12 +20,14 @@
 #ifndef BINGO_COMMON_TABLE_HPP
 #define BINGO_COMMON_TABLE_HPP
 
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/sim_check.hpp"
+#include "common/simd.hpp"
 
 namespace bingo
 {
@@ -50,7 +52,8 @@ class SetAssocTable
      */
     SetAssocTable(std::size_t num_sets, std::size_t num_ways)
         : sets_(num_sets), ways_(num_ways),
-          entries_(num_sets * num_ways)
+          entries_(num_sets * num_ways),
+          tag_mirror_(num_sets * num_ways, 0)
     {
         if (num_sets == 0 || (num_sets & (num_sets - 1)) != 0)
             throw std::invalid_argument(
@@ -81,13 +84,34 @@ class SetAssocTable
     find(std::size_t set, std::uint64_t tag, bool touch = true)
     {
         Entry *base = setBase(set);
-        for (std::size_t w = 0; w < ways_; ++w) {
-            Entry &e = base[w];
-            if (e.valid && e.tag == tag) {
-                if (touch)
-                    e.lru = ++tick_;
-                return &e;
+        if (ways_ > 64) {
+            // Wider than the mask kernel covers; plain scan.
+            for (std::size_t w = 0; w < ways_; ++w) {
+                Entry &e = base[w];
+                if (e.valid && e.tag == tag) {
+                    if (touch)
+                        e.lru = ++tick_;
+                    return &e;
+                }
             }
+            return nullptr;
+        }
+        if (mirror_dirty_)
+            syncMirror();
+        // Candidate ways from the packed tag mirror (stale tags of
+        // invalidated ways are filtered by the valid check; duplicates
+        // resolve in way order, matching the scalar scan exactly).
+        std::uint64_t mask = simd::equalMask64(
+            tag_mirror_.data() + set * ways_, ways_, tag);
+        while (mask != 0) {
+            const unsigned w = std::countr_zero(mask);
+            mask &= mask - 1;
+            Entry &e = base[w];
+            if (!e.valid)
+                continue;
+            if (touch)
+                e.lru = ++tick_;
+            return &e;
         }
         return nullptr;
     }
@@ -179,6 +203,8 @@ class SetAssocTable
         victim->tag = tag;
         victim->lru = ++tick_;
         victim->data = std::move(data);
+        tag_mirror_[static_cast<std::size_t>(
+            victim - entries_.data())] = tag;
         return *victim;
     }
 
@@ -217,9 +243,17 @@ class SetAssocTable
     /**
      * Direct entry access by flat index in [0, capacity()). Used by
      * the chaos layer to pick a random metadata entry to perturb;
-     * not part of any lookup path.
+     * not part of any lookup path. Mutable access may rewrite the
+     * entry's tag behind the packed mirror, so it marks the mirror
+     * dirty; the next find() resynchronizes (cheap, and perturbations
+     * are rare by construction).
      */
-    Entry &entryAt(std::size_t index) { return entries_[index]; }
+    Entry &
+    entryAt(std::size_t index)
+    {
+        mirror_dirty_ = true;
+        return entries_[index];
+    }
     const Entry &entryAt(std::size_t index) const
     {
         return entries_[index];
@@ -256,9 +290,23 @@ class SetAssocTable
         }
     }
 
+    /** Recopy every entry tag into the packed mirror. */
+    void
+    syncMirror()
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            tag_mirror_[i] = entries_[i].tag;
+        mirror_dirty_ = false;
+    }
+
     std::size_t sets_;
     std::size_t ways_;
     std::vector<Entry> entries_;
+    /// entries_[i].tag packed densely for the find() compare kernel;
+    /// invariant tag_mirror_[i] == entries_[i].tag except while
+    /// mirror_dirty_ (set by mutable entryAt()).
+    std::vector<std::uint64_t> tag_mirror_;
+    bool mirror_dirty_ = false;
     std::uint64_t tick_ = 0;
 };
 

@@ -79,7 +79,9 @@ OooCore::retire(Cycle now)
     unsigned retired = 0;
     while (retired < config_.width && rob_head_ != rob_tail_) {
         RobSlot &slot = rob_[rob_head_ & rob_mask_];
-        if (!slot.completed || slot.done > now)
+        // kNeverCycle (in flight) is > now by construction, so one
+        // compare covers both "incomplete" and "not ready yet".
+        if (slot.done > now)
             break;
         ++rob_head_;
         ++retired;
@@ -113,13 +115,22 @@ OooCore::dispatch(Cycle now)
         }
         if (!record_held_) {
             if (fetch_pos_ == fetch_end_) {
-                trace_.nextBatch(fetch_buffer_.data(), kFetchBatch);
+                std::size_t got = 0;
+                if (const TraceRecord *run =
+                        trace_.borrowBatch(kFetchBatch, got)) {
+                    fetch_data_ = run;
+                    fetch_end_ = static_cast<std::uint32_t>(got);
+                } else {
+                    trace_.nextBatch(fetch_buffer_.data(),
+                                     kFetchBatch);
+                    fetch_data_ = fetch_buffer_.data();
+                    fetch_end_ = kFetchBatch;
+                }
                 fetch_pos_ = 0;
-                fetch_end_ = kFetchBatch;
             }
             record_held_ = true;
         }
-        const TraceRecord &rec = fetch_buffer_[fetch_pos_];
+        const TraceRecord &rec = fetch_data_[fetch_pos_];
 
         const bool is_mem = rec.type == InstrType::Load ||
                             rec.type == InstrType::Store;
@@ -134,16 +145,14 @@ OooCore::dispatch(Cycle now)
         const std::uint64_t seq = rob_tail_++;
         RobSlot &slot = rob_[seq & rob_mask_];
         slot.seq = seq;
-        slot.completed = false;
+        slot.done = kNeverCycle;
 
         switch (rec.type) {
           case InstrType::Alu:
             slot.done = now + config_.alu_latency;
-            slot.completed = true;
             break;
           case InstrType::Branch:
             slot.done = now + config_.alu_latency;
-            slot.completed = true;
             ++stats_.branches;
             break;
           case InstrType::Load: {
@@ -160,7 +169,8 @@ OooCore::dispatch(Cycle now)
             bool deferred = false;
             if (rec.dependent && has_last_load_) {
                 RobSlot &prev = rob_[last_load_seq_ & rob_mask_];
-                if (prev.seq == last_load_seq_ && !prev.completed) {
+                if (prev.seq == last_load_seq_ &&
+                    prev.done == kNeverCycle) {
                     prev.deferred.emplace_back(seq, access);
                     deferred = true;
                 }
@@ -177,7 +187,6 @@ OooCore::dispatch(Cycle now)
             // Stores retire without waiting for the write to complete;
             // the LSQ entry models store-buffer pressure until then.
             slot.done = now + config_.alu_latency;
-            slot.completed = true;
             MemAccess access;
             access.block = blockAlign(rec.addr);
             access.pc = rec.pc;
@@ -230,7 +239,6 @@ OooCore::completeLoad(std::uint64_t seq, Cycle when)
                            " found slot holding sequence " +
                            std::to_string(slot.seq));
     slot.done = when < now_ + 1 ? now_ + 1 : when;
-    slot.completed = true;
     if (lsq_used_ == 0)
         throw SimError("core" + std::to_string(id_), when,
                        "load completion with no LSQ entry held");

@@ -50,6 +50,24 @@ class TraceSource
         for (std::size_t i = 0; i < count; ++i)
             out[i] = next();
     }
+
+    /**
+     * Zero-copy variant of nextBatch(): return a pointer to the next
+     * run of up to `want` records in source-owned storage and advance
+     * the stream past them, with `got` receiving the run length
+     * (1 <= got <= want). The run must stay valid until the source is
+     * destroyed. Sources without stable internal storage return
+     * nullptr (got = 0) and the caller falls back to nextBatch();
+     * layered sources that transform records must not forward a
+     * borrow from their inner source.
+     */
+    virtual const TraceRecord *
+    borrowBatch(std::size_t want, std::size_t &got)
+    {
+        (void)want;
+        got = 0;
+        return nullptr;
+    }
 };
 
 /** Counters exported by a core. */
@@ -167,8 +185,11 @@ class OooCore
     struct RobSlot
     {
         std::uint64_t seq = 0;
-        Cycle done = 0;
-        bool completed = false;
+        /// Cycle the instruction's result is ready; kNeverCycle while
+        /// the instruction is still in flight. Fusing the former
+        /// `completed` flag into the sentinel makes retirement a
+        /// single compare per slot.
+        Cycle done = kNeverCycle;
         /// Dependent loads waiting for this load's data before issuing.
         std::vector<std::pair<std::uint64_t, MemAccess>> deferred;
     };
@@ -203,7 +224,11 @@ class OooCore
     std::uint64_t last_load_seq_ = 0;
     bool has_last_load_ = false;
     std::array<TraceRecord, kFetchBatch> fetch_buffer_;
-    std::uint32_t fetch_pos_ = 0;  ///< Next unconsumed buffer slot.
+    /// Current fetch window: either fetch_buffer_.data() (records
+    /// copied in via nextBatch) or a run borrowed zero-copy from the
+    /// source's own storage (borrowBatch).
+    const TraceRecord *fetch_data_ = nullptr;
+    std::uint32_t fetch_pos_ = 0;  ///< Next unconsumed window slot.
     std::uint32_t fetch_end_ = 0;  ///< One past the last valid slot.
     /// Dispatch pulled fetch_buffer_[fetch_pos_] but could not place
     /// it (always a memory record blocked on a full LSQ) — the exact
@@ -233,12 +258,12 @@ OooCore::nextWakeCycle(Cycle now) const
     Cycle wake = kNeverCycle;
     if (rob_head_ != rob_tail_) {
         const RobSlot &head = rob_[rob_head_ & rob_mask_];
-        if (head.completed) {
-            if (head.done <= now + 1)
-                return now + 1;  // Retires next cycle.
-            wake = head.done;    // Timed retirement resumes here.
-        }
-        // An incomplete head is woken by its fill callback: an event.
+        if (head.done <= now + 1)
+            return now + 1;  // Retires next cycle.
+        if (head.done != kNeverCycle)
+            wake = head.done;  // Timed retirement resumes here.
+        // An incomplete head (kNeverCycle) is woken by its fill
+        // callback: an event.
     }
 
     // Dispatch runs every cycle unless structurally blocked; a core

@@ -47,7 +47,7 @@ AmpmPrefetcher::onAccess(const PrefetchAccess &access,
             if (accessed(b - dir) && accessed(b - 2 * dir)) {
                 map.prefetched |= 1ULL << target;
                 ++issued;
-                stats_.add("issued");
+                issued_stat_.bump(stats_, "issued");
                 out.push_back(regionAlign(access.block) +
                               (static_cast<Addr>(target) << kBlockBits));
             }

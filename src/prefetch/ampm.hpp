@@ -50,6 +50,8 @@ class AmpmPrefetcher : public Prefetcher
     };
 
     SetAssocTable<ZoneMap> maps_;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat issued_stat_;
 };
 
 } // namespace bingo

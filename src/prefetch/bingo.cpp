@@ -29,7 +29,7 @@ BingoPrefetcher::insertHistory(Addr pc, Addr trigger_block,
     data.short_key = short_key;
     data.footprint = footprint;
     history_.insert(set, long_key, std::move(data));
-    stats_.add("history_inserts");
+    history_inserts_stat_.bump(stats_, "history_inserts");
 }
 
 std::optional<BingoPrefetcher::Prediction>
@@ -43,7 +43,7 @@ BingoPrefetcher::lookup(Addr pc, Addr block)
 
     // Phase 1: match the full long-event tag.
     if (auto *entry = history_.find(set, long_key)) {
-        stats_.add("long_matches");
+        long_matches_stat_.bump(stats_, "long_matches");
         Prediction pred;
         pred.footprint = entry->data.footprint;
         pred.long_match = true;
@@ -60,7 +60,7 @@ BingoPrefetcher::lookup(Addr pc, Addr block)
     if (matches == 0)
         return std::nullopt;
 
-    stats_.add("short_matches");
+    short_matches_stat_.bump(stats_, "short_matches");
     FootprintVote vote(config_.region_blocks);
     history_.forEachIf(set, short_match, [&vote](const auto &entry) {
         vote.add(entry.data.footprint);
@@ -88,7 +88,7 @@ BingoPrefetcher::onAccess(const PrefetchAccess &access,
     if (outcome != RegionTracker::Outcome::Trigger)
         return;
 
-    stats_.add("triggers");
+    triggers_stat_.bump(stats_, "triggers");
     auto prediction = lookup(access.pc, access.block);
     if (!prediction)
         return;

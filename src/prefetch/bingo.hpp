@@ -81,6 +81,11 @@ class BingoPrefetcher : public Prefetcher
 
     RegionTracker tracker_;
     SetAssocTable<HistoryData> history_;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat history_inserts_stat_;
+    CachedStat long_matches_stat_;
+    CachedStat short_matches_stat_;
+    CachedStat triggers_stat_;
 };
 
 } // namespace bingo

@@ -32,7 +32,7 @@ BingoMultiPrefetcher::harvest()
             tables_[i].insert(tables_[i].setIndex(key), key,
                               gen.footprint);
         }
-        stats_.add("history_inserts");
+        history_inserts_stat_.bump(stats_, "history_inserts");
     }
 }
 
@@ -45,7 +45,7 @@ BingoMultiPrefetcher::onAccess(const PrefetchAccess &access,
     if (outcome != RegionTracker::Outcome::Trigger)
         return;
 
-    stats_.add("triggers");
+    triggers_stat_.bump(stats_, "triggers");
     // Longest event first; the first matching table provides the
     // footprint (Fig. 1-(b) cascade).
     const Footprint *footprint = nullptr;

@@ -42,6 +42,9 @@ class BingoMultiPrefetcher : public Prefetcher
 
     RegionTracker tracker_;
     std::vector<SetAssocTable<Footprint>> tables_;  ///< Longest first.
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat history_inserts_stat_;
+    CachedStat triggers_stat_;
 };
 
 } // namespace bingo

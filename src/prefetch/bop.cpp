@@ -113,7 +113,7 @@ BopPrefetcher::onAccess(const PrefetchAccess &access,
 
     if (best_offset_ == 0)
         return;
-    stats_.add("triggers");
+    triggers_stat_.bump(stats_, "triggers");
     for (unsigned d = 1; d <= config_.bop_degree; ++d) {
         const std::int64_t target =
             static_cast<std::int64_t>(block_num) +

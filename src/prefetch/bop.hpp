@@ -58,6 +58,8 @@ class BopPrefetcher : public Prefetcher
     std::int64_t best_offset_ = 1;      ///< Active prefetch offset.
     std::int64_t learned_offset_ = 1;   ///< Best seen in current round.
     unsigned learned_score_ = 0;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat triggers_stat_;
 };
 
 } // namespace bingo

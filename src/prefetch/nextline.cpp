@@ -9,7 +9,7 @@ NextLinePrefetcher::onAccess(const PrefetchAccess &access,
 {
     if (access.hit)
         return;
-    stats_.add("triggers");
+    triggers_stat_.bump(stats_, "triggers");
     out.push_back(access.block + kBlockSize);
 }
 

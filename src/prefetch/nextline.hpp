@@ -25,6 +25,8 @@ class NextLinePrefetcher : public Prefetcher
                   std::vector<Addr> &out) override;
 
     std::string name() const override { return "NextLine"; }
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat triggers_stat_;
 };
 
 } // namespace bingo

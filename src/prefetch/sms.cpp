@@ -19,7 +19,7 @@ SmsPrefetcher::harvest()
                                            gen.trigger_pc,
                                            gen.trigger_block);
         pht_.insert(pht_.setIndex(key), key, std::move(gen.footprint));
-        stats_.add("pht_inserts");
+        pht_inserts_stat_.bump(stats_, "pht_inserts");
     }
 }
 
@@ -32,14 +32,14 @@ SmsPrefetcher::onAccess(const PrefetchAccess &access,
     if (outcome != RegionTracker::Outcome::Trigger)
         return;
 
-    stats_.add("triggers");
+    triggers_stat_.bump(stats_, "triggers");
     const std::uint64_t key =
         eventKey(EventKind::PcOffset, access.pc, access.block);
     auto *entry = pht_.find(pht_.setIndex(key), key);
     if (entry == nullptr)
         return;
 
-    stats_.add("pht_hits");
+    pht_hits_stat_.bump(stats_, "pht_hits");
     const Footprint &footprint = entry->data;
     const Addr base = regionAlign(access.block);
     const unsigned trigger_offset = regionOffset(access.block);

@@ -43,6 +43,10 @@ class SmsPrefetcher : public Prefetcher
 
     RegionTracker tracker_;
     SetAssocTable<Footprint> pht_;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat pht_inserts_stat_;
+    CachedStat triggers_stat_;
+    CachedStat pht_hits_stat_;
 };
 
 } // namespace bingo

@@ -140,7 +140,7 @@ SppPrefetcher::onAccess(const PrefetchAccess &access,
         const Addr target_block = blockNumber(target);
         if (!filterContains(target_block)) {
             filterInsert(target_block);
-            stats_.add("issued");
+            issued_stat_.bump(stats_, "issued");
             out.push_back(target);
         }
         sig = advanceSignature(sig, pred_delta);

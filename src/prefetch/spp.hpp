@@ -80,6 +80,8 @@ class SppPrefetcher : public Prefetcher
     SetAssocTable<SigEntry> signature_table_;
     SetAssocTable<PatternEntry> pattern_table_;
     std::vector<Addr> filter_;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat issued_stat_;
 };
 
 } // namespace bingo

@@ -43,7 +43,7 @@ StridePrefetcher::onAccess(const PrefetchAccess &access,
     data.last_block = block_num;
 
     if (data.confidence.taken() && data.stride != 0) {
-        stats_.add("triggers");
+        triggers_stat_.bump(stats_, "triggers");
         for (unsigned d = 1; d <= config_.stride_degree; ++d) {
             const std::int64_t target =
                 static_cast<std::int64_t>(block_num) +

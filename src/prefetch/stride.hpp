@@ -34,6 +34,8 @@ class StridePrefetcher : public Prefetcher
     };
 
     SetAssocTable<Entry> table_;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat triggers_stat_;
 };
 
 } // namespace bingo

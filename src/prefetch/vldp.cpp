@@ -100,7 +100,7 @@ VldpPrefetcher::onAccess(const PrefetchAccess &access,
         if (opt.valid && opt.confidence.taken()) {
             const std::int32_t target = offset + opt.prediction;
             if (target >= 0 && target < blocks_per_page) {
-                stats_.add("opt_prefetches");
+                opt_prefetches_stat_.bump(stats_, "opt_prefetches");
                 out.push_back((page << kOsPageBits) +
                               (static_cast<Addr>(target) << kBlockBits));
             }
@@ -159,7 +159,7 @@ VldpPrefetcher::onAccess(const PrefetchAccess &access,
         spec_offset += pred;
         if (spec_offset < 0 || spec_offset >= blocks_per_page)
             break;
-        stats_.add("issued");
+        issued_stat_.bump(stats_, "issued");
         out.push_back((page << kOsPageBits) +
                       (static_cast<Addr>(spec_offset) << kBlockBits));
         if (spec_num < kHistoryLen) {

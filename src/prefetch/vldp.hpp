@@ -84,6 +84,9 @@ class VldpPrefetcher : public Prefetcher
     SetAssocTable<DhbEntry> dhb_;
     std::array<SetAssocTable<DptEntry>, kHistoryLen> dpts_;
     std::vector<OptEntry> opt_;
+    /// Hot counters resolved once, then bumped by pointer.
+    CachedStat opt_prefetches_stat_;
+    CachedStat issued_stat_;
 };
 
 } // namespace bingo

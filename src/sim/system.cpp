@@ -7,6 +7,7 @@
 
 #include "common/periodic_gate.hpp"
 #include "common/sim_check.hpp"
+#include "workload/trace_cache.hpp"
 
 namespace bingo
 {
@@ -50,9 +51,23 @@ System::System(const SystemConfig &config, const std::string &workload)
 {
     std::vector<std::unique_ptr<TraceSource>> sources;
     sources.reserve(config.num_cores);
-    for (CoreId c = 0; c < config.num_cores; ++c)
-        sources.push_back(makeWorkload(workload, c, config.seed));
-    build(std::move(sources));
+    // Through the process-wide trace cache: sweep jobs that share a
+    // (workload, core, seed) replay one generated buffer instead of
+    // regenerating. Without trace-site chaos the cached stream is
+    // pre-composed with the (seed-determined) address translation, so
+    // replay is a raw borrow with no per-record work; trace chaos
+    // must corrupt *virtual* addresses, so those runs take the
+    // virtual buffer and layer corruption + translation per System in
+    // build(). Either way sharing cannot couple runs.
+    const bool trace_chaos =
+        config.chaos.enabled &&
+        (config.chaos.site_mask &
+         chaos::siteBit(chaos::ChaosSite::Trace)) != 0;
+    for (CoreId c = 0; c < config.num_cores; ++c) {
+        sources.push_back(acquireWorkloadSource(
+            workload, c, config.seed, /*translated=*/!trace_chaos));
+    }
+    build(std::move(sources), /*pre_translated=*/!trace_chaos);
 }
 
 System::System(const SystemConfig &config,
@@ -68,7 +83,8 @@ System::System(const SystemConfig &config,
 }
 
 void
-System::build(std::vector<std::unique_ptr<TraceSource>> sources)
+System::build(std::vector<std::unique_ptr<TraceSource>> sources,
+              bool pre_translated)
 {
     skip_enabled_ = !skipDisabledByEnv();
     if (config_.chaos.enabled)
@@ -86,6 +102,14 @@ System::build(std::vector<std::unique_ptr<TraceSource>> sources)
     sources_.reserve(sources.size());
     for (CoreId c = 0; c < sources.size(); ++c) {
         std::unique_ptr<TraceSource> source = std::move(sources[c]);
+        if (pre_translated) {
+            // The stream already carries physical addresses (composed
+            // with the same seed-derived translation at generation
+            // time): hand it to the core untouched, so cached replay
+            // stays a zero-copy borrow.
+            sources_.push_back(std::move(source));
+            continue;
+        }
         // Trace corruption sits under the translation layer: it flips
         // bits of *virtual* addresses, so the translator's own guards
         // stay exercised and corruption can land anywhere.
@@ -327,6 +351,20 @@ System::enableTelemetry(const telemetry::Options &options)
                 registry, "pf" + std::to_string(c) + ".");
         }
     }
+    registry.probeGroup(
+        "trace_cache.",
+        [](std::map<std::string, std::uint64_t> &out) {
+            const TraceCacheStats stats =
+                TraceCache::instance().stats();
+            out["hits"] = stats.hits;
+            out["misses"] = stats.misses;
+            out["evictions"] = stats.evictions;
+            out["bypasses"] = stats.bypasses;
+            out["buffers"] = stats.buffers;
+            out["bytes"] = stats.bytes;
+            out["records_generated"] = stats.records_generated;
+        });
+
     if (chaos_) {
         registry.probeGroup(
             "chaos.",
@@ -411,7 +449,14 @@ System::runPhase(std::uint64_t instructions, const char *phase)
     PeriodicGate epoch_gate(kEpochCheckMask, now_);
     // Cached per-core wake cycles; 0 forces a first step of each.
     core_wake_.assign(cores_.size(), 0);
-    while (!allMeasurementsDone()) {
+    // measurementDone() can only flip inside step() (retirement is the
+    // sole writer of the retired-instruction count), so the loop keeps
+    // a finished-core count updated at each transition instead of
+    // polling every core twice per iteration.
+    std::size_t done_cores = 0;
+    for (const auto &core : cores_)
+        done_cores += core->measurementDone() ? 1 : 0;
+    while (done_cores < cores_.size()) {
         if (pausing && check_gate.crossed(now_)) {
             if (deadline_armed_ &&
                 std::chrono::steady_clock::now() >= deadline_)
@@ -437,16 +482,23 @@ System::runPhase(std::uint64_t instructions, const char *phase)
                     continue;
                 }
                 core.clearWakeDirty();
+                const bool was_done = core.measurementDone();
                 core.step(now_);
+                if (!was_done && core.measurementDone())
+                    ++done_cores;
                 core_wake_[i] = core.nextWakeCycle(now_);
                 wake = std::min(wake, core_wake_[i]);
             }
         } else {
-            for (auto &core : cores_)
+            for (auto &core : cores_) {
+                const bool was_done = core->measurementDone();
                 core->step(now_);
+                if (!was_done && core->measurementDone())
+                    ++done_cores;
+            }
         }
         if (wake <= now_ + 1 || !skip_enabled_ ||
-            allMeasurementsDone()) {
+            done_cores == cores_.size()) {
             // The stepped loop exits with now_ one past the finishing
             // cycle; keep that identity rather than jumping.
             ++now_;

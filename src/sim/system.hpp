@@ -156,7 +156,15 @@ class System
     std::uint64_t skippedCycles() const { return skipped_cycles_; }
 
   private:
-    void build(std::vector<std::unique_ptr<TraceSource>> sources);
+    /**
+     * Wire up memory hierarchy, cores and chaos around `sources`.
+     * `pre_translated` marks streams already carrying physical
+     * addresses (acquired from the trace cache's translated mode), so
+     * no per-replay translation wrapper is layered on; it is only
+     * ever set when trace-site chaos is off.
+     */
+    void build(std::vector<std::unique_ptr<TraceSource>> sources,
+               bool pre_translated = false);
 
     /** Advance until every core's measurement quota is met. */
     void runPhase(std::uint64_t instructions, const char *phase);

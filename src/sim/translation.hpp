@@ -89,7 +89,10 @@ class TranslatingSource : public TraceSource
 
   private:
     std::unique_ptr<TraceSource> inner_;
-    const AddressTranslator &translator_;
+    /// By value (one 8-byte salt): the source outlives any System
+    /// member when it feeds a generation-time chain inside the trace
+    /// cache, so it cannot borrow the translator by reference.
+    AddressTranslator translator_;
 };
 
 } // namespace bingo

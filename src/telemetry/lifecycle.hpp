@@ -28,8 +28,10 @@
 #define BINGO_TELEMETRY_LIFECYCLE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
+#include "common/arena.hpp"
 #include "common/types.hpp"
 #include "telemetry/histogram.hpp"
 
@@ -79,7 +81,17 @@ class PrefetchLifecycle
         bool late = false;
     };
 
-    std::unordered_map<Addr, Entry> live_;
+    /// Node churn here runs once per prefetch lifecycle event on the
+    /// LLC fill path; an arena with free lists turns it into pointer
+    /// pushes after the first fill wave. The arena must outlive (so
+    /// precede) the map.
+    using LiveAlloc = ArenaAllocator<std::pair<const Addr, Entry>>;
+    using LiveMap = std::unordered_map<Addr, Entry, std::hash<Addr>,
+                                       std::equal_to<Addr>, LiveAlloc>;
+
+    Arena arena_;
+    LiveMap live_{0, std::hash<Addr>{}, std::equal_to<Addr>{},
+                  LiveAlloc{&arena_}};
     LogHistogram issue_to_fill_;
     LogHistogram fill_to_first_use_;
     std::uint64_t timely_ = 0;

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Memoized trace generation: a process-wide cache of synthetic trace
+ * buffers shared across sweep jobs.
+ *
+ * A sweep varies prefetcher and cache knobs far more often than it
+ * varies the workload, yet every System used to re-run the workload
+ * generators from scratch — for a full parameter sweep that is
+ * thousands of redundant trace generations of identical record
+ * streams. The cache generates each (workload, core, seed) stream
+ * once, into an append-only chunked buffer, and hands every System a
+ * lightweight replay source over the shared immutable prefix.
+ *
+ * Identity: a stream is fully determined by (workload, core, seed) —
+ * makeWorkload() derives the per-core base address and generator
+ * seeds from exactly these three values, and the generators are
+ * deterministic. Length is not part of the key because buffers grow
+ * on demand: a longer run extends the shared buffer past its previous
+ * high-water mark and shorter runs replay a prefix.
+ *
+ * Concurrency: generation happens under a per-buffer mutex using the
+ * single underlying generator; readers are lock-free (the chunk
+ * directory is pre-reserved so it never reallocates, and a
+ * release/acquire on the committed-record count publishes chunk
+ * contents). The registry itself is mutex-protected; sweep worker
+ * threads contend only on acquire/extend, not on replay.
+ *
+ * Budget: BINGO_TRACE_CACHE_MB bounds retained bytes (default 512,
+ * 0 disables caching entirely). Eviction is LRU over buffers not
+ * referenced by any live source; buffers in use are never evicted, so
+ * the budget can transiently overshoot while a wide sweep holds many
+ * workloads open.
+ *
+ * Determinism: a replay source yields bit-for-bit the records the
+ * generator would, so journals are identical with the cache on or
+ * off; chaos trace corruption wraps *above* this layer (per System),
+ * so fault schedules are also unchanged by sharing.
+ */
+
+#ifndef BINGO_WORKLOAD_TRACE_CACHE_HPP
+#define BINGO_WORKLOAD_TRACE_CACHE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/ooo_core.hpp"
+
+namespace bingo
+{
+
+/** Counters exported by the process-wide trace cache. */
+struct TraceCacheStats
+{
+    std::uint64_t hits = 0;        ///< acquire() served from cache.
+    std::uint64_t misses = 0;      ///< acquire() built a new buffer.
+    std::uint64_t evictions = 0;   ///< Buffers dropped for budget.
+    std::uint64_t bypasses = 0;    ///< acquire() with caching off.
+    std::uint64_t buffers = 0;     ///< Buffers currently retained.
+    std::uint64_t bytes = 0;       ///< Bytes currently retained.
+    std::uint64_t records_generated = 0;  ///< Total records produced.
+};
+
+/**
+ * Append-only shared buffer of one (workload, core, seed) stream.
+ * Readers replay committed records lock-free; extension runs the
+ * single underlying generator under a mutex.
+ */
+class TraceBuffer
+{
+  public:
+    /// Records per chunk: 64 Ki records = 1.5 MB, large enough that
+    /// extension cost amortizes, small enough that short test runs
+    /// stay cheap.
+    static constexpr std::size_t kChunkRecords = std::size_t{1} << 16;
+    /// Commit granularity within a chunk: generation runs in slices
+    /// this long, so a short run never pays for a whole chunk's worth
+    /// of records it will not read (over-generation is capped at one
+    /// slice). Divides kChunkRecords evenly.
+    static constexpr std::size_t kCommitRecords = std::size_t{1} << 12;
+    /// Chunk-directory capacity, reserved up front so the directory
+    /// never reallocates under readers: 2^14 chunks = 2^30 records.
+    static constexpr std::size_t kMaxChunks = std::size_t{1} << 14;
+
+    /**
+     * @param generator The stream's sole generator; owned.
+     * @param total_bytes Process-wide retained-bytes counter to keep
+     *        in step with chunk allocation (may be null).
+     * @param total_records Process-wide generated-record counter.
+     */
+    TraceBuffer(std::unique_ptr<TraceSource> generator,
+                std::atomic<std::uint64_t> *total_bytes,
+                std::atomic<std::uint64_t> *total_records);
+    ~TraceBuffer();
+
+    TraceBuffer(const TraceBuffer &) = delete;
+    TraceBuffer &operator=(const TraceBuffer &) = delete;
+
+    /** Copy records [pos, pos + count) into `out`, extending first. */
+    void read(std::size_t pos, TraceRecord *out, std::size_t count);
+
+    /**
+     * Zero-copy read: pointer to the contiguous run starting at
+     * `pos`, clipped to `want` records and the owning chunk's end,
+     * with `got` receiving the run length. Extends first, so the run
+     * is always nonempty. The pointer stays valid for the buffer's
+     * lifetime (chunks are never freed while the buffer lives).
+     */
+    const TraceRecord *view(std::size_t pos, std::size_t want,
+                            std::size_t &got);
+
+    /** Bytes of chunk storage owned right now. */
+    std::uint64_t
+    bytesReserved() const
+    {
+        return allocated_chunks_.load(std::memory_order_relaxed) *
+               kChunkRecords * sizeof(TraceRecord);
+    }
+
+    /** Records generated so far (tests/diagnostics). */
+    std::size_t
+    committedRecords() const
+    {
+        return committed_.load(std::memory_order_acquire);
+    }
+
+  private:
+    /**
+     * Generate kCommitRecords-long slices until at least `needed`
+     * records exist, allocating (uninitialized) chunks as slices
+     * cross chunk boundaries.
+     */
+    void extendTo(std::size_t needed);
+
+    /**
+     * Record array of chunk `index`. Chunks are raw byte storage:
+     * TraceRecord carries default member initializers, so an array
+     * new would zero-fill 1.5 MB per chunk record-by-record; raw
+     * storage skips that (every byte below committed_ is generator
+     * output before any reader can reach it) and TraceRecord is an
+     * implicit-lifetime aggregate, so records come to life as the
+     * generator stores them.
+     */
+    TraceRecord *
+    chunkData(std::size_t index) const
+    {
+        return reinterpret_cast<TraceRecord *>(chunks_[index].get());
+    }
+
+    std::unique_ptr<TraceSource> generator_;
+    std::mutex extend_mutex_;
+    std::atomic<std::size_t> committed_{0};
+    std::atomic<std::size_t> allocated_chunks_{0};
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::atomic<std::uint64_t> *total_bytes_;
+    std::atomic<std::uint64_t> *total_records_;
+};
+
+/**
+ * TraceSource replaying a shared TraceBuffer from a private cursor.
+ * Yields exactly the sequence the buffer's generator would.
+ */
+class CachedTraceSource : public TraceSource
+{
+  public:
+    explicit CachedTraceSource(std::shared_ptr<TraceBuffer> buffer)
+        : buffer_(std::move(buffer))
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        TraceRecord record;
+        buffer_->read(pos_, &record, 1);
+        ++pos_;
+        return record;
+    }
+
+    void
+    nextBatch(TraceRecord *out, std::size_t count) override
+    {
+        buffer_->read(pos_, out, count);
+        pos_ += count;
+    }
+
+    const TraceRecord *
+    borrowBatch(std::size_t want, std::size_t &got) override
+    {
+        const TraceRecord *run = buffer_->view(pos_, want, got);
+        pos_ += got;
+        return run;
+    }
+
+  private:
+    std::shared_ptr<TraceBuffer> buffer_;
+    std::size_t pos_ = 0;
+};
+
+/** Process-wide, thread-safe registry of shared trace buffers. */
+class TraceCache
+{
+  public:
+    /** The process-wide instance (budget initialized from env). */
+    static TraceCache &instance();
+
+    /**
+     * Trace source for `workload` on `core` under `seed`: a replay of
+     * the shared buffer when caching is on, a private generator when
+     * it is off (budget 0). With `translated` set, records carry
+     * physical addresses — the stream is the generator composed with
+     * the seed-derived first-touch translation, so it is exactly as
+     * deterministic (and as cacheable) as the virtual one, and replay
+     * needs no per-record translation pass. Virtual and translated
+     * buffers of the same stream are distinct cache entries.
+     */
+    std::unique_ptr<TraceSource> acquire(const std::string &workload,
+                                         CoreId core,
+                                         std::uint64_t seed,
+                                         bool translated = false);
+
+    /** Retained-bytes budget; 0 disables caching. */
+    void setBudgetBytes(std::uint64_t bytes);
+    std::uint64_t budgetBytes() const;
+    bool enabled() const { return budgetBytes() > 0; }
+
+    TraceCacheStats stats() const;
+
+    /**
+     * Drop every unreferenced buffer and zero the counters (tests).
+     * Buffers still referenced by live sources survive untouched.
+     */
+    void clear();
+
+  private:
+    explicit TraceCache(std::uint64_t budget_bytes);
+
+    struct Key
+    {
+        std::string workload;
+        CoreId core = 0;
+        std::uint64_t seed = 0;
+        /// Stream carries physical (post-translation) addresses.
+        bool translated = false;
+
+        bool operator==(const Key &other) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t operator()(const Key &key) const;
+    };
+
+    struct Slot
+    {
+        std::shared_ptr<TraceBuffer> buffer;
+        /// Position in lru_ (front = most recently acquired).
+        std::list<Key>::iterator lru_pos;
+    };
+
+    /** Evict LRU unreferenced buffers while over budget (locked). */
+    void evictOverBudget();
+
+    mutable std::mutex mutex_;
+    std::uint64_t budget_bytes_;
+    std::unordered_map<Key, Slot, KeyHash> buffers_;
+    std::list<Key> lru_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> bypasses_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> records_generated_{0};
+};
+
+/**
+ * The System-facing entry point: makeWorkload() through the trace
+ * cache (or directly, when caching is disabled). With `translated`
+ * set, the stream is pre-composed with the seed-derived first-touch
+ * translation (see TraceCache::acquire).
+ */
+std::unique_ptr<TraceSource>
+acquireWorkloadSource(const std::string &workload, CoreId core,
+                      std::uint64_t seed, bool translated = false);
+
+} // namespace bingo
+
+#endif // BINGO_WORKLOAD_TRACE_CACHE_HPP

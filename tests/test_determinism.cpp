@@ -13,6 +13,7 @@
 #include <set>
 
 #include "chaos/chaos.hpp"
+#include "common/simd.hpp"
 #include "workload/generator.hpp"
 #include "prefetch/ampm.hpp"
 #include "prefetch/bingo.hpp"
@@ -309,6 +310,59 @@ TEST(ChaosDeterminism, DifferentChaosSeedDifferentFaults)
         a.llc.demand_misses != b.llc.demand_misses ||
         a.dram.reads != b.dram.reads;
     EXPECT_TRUE(counters_differ || results_differ);
+}
+
+/**
+ * The SIMD layer's contract: the vector kernels are bit-exact drop-ins
+ * for their scalar oracles, so a whole simulation — every prefetcher,
+ * whose table scans, footprint votes, and MSHR/way lookups all route
+ * through the kernels — must not be able to tell the levels apart.
+ */
+class SimdEquivalenceTest
+    : public ::testing::TestWithParam<PrefetcherKind>
+{
+};
+
+TEST_P(SimdEquivalenceTest, ScalarMatchesVectorBitIdentically)
+{
+    if (simd::detectedLevel() == simd::Level::Scalar)
+        GTEST_SKIP() << "no vector unit detected";
+    const simd::Level saved = simd::activeLevel();
+    simd::setLevel(simd::Level::Scalar);
+    const RunResult scalar = runOnce(GetParam(), 7);
+    simd::setLevel(simd::detectedLevel());
+    const RunResult vector = runOnce(GetParam(), 7);
+    simd::setLevel(saved);
+    expectIdenticalResults(scalar, vector);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SimdEquivalenceTest,
+    ::testing::Values(PrefetcherKind::None, PrefetcherKind::NextLine,
+                      PrefetcherKind::Stride, PrefetcherKind::Bop,
+                      PrefetcherKind::Spp, PrefetcherKind::Vldp,
+                      PrefetcherKind::Ampm, PrefetcherKind::Sms,
+                      PrefetcherKind::Bingo,
+                      PrefetcherKind::BingoMulti,
+                      PrefetcherKind::EventStudy));
+
+/** Chaos fault schedules must also be level-independent. */
+TEST(SimdEquivalence, ChaosRunsIdenticalAcrossLevels)
+{
+    if (simd::detectedLevel() == simd::Level::Scalar)
+        GTEST_SKIP() << "no vector unit detected";
+    const simd::Level saved = simd::activeLevel();
+    chaos::ChaosCounters scalar_counters;
+    chaos::ChaosCounters vector_counters;
+    simd::setLevel(simd::Level::Scalar);
+    const RunResult scalar =
+        runChaos(true, 99, &scalar_counters, nullptr);
+    simd::setLevel(simd::detectedLevel());
+    const RunResult vector =
+        runChaos(true, 99, &vector_counters, nullptr);
+    simd::setLevel(saved);
+    expectIdenticalResults(scalar, vector);
+    expectIdenticalChaosCounters(scalar_counters, vector_counters);
 }
 
 /** The factory builds every advertised prefetcher. */

@@ -506,9 +506,13 @@ TEST(SimCheck, MshrOverflowThrowsSimErrorWithComponentAndCycle)
 
 TEST(SimCheck, DuplicateMshrAllocationThrows)
 {
+    // The duplicate scan is a pure double-check (every caller probes
+    // find() first), so it runs only under the BINGO_CHECK layer.
     MshrFile mshrs(4, "L1D0.mshr");
     mshrs.allocate(0x1000, false, 0, 5);
+    setSimCheckEnabled(true);
     EXPECT_THROW(mshrs.allocate(0x1000, true, 0, 6), SimError);
+    setSimCheckEnabled(false);
 }
 
 TEST(SimCheck, ReleasingAbsentMshrEntryThrows)

@@ -89,8 +89,10 @@ TEST(Mshr, RecycledEntriesStartClean)
     EXPECT_EQ(mshrs.find(0x40), nullptr);
 
     // Duplicate allocation through the recycled-node path still throws
-    // and leaves the file consistent.
+    // under the BINGO_CHECK layer and leaves the file consistent.
+    setSimCheckEnabled(true);
     EXPECT_THROW(mshrs.allocate(0x80, false, 0), SimError);
+    setSimCheckEnabled(false);
     EXPECT_EQ(mshrs.size(), 1u);
 }
 

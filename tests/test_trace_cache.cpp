@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Trace cache tests: replay must be bit-identical to direct
+ * generation (including across chunk boundaries), acquire must hit
+ * and miss when it should, the byte budget must evict only
+ * unreferenced buffers, and a whole simulation must not care whether
+ * the cache is on or off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_cache.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+/**
+ * Every test runs in its own ctest process, but each still restores
+ * the process-wide cache so in-binary filter runs compose too.
+ */
+class TraceCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_budget_ = TraceCache::instance().budgetBytes();
+        TraceCache::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        TraceCache::instance().setBudgetBytes(saved_budget_);
+        TraceCache::instance().clear();
+    }
+
+    std::uint64_t saved_budget_ = 0;
+};
+
+void
+expectSameRecord(const TraceRecord &a, const TraceRecord &b,
+                 std::size_t i)
+{
+    ASSERT_EQ(a.pc, b.pc) << "record " << i;
+    ASSERT_EQ(a.addr, b.addr) << "record " << i;
+    ASSERT_EQ(a.type, b.type) << "record " << i;
+    ASSERT_EQ(a.dependent, b.dependent) << "record " << i;
+}
+
+TEST_F(TraceCacheTest, ReplayIsBitIdenticalAcrossChunkBoundaries)
+{
+    // Enough records to cross the first chunk boundary (64 Ki) and
+    // exercise a read spanning two chunks.
+    const std::size_t n = TraceBuffer::kChunkRecords + 5000;
+    auto direct = makeWorkload("Data Serving", 0, 42);
+    auto cached = TraceCache::instance().acquire("Data Serving", 0, 42);
+    for (std::size_t i = 0; i < n; ++i)
+        expectSameRecord(cached->next(), direct->next(), i);
+}
+
+TEST_F(TraceCacheTest, BatchReadSpanningChunksMatchesSingleSteps)
+{
+    auto stepper = TraceCache::instance().acquire("SAT Solver", 1, 9);
+    auto batcher = TraceCache::instance().acquire("SAT Solver", 1, 9);
+    // One batch deliberately straddling the first chunk boundary.
+    const std::size_t n = TraceBuffer::kChunkRecords + 300;
+    std::vector<TraceRecord> batch(n);
+    batcher->nextBatch(batch.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        expectSameRecord(batch[i], stepper->next(), i);
+}
+
+TEST_F(TraceCacheTest, SecondAcquireOfSameKeyHits)
+{
+    const TraceCacheStats before = TraceCache::instance().stats();
+    auto first = TraceCache::instance().acquire("Streaming", 0, 3);
+    auto again = TraceCache::instance().acquire("Streaming", 0, 3);
+    auto other_core = TraceCache::instance().acquire("Streaming", 1, 3);
+    auto other_seed = TraceCache::instance().acquire("Streaming", 0, 4);
+    const TraceCacheStats after = TraceCache::instance().stats();
+    EXPECT_EQ(after.hits - before.hits, 1u);
+    EXPECT_EQ(after.misses - before.misses, 3u);
+    EXPECT_EQ(after.buffers, 3u);
+}
+
+TEST_F(TraceCacheTest, BudgetZeroBypassesCaching)
+{
+    TraceCache::instance().setBudgetBytes(0);
+    EXPECT_FALSE(TraceCache::instance().enabled());
+    const TraceCacheStats before = TraceCache::instance().stats();
+    auto a = TraceCache::instance().acquire("Zeus", 0, 5);
+    auto b = TraceCache::instance().acquire("Zeus", 0, 5);
+    const TraceCacheStats after = TraceCache::instance().stats();
+    EXPECT_EQ(after.bypasses - before.bypasses, 2u);
+    EXPECT_EQ(after.hits, before.hits);
+    EXPECT_EQ(after.buffers, 0u);
+    // Bypass sources are still the real generators.
+    auto direct = makeWorkload("Zeus", 0, 5);
+    for (std::size_t i = 0; i < 1000; ++i)
+        expectSameRecord(a->next(), direct->next(), i);
+}
+
+TEST_F(TraceCacheTest, EvictionRespectsBudgetAndPinning)
+{
+    const std::uint64_t chunk_bytes =
+        TraceBuffer::kChunkRecords * sizeof(TraceRecord);
+    // Budget fits one committed chunk but not two.
+    TraceCache::instance().setBudgetBytes(chunk_bytes + chunk_bytes / 2);
+
+    auto a = TraceCache::instance().acquire("Data Serving", 0, 1);
+    auto b = TraceCache::instance().acquire("em3d", 0, 1);
+    a->next();
+    b->next();  // Both buffers now hold one ~1.5 MB chunk each.
+
+    // Over budget, but both buffers are pinned by live sources:
+    // nothing may be evicted.
+    TraceCacheStats stats = TraceCache::instance().stats();
+    EXPECT_GT(stats.bytes, TraceCache::instance().budgetBytes());
+    EXPECT_EQ(stats.buffers, 2u);
+    const std::uint64_t evictions_pinned = stats.evictions;
+
+    // Release the pins; the next acquire reconciles the budget by
+    // dropping LRU unreferenced buffers.
+    a.reset();
+    b.reset();
+    auto c = TraceCache::instance().acquire("SAT Solver", 0, 1);
+    stats = TraceCache::instance().stats();
+    EXPECT_GT(stats.evictions, evictions_pinned);
+    EXPECT_LE(stats.bytes, TraceCache::instance().budgetBytes());
+}
+
+/** One short simulation with a given cache budget. */
+RunResult
+runServing(std::uint64_t budget)
+{
+    TraceCache::instance().clear();
+    TraceCache::instance().setBudgetBytes(budget);
+    SystemConfig config = SystemConfig::singleCore();
+    config.prefetcher.kind = PrefetcherKind::Bingo;
+    config.seed = 7;
+    System system(config, "Data Serving");
+    system.run(10000, 20000);
+    return collectResult(system, "Data Serving");
+}
+
+/** Every simulation-visible counter of two runs must agree. */
+void
+expectIdenticalRuns(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.core_ipc, b.core_ipc);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.llc.demand_accesses, b.llc.demand_accesses);
+    EXPECT_EQ(a.llc.demand_misses, b.llc.demand_misses);
+    EXPECT_EQ(a.llc.useful_prefetches, b.llc.useful_prefetches);
+    EXPECT_EQ(a.llc.useless_prefetches, b.llc.useless_prefetches);
+    EXPECT_EQ(a.llc.prefetch_fills, b.llc.prefetch_fills);
+    EXPECT_EQ(a.llc.demand_miss_latency, b.llc.demand_miss_latency);
+    EXPECT_EQ(a.dram.reads, b.dram.reads);
+    EXPECT_EQ(a.dram.row_hits, b.dram.row_hits);
+    EXPECT_EQ(a.dram.queue_delay_cycles, b.dram.queue_delay_cycles);
+}
+
+TEST_F(TraceCacheTest, CacheOnOffRunsAreBitIdentical)
+{
+    const RunResult off = runServing(0);
+    const RunResult on = runServing(512ull << 20);
+    // A second cached run replays the shared buffer (a cache hit) and
+    // must still agree.
+    const TraceCacheStats mid = TraceCache::instance().stats();
+    SystemConfig config = SystemConfig::singleCore();
+    config.prefetcher.kind = PrefetcherKind::Bingo;
+    config.seed = 7;
+    System system(config, "Data Serving");
+    system.run(10000, 20000);
+    const RunResult replay = collectResult(system, "Data Serving");
+    const TraceCacheStats after = TraceCache::instance().stats();
+
+    expectIdenticalRuns(off, on);
+    expectIdenticalRuns(on, replay);
+    EXPECT_GT(after.hits, mid.hits);
+}
+
+/**
+ * Chaos fault schedules are drawn above the replay layer, so sharing
+ * one buffer across runs must not change a chaos run at all.
+ */
+TEST_F(TraceCacheTest, ChaosScheduleUnchangedByCaching)
+{
+    const auto runChaos = [](std::uint64_t budget) {
+        TraceCache::instance().clear();
+        TraceCache::instance().setBudgetBytes(budget);
+        SystemConfig config = SystemConfig::singleCore();
+        config.prefetcher.kind = PrefetcherKind::Bingo;
+        config.seed = 7;
+        config.chaos.enabled = true;
+        config.chaos.seed = 99;
+        config.chaos.rate = 0.002;
+        config.chaos.site_mask = 0x1F;
+        System system(config, "Data Serving");
+        system.run(10000, 20000);
+        return collectResult(system, "Data Serving");
+    };
+    expectIdenticalRuns(runChaos(0), runChaos(512ull << 20));
+}
+
+} // namespace
+} // namespace bingo
