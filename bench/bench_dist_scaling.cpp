@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Distributed-dispatch scaling: jobs/sec on the Table II sweep as the
+ * worker-process count grows, against the single-process runner as the
+ * 1.0x reference. Writes BENCH_dist_scaling.json for the
+ * scripts/check_perf.py trajectory, same flow as the other benches.
+ *
+ * The journal is disabled for the duration (each pass must re-simulate
+ * rather than resume), so the numbers measure dispatch + simulation,
+ * not journal replay. On a single-core box the expected curve is flat
+ * or slightly below 1.0x — worker processes pay fork/exec, per-process
+ * trace generation, and wire serialization with no spare core to hide
+ * them on; the bench records whatever the box actually does.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dist/supervisor.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "telemetry/export.hpp"
+
+namespace
+{
+
+struct Pass
+{
+    unsigned workers = 0;  ///< 0 = in-process reference.
+    double wall_seconds = 0.0;
+    double jobs_per_sec = 0.0;
+    std::size_t failed = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace bingo;
+
+    // A journal would turn every pass after the first into replay.
+    ::unsetenv("BINGO_JOURNAL_DIR");
+
+    const ExperimentOptions options = defaultOptions();
+    SystemConfig baseline_config;
+    baseline_config.prefetcher.kind = PrefetcherKind::None;
+    const SystemConfig bingo_config =
+        benchutil::configFor(PrefetcherKind::Bingo);
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloadNames()) {
+        jobs.push_back({workload, baseline_config, options});
+        jobs.push_back({workload, bingo_config, options});
+    }
+
+    const std::string worker_bin = dist::workerBinaryPath();
+    if (worker_bin.empty()) {
+        std::printf("bench_dist_scaling: bingo_worker binary not "
+                    "found; distributed passes will fall back "
+                    "in-process\n");
+    } else {
+        std::printf("Worker binary: %s\n", worker_bin.c_str());
+    }
+    std::printf("Distributed scaling: %zu jobs (Table II sweep) at "
+                "worker counts 0 (in-process), 1, 2, 3\n\n",
+                jobs.size());
+
+    std::vector<Pass> passes;
+    for (const unsigned workers : {0u, 1u, 2u, 3u}) {
+        if (workers == 0)
+            ::unsetenv("BINGO_DIST_WORKERS");
+        else
+            ::setenv("BINGO_DIST_WORKERS",
+                     std::to_string(workers).c_str(), 1);
+        const auto start = std::chrono::steady_clock::now();
+        const std::vector<JobOutcome> outcomes =
+            runSweepOutcomes(jobs);
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        Pass pass;
+        pass.workers = workers;
+        pass.wall_seconds = wall;
+        pass.jobs_per_sec =
+            wall > 0.0 ? static_cast<double>(jobs.size()) / wall : 0.0;
+        for (const JobOutcome &outcome : outcomes)
+            if (outcome.status == JobStatus::Failed)
+                ++pass.failed;
+        passes.push_back(pass);
+    }
+    ::unsetenv("BINGO_DIST_WORKERS");
+
+    const double single_wall = passes[0].wall_seconds;
+    TextTable table({"workers", "wall (s)", "jobs/sec",
+                     "speedup vs single", "failed"});
+    for (const Pass &pass : passes) {
+        table.addRow(
+            {pass.workers == 0 ? "in-process"
+                               : std::to_string(pass.workers),
+             fmtDouble(pass.wall_seconds, 2),
+             fmtDouble(pass.jobs_per_sec, 2),
+             pass.workers == 0
+                 ? "1.00"
+                 : fmtDouble(pass.wall_seconds > 0.0
+                                 ? single_wall / pass.wall_seconds
+                                 : 0.0,
+                             2),
+             std::to_string(pass.failed)});
+    }
+    table.print();
+
+    std::string json = "{\"bench\":\"dist_scaling\",\"jobs\":" +
+                       std::to_string(jobs.size());
+    char buf[160];
+    for (const Pass &pass : passes) {
+        const std::string key =
+            pass.workers == 0
+                ? std::string("single")
+                : "workers" + std::to_string(pass.workers);
+        std::snprintf(buf, sizeof(buf),
+                      ",\"%s\":{\"wall_seconds\":%.6f,"
+                      "\"jobs_per_sec\":%.6f",
+                      key.c_str(), pass.wall_seconds,
+                      pass.jobs_per_sec);
+        json += buf;
+        if (pass.workers > 0) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"dist_speedup\":%.6f",
+                          pass.wall_seconds > 0.0
+                              ? single_wall / pass.wall_seconds
+                              : 0.0);
+            json += buf;
+        }
+        json += "}";
+    }
+    json += "}\n";
+    try {
+        telemetry::atomicWrite("BENCH_dist_scaling.json", json);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+    }
+
+    std::size_t failed = 0;
+    for (const Pass &pass : passes)
+        failed += pass.failed;
+    return failed == 0 ? 0 : 1;
+}

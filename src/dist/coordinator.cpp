@@ -1,0 +1,572 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dist/protocol.hpp"
+#include "dist/supervisor.hpp"
+#include "sim/journal.hpp"
+
+namespace bingo
+{
+namespace dist
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    return end == value ? fallback : parsed;
+}
+
+double
+envSeconds(const char *name, double fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(value, &end);
+    return (end == value || parsed < 0.0) ? fallback : parsed;
+}
+
+/** One unit of distributable work: a sweep job or a baseline warm. */
+struct Item
+{
+    enum class State
+    {
+        Pending,   ///< Waiting for a worker (possibly in backoff).
+        InFlight,  ///< Dispatched, result outstanding.
+        Done,      ///< Result received, or terminally resolved.
+    };
+
+    bool baseline = false;
+    std::size_t job_index = 0;  ///< Into `jobs` (job items only).
+    std::uint64_t wire_index = 0;
+    SweepJob baseline_job;      ///< Materialized for baseline items.
+    std::string fingerprint;
+
+    State state = State::Pending;
+    Clock::time_point not_before{};  ///< Re-dispatch backoff gate.
+    unsigned kills = 0;       ///< Consecutive workers this item killed.
+    bool have_result = false;
+    bool poisoned = false;
+    bool interrupted = false;
+    WireResult result;
+};
+
+/** One worker slot: the process (when alive) plus respawn state. */
+struct Slot
+{
+    WorkerProc proc;
+    Clock::time_point respawn_at{};
+    bool exhausted = false;  ///< Respawn budget spent.
+};
+
+constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
+
+} // namespace
+
+bool
+runSweepDistributed(const std::vector<SweepJob> &jobs,
+                    const std::vector<std::size_t> &pending,
+                    std::vector<JobOutcome> &outcomes,
+                    unsigned num_workers, DistReport *report)
+{
+    const std::string binary = workerBinaryPath();
+    if (binary.empty()) {
+        std::fprintf(
+            stderr,
+            "bingo: BINGO_DIST_WORKERS set but no bingo_worker binary "
+            "found (set BINGO_WORKER_BIN or build the bingo_worker "
+            "target); running in-process instead\n");
+        return false;
+    }
+    if (pending.empty())
+        return true;
+
+    if (num_workers == 0)
+        num_workers = sweepDistWorkers();
+    num_workers = std::max(1u, num_workers);
+
+    const std::string journal_dir = sweepJournalDir();
+    // Workers always journal into shards; without a canonical journal
+    // the shards live in a temp tree that is simply deleted at the end
+    // (results still arrive over the wire).
+    std::string shard_base;
+    if (journal_dir.empty()) {
+        shard_base = (std::filesystem::temp_directory_path() /
+                      ("bingo-dist-" + std::to_string(::getpid())))
+                         .string();
+    }
+    const auto shardDirFor = [&](unsigned slot) {
+        return journal_dir.empty()
+                   ? shard_base + "/w" + std::to_string(slot)
+                   : journalShardDir(journal_dir, slot);
+    };
+
+    const double heartbeat_timeout =
+        envSeconds("BINGO_DIST_HEARTBEAT_S", 5.0);
+    const double job_deadline =
+        envSeconds("BINGO_DIST_JOB_TIMEOUT_S", 0.0);
+    const unsigned poison_kills = static_cast<unsigned>(std::max<
+        std::uint64_t>(1, envU64("BINGO_DIST_POISON_KILLS", 2)));
+    const unsigned max_respawns = static_cast<unsigned>(
+        std::min<std::uint64_t>(envU64("BINGO_DIST_MAX_RESPAWNS", 5),
+                                1000));
+
+    DistReport stats;
+
+    // --- Build the work list: deduplicated baseline warms first (they
+    // gate dependent jobs' metrics, mirroring the in-process pool
+    // order), then the pending sweep jobs.
+    std::vector<Item> items;
+    {
+        std::map<std::string, SweepJob> baselines;
+        for (std::size_t i : pending) {
+            if (!jobs[i].compare_baseline)
+                continue;
+            SweepJob base;
+            base.workload = jobs[i].workload;
+            base.options = jobs[i].options;
+            // Baselines always run the default substrate (see
+            // runIndexed in experiment.cpp).
+            base.config = SystemConfig{};
+            baselines.try_emplace(jobFingerprint(base), base);
+        }
+        std::uint64_t next_wire = jobs.size();
+        for (auto &[fingerprint, base] : baselines) {
+            RunResult restored;
+            if (!journal_dir.empty() &&
+                journalLoad(journal_dir, fingerprint, restored)) {
+                primeBaselineCache(base.workload, base.options,
+                                   restored);
+                continue;
+            }
+            Item item;
+            item.baseline = true;
+            item.baseline_job = base;
+            item.fingerprint = fingerprint;
+            item.wire_index = next_wire++;
+            items.push_back(std::move(item));
+        }
+    }
+    const std::size_t baseline_items = items.size();
+    for (std::size_t i : pending) {
+        Item item;
+        item.job_index = i;
+        item.wire_index = i;
+        item.fingerprint = jobFingerprint(jobs[i]);
+        items.push_back(std::move(item));
+    }
+
+    std::printf("Distributed sweep: %llu job(s)%s across %u worker "
+                "process(es)\n",
+                static_cast<unsigned long long>(pending.size()),
+                baseline_items > 0 ? " (+ baselines)" : "",
+                num_workers);
+
+    ScopedSweepSignals signal_guard;
+
+    std::vector<Slot> slots(num_workers);
+    for (unsigned s = 0; s < num_workers; ++s) {
+        slots[s].proc.slot = s;
+        if (spawnWorker(binary, shardDirFor(s), s, slots[s].proc))
+            ++stats.workers_spawned;
+        else
+            slots[s].respawn_at = Clock::now();
+    }
+
+    std::uint64_t total_runs = 0;
+    std::uint64_t total_cycles = 0;
+
+    const auto jobOf = [&](const Item &item) -> const SweepJob & {
+        return item.baseline ? item.baseline_job
+                             : jobs[item.job_index];
+    };
+
+    const auto finalizePoison = [&](Item &item, const char *reason) {
+        item.state = Item::State::Done;
+        item.poisoned = true;
+        ++stats.poisoned;
+        std::fprintf(stderr,
+                     "bingo: job %llu (%s) quarantined as POISON after "
+                     "killing %u consecutive worker(s) (last: %s); "
+                     "sweep continues without it\n",
+                     static_cast<unsigned long long>(item.wire_index),
+                     jobOf(item).workload.c_str(), item.kills, reason);
+    };
+
+    const auto workerDied = [&](Slot &slot, const char *reason) {
+        if (!slot.proc.alive() && slot.proc.fd < 0)
+            return;
+        const unsigned s = slot.proc.slot;
+        killWorker(slot.proc);
+        ++stats.workers_lost;
+        if (slot.proc.in_flight != WorkerProc::kIdle) {
+            Item &item = items[slot.proc.in_flight];
+            slot.proc.in_flight = WorkerProc::kIdle;
+            if (item.state == Item::State::InFlight) {
+                ++item.kills;
+                if (item.kills >= poison_kills) {
+                    finalizePoison(item, reason);
+                } else {
+                    item.state = Item::State::Pending;
+                    item.not_before =
+                        Clock::now() +
+                        std::chrono::milliseconds(retryBackoffMs(
+                            item.wire_index, item.kills));
+                    ++stats.redispatched;
+                    std::fprintf(
+                        stderr,
+                        "bingo: worker w%u lost (%s); re-dispatching "
+                        "job %llu\n",
+                        s, reason,
+                        static_cast<unsigned long long>(
+                            item.wire_index));
+                }
+            }
+        } else {
+            std::fprintf(stderr, "bingo: worker w%u lost (%s)\n", s,
+                         reason);
+        }
+        if (slot.proc.spawn_count >= 1 + max_respawns) {
+            slot.exhausted = true;
+        } else {
+            slot.respawn_at =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    retryBackoffMs(s, slot.proc.spawn_count));
+        }
+    };
+
+    const auto handleFrame = [&](Slot &slot, const Frame &frame) {
+        slot.proc.last_heard = Clock::now();
+        switch (frame.type) {
+        case MsgType::Hello: {
+            WireHello hello;
+            if (decodeHello(frame.payload, hello))
+                slot.proc.said_hello = true;
+            break;
+        }
+        case MsgType::Result: {
+            WireResult result;
+            if (!decodeResult(frame.payload, result))
+                break;
+            const std::size_t item_id = slot.proc.in_flight;
+            slot.proc.in_flight = WorkerProc::kIdle;
+            if (item_id == kNoItem || item_id >= items.size())
+                break;
+            Item &item = items[item_id];
+            if (item.wire_index != result.index ||
+                item.state != Item::State::InFlight)
+                break;
+            total_runs += result.runs;
+            total_cycles += result.cycles;
+            item.result = std::move(result);
+            item.have_result = true;
+            item.state = Item::State::Done;
+            item.kills = 0;
+            break;
+        }
+        case MsgType::Heartbeat:
+        case MsgType::Bye:
+        default:
+            break;
+        }
+    };
+
+    // --- Supervision loop: poll, reap, requeue, dispatch.
+    for (;;) {
+        bool progress = false;
+
+        for (Slot &slot : slots) {
+            if (!slot.proc.alive())
+                continue;
+            std::vector<Frame> frames;
+            const bool still_open = slot.proc.reader.poll(frames);
+            progress |= !frames.empty();
+            for (const Frame &frame : frames)
+                handleFrame(slot, frame);
+            if (!still_open)
+                workerDied(slot, "process exited");
+        }
+
+        const auto now = Clock::now();
+        for (Slot &slot : slots) {
+            if (!slot.proc.alive())
+                continue;
+            const double silent =
+                std::chrono::duration<double>(now -
+                                              slot.proc.last_heard)
+                    .count();
+            if (silent > heartbeat_timeout) {
+                workerDied(slot, "heartbeat timeout");
+                continue;
+            }
+            if (job_deadline > 0.0 && !slot.proc.idle()) {
+                const double running =
+                    std::chrono::duration<double>(now -
+                                                  slot.proc.job_start)
+                        .count();
+                if (running > job_deadline)
+                    workerDied(slot, "job deadline exceeded");
+            }
+        }
+
+        // A signal stops dispatch: everything not yet in flight is
+        // resolved as interrupted; in-flight jobs drain below.
+        if (sweepInterrupted()) {
+            for (Item &item : items) {
+                if (item.state == Item::State::Pending) {
+                    item.state = Item::State::Done;
+                    item.interrupted = true;
+                }
+            }
+        }
+
+        std::size_t open_items = 0;
+        bool any_in_flight = false;
+        for (const Item &item : items) {
+            if (item.state == Item::State::Pending)
+                ++open_items;
+            else if (item.state == Item::State::InFlight)
+                any_in_flight = true;
+        }
+        if (open_items == 0 && !any_in_flight)
+            break;
+
+        // Respawn lost slots while there is still work to hand them.
+        if (open_items > 0 && !sweepInterrupted()) {
+            for (Slot &slot : slots) {
+                if (slot.proc.alive() || slot.exhausted ||
+                    now < slot.respawn_at)
+                    continue;
+                if (spawnWorker(binary, shardDirFor(slot.proc.slot),
+                                slot.proc.slot, slot.proc)) {
+                    ++stats.workers_spawned;
+                    progress = true;
+                } else {
+                    // fork/socketpair failure is systemic, not a flaky
+                    // worker — don't spin on it.
+                    slot.exhausted = true;
+                }
+            }
+        }
+
+        // Dispatch pending items to idle workers.
+        for (Slot &slot : slots) {
+            if (!slot.proc.alive() || !slot.proc.said_hello ||
+                !slot.proc.idle() || sweepInterrupted())
+                continue;
+            Item *next = nullptr;
+            std::size_t next_id = kNoItem;
+            for (std::size_t k = 0; k < items.size(); ++k) {
+                Item &item = items[k];
+                if (item.state == Item::State::Pending &&
+                    now >= item.not_before) {
+                    next = &item;
+                    next_id = k;
+                    break;
+                }
+            }
+            if (next == nullptr)
+                continue;
+            WireJob wire;
+            wire.index = next->wire_index;
+            wire.fingerprint = next->fingerprint;
+            wire.job = jobOf(*next);
+            wire.baseline = next->baseline;
+            if (!sendFrame(slot.proc.fd, MsgType::Job,
+                           encodeJob(wire))) {
+                workerDied(slot, "send failed");
+                continue;
+            }
+            next->state = Item::State::InFlight;
+            slot.proc.in_flight = next_id;
+            slot.proc.job_start = Clock::now();
+            progress = true;
+        }
+
+        // Every slot dead and unrespawnable with work left: run the
+        // remainder in-process. The sweep survives its whole fleet.
+        const bool any_usable = std::any_of(
+            slots.begin(), slots.end(), [](const Slot &slot) {
+                return slot.proc.alive() || !slot.exhausted;
+            });
+        if (!any_usable && open_items > 0) {
+            std::fprintf(stderr,
+                         "bingo: all %u worker slot(s) exhausted; "
+                         "running %llu remaining job(s) in-process\n",
+                         num_workers,
+                         static_cast<unsigned long long>(open_items));
+            for (Item &item : items) {
+                if (item.state != Item::State::Pending)
+                    continue;
+                if (sweepInterrupted()) {
+                    item.state = Item::State::Done;
+                    item.interrupted = true;
+                    continue;
+                }
+                RunResult run;
+                const JobOutcome outcome = runSingleJob(
+                    jobOf(item), item.wire_index, run);
+                item.state = Item::State::Done;
+                item.have_result = true;
+                item.result.index = item.wire_index;
+                item.result.status = outcome.status;
+                item.result.attempts = outcome.attempts;
+                item.result.wall_seconds = outcome.wall_seconds;
+                item.result.error = outcome.error;
+                item.result.fingerprint = item.fingerprint;
+                if (outcome.ok()) {
+                    item.result.record =
+                        journalEncode(item.fingerprint, run);
+                    if (!item.baseline && !journal_dir.empty()) {
+                        try {
+                            journalStore(journal_dir, item.fingerprint,
+                                         run);
+                        } catch (const std::exception &e) {
+                            std::fprintf(stderr, "%s\n", e.what());
+                        }
+                    }
+                }
+                ++stats.fallback_jobs;
+            }
+            continue;  // Loop once more to settle bookkeeping.
+        }
+
+        if (!progress)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+    }
+
+    // --- Drain: ask every surviving worker to exit, give the fleet a
+    // grace period to say Bye/EOF, then SIGKILL stragglers.
+    for (Slot &slot : slots) {
+        if (slot.proc.alive())
+            sendFrame(slot.proc.fd, MsgType::Shutdown, "");
+    }
+    const auto grace_end =
+        Clock::now() + std::chrono::milliseconds(3000);
+    for (;;) {
+        bool any_alive = false;
+        for (Slot &slot : slots) {
+            if (!slot.proc.alive())
+                continue;
+            std::vector<Frame> frames;
+            if (!slot.proc.reader.poll(frames))
+                killWorker(slot.proc);
+            else
+                any_alive = true;
+        }
+        if (!any_alive || Clock::now() >= grace_end)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    for (Slot &slot : slots)
+        killWorker(slot.proc);
+
+    // --- Fold worker shards into the canonical journal. Byte-identity
+    // with a single-process run is structural: journalEncode wrote
+    // every record, and conflicting duplicates throw rather than merge.
+    if (!journal_dir.empty()) {
+        journalMergeShards(journal_dir);
+    } else if (!shard_base.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(shard_base, ec);
+    }
+
+    addExternalRunStats(total_runs, total_cycles);
+
+    // --- Materialize outcomes (and prime baselines).
+    for (Item &item : items) {
+        if (item.baseline) {
+            if (item.have_result && !item.result.record.empty()) {
+                RunResult run;
+                if (journalDecode(item.result.record, item.fingerprint,
+                                  run))
+                    primeBaselineCache(item.baseline_job.workload,
+                                       item.baseline_job.options, run);
+            }
+            // A failed/interrupted baseline is swallowed like the
+            // in-process warmOne: the bench's own baselineFor call
+            // will retry and report in context.
+            continue;
+        }
+        JobOutcome &outcome = outcomes[item.job_index];
+        if (item.poisoned) {
+            outcome.status = JobStatus::Failed;
+            outcome.attempts = item.kills;
+            outcome.error =
+                "poison job: crashed or hung " +
+                std::to_string(item.kills) +
+                " consecutive worker process(es); quarantined "
+                "(BINGO_DIST_POISON_KILLS)";
+            continue;
+        }
+        if (item.interrupted) {
+            outcome.status = JobStatus::Failed;
+            outcome.attempts = 0;
+            outcome.error =
+                "sweep interrupted by signal before this job started "
+                "(journaled jobs are kept; re-run to resume)";
+            continue;
+        }
+        if (!item.have_result) {
+            outcome.status = JobStatus::Failed;
+            outcome.error = "distributed sweep: no result received";
+            continue;
+        }
+        outcome.status = item.result.status;
+        outcome.attempts = item.result.attempts;
+        outcome.wall_seconds = item.result.wall_seconds;
+        outcome.error = item.result.error;
+        if (!item.result.record.empty() &&
+            !journalDecode(item.result.record, item.fingerprint,
+                           outcome.result)) {
+            outcome.status = JobStatus::Failed;
+            outcome.error =
+                "distributed sweep: undecodable result record from "
+                "worker";
+        }
+    }
+
+    if (stats.workers_lost > 0 || stats.poisoned > 0 ||
+        stats.fallback_jobs > 0) {
+        std::printf(
+            "Distributed sweep supervision: %u worker(s) lost, %llu "
+            "job(s) re-dispatched, %llu poison job(s), %llu job(s) "
+            "completed in-process\n",
+            stats.workers_lost,
+            static_cast<unsigned long long>(stats.redispatched),
+            static_cast<unsigned long long>(stats.poisoned),
+            static_cast<unsigned long long>(stats.fallback_jobs));
+    }
+    if (report != nullptr)
+        *report = stats;
+    return true;
+}
+
+} // namespace dist
+} // namespace bingo

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Distributed sweep coordinator: shards a sweep's pending jobs across
+ * supervised bingo_worker OS processes (src/dist/worker.hpp) and
+ * collects structured JobOutcomes, with the same journal semantics —
+ * byte-identical — as the in-process runner.
+ *
+ * Entered transparently from runSweepOutcomes when BINGO_DIST_WORKERS
+ * is nonzero (experiment.cpp gates out callers that pin a thread count
+ * or install a fault hook). The coordinator:
+ *  - fork/execs N workers, each journaling into its own shard
+ *    directory `<journal>/shards/w<slot>/` (a temp directory when
+ *    journaling is off);
+ *  - streams jobs over the socketpair protocol (dist/protocol.hpp) and
+ *    supervises with heartbeats (BINGO_DIST_HEARTBEAT_S, default 5 s
+ *    of silence = dead) and a hard per-job deadline
+ *    (BINGO_DIST_JOB_TIMEOUT_S = SIGKILL backstop; the inherited
+ *    BINGO_JOB_TIMEOUT_S in-worker watchdog should fire first and fail
+ *    the job gracefully — a wedged job that still heartbeats is only
+ *    caught by the hard deadline);
+ *  - re-dispatches a dead/hung worker's in-flight job to survivors
+ *    after a deterministic retryBackoffMs delay, and respawns the lost
+ *    slot (up to BINGO_DIST_MAX_RESPAWNS times, backed off likewise);
+ *  - quarantines a job that kills BINGO_DIST_POISON_KILLS consecutive
+ *    workers (default 2) as a poison job: reported Failed with a
+ *    poison error, the sweep continues — degraded, not dead;
+ *  - drains gracefully on SIGINT/SIGTERM: no new dispatches, in-flight
+ *    jobs finish and journal, undispatched jobs report "sweep
+ *    interrupted" so the sweep resumes from the journal;
+ *  - falls back to in-process execution of whatever remains if every
+ *    worker slot is exhausted — a sweep never dies just because its
+ *    workers did;
+ *  - merges worker shards into the canonical journal at the end
+ *    (journalMergeShards), which is byte-identical to a single-process
+ *    run of the same jobs because journalEncode is the only record
+ *    serializer and simulations are deterministic.
+ */
+
+#ifndef BINGO_DIST_COORDINATOR_HPP
+#define BINGO_DIST_COORDINATOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace bingo
+{
+namespace dist
+{
+
+/** What supervision had to do during a distributed sweep (for tests
+ *  and the end-of-sweep summary line). */
+struct DistReport
+{
+    unsigned workers_spawned = 0;   ///< fork/execs, including respawns.
+    unsigned workers_lost = 0;      ///< Deaths observed (crash, hang
+                                    ///< kill, deadline kill).
+    std::size_t redispatched = 0;   ///< In-flight jobs requeued after a
+                                    ///< worker death.
+    std::size_t poisoned = 0;       ///< Jobs quarantined as poison.
+    std::size_t fallback_jobs = 0;  ///< Jobs run in-process after all
+                                    ///< worker slots were exhausted.
+};
+
+/**
+ * Run jobs[pending...] across worker processes, filling
+ * outcomes[i] for each pending i (other entries are untouched — the
+ * caller already resolved them from the journal). Baselines requested
+ * via compare_baseline are dispatched as explicit worker jobs and
+ * primed into this process's baseline cache. `num_workers` 0 means
+ * sweepDistWorkers().
+ *
+ * Returns false — with outcomes untouched — when the bingo_worker
+ * binary cannot be located ($BINGO_WORKER_BIN or next to the current
+ * executable); the caller then runs in-process as if distribution were
+ * never requested. Throws only on journal-merge conflicts, which mean
+ * nondeterminism and must never be papered over.
+ */
+bool runSweepDistributed(const std::vector<SweepJob> &jobs,
+                         const std::vector<std::size_t> &pending,
+                         std::vector<JobOutcome> &outcomes,
+                         unsigned num_workers = 0,
+                         DistReport *report = nullptr);
+
+} // namespace dist
+} // namespace bingo
+
+#endif // BINGO_DIST_COORDINATOR_HPP

@@ -1,0 +1,406 @@
+#include "dist/protocol.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sim/journal.hpp"
+
+namespace bingo
+{
+namespace dist
+{
+
+namespace
+{
+
+constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
+constexpr std::size_t kMaxString = 1u * 1024u * 1024u;
+
+std::uint64_t
+doubleBits(double value)
+{
+    return std::bit_cast<std::uint64_t>(value);
+}
+
+double
+doubleFromBits(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Expect `keyword` as the next token; false on anything else. */
+bool
+expect(std::istream &in, const char *keyword)
+{
+    std::string token;
+    return static_cast<bool>(in >> token) && token == keyword;
+}
+
+/** Length-prefixed string: `<len> <bytes>`. */
+void
+putString(std::ostream &out, const std::string &value)
+{
+    out << value.size() << ' ' << value;
+}
+
+bool
+getString(std::istream &in, std::string &out)
+{
+    std::size_t length = 0;
+    if (!(in >> length) || length > kMaxString || in.get() != ' ')
+        return false;
+    out.resize(length);
+    return static_cast<bool>(
+        in.read(out.data(), static_cast<std::streamsize>(length)));
+}
+
+} // namespace
+
+bool
+sendFrame(int fd, MsgType type, std::string_view payload)
+{
+    char header[64];
+    const int header_len =
+        std::snprintf(header, sizeof(header), "%s %u %zu\n", kFrameMagic,
+                      static_cast<unsigned>(type), payload.size());
+    std::string frame;
+    frame.reserve(static_cast<std::size_t>(header_len) + payload.size());
+    frame.append(header, static_cast<std::size_t>(header_len));
+    frame.append(payload);
+
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+FrameReader::extract(std::vector<Frame> &out)
+{
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n');
+        if (newline == std::string::npos)
+            return buffer_.size() < 256;  // An overlong "header" can
+                                          // never become valid.
+        std::istringstream header(buffer_.substr(0, newline));
+        std::string magic;
+        unsigned type = 0;
+        std::size_t size = 0;
+        if (!(header >> magic >> type >> size) || magic != kFrameMagic ||
+            type > static_cast<unsigned>(MsgType::Bye) ||
+            size > kMaxFramePayload)
+            return false;
+        if (buffer_.size() < newline + 1 + size)
+            return true;  // Payload still in flight.
+        Frame frame;
+        frame.type = static_cast<MsgType>(type);
+        frame.payload = buffer_.substr(newline + 1, size);
+        buffer_.erase(0, newline + 1 + size);
+        out.push_back(std::move(frame));
+    }
+}
+
+bool
+FrameReader::poll(std::vector<Frame> &out)
+{
+    char chunk[65536];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return extract(out);
+        // EOF or hard error: surface buffered frames, then report the
+        // peer as gone.
+        extract(out);
+        return false;
+    }
+}
+
+bool
+FrameReader::readBlocking(Frame &out)
+{
+    for (;;) {
+        std::vector<Frame> frames;
+        if (!extract(frames))
+            return false;
+        if (!frames.empty()) {
+            // A worker consumes frames strictly in order and never
+            // receives bursts, so re-buffering the surplus is moot —
+            // but handle it anyway for safety.
+            out = std::move(frames.front());
+            for (std::size_t i = frames.size(); i-- > 1;) {
+                // Re-serialize would be wasteful; workers only ever
+                // see one frame at a time in practice. Preserve any
+                // extras by prepending their wire form back.
+                char header[64];
+                const int len = std::snprintf(
+                    header, sizeof(header), "%s %u %zu\n", kFrameMagic,
+                    static_cast<unsigned>(frames[i].type),
+                    frames[i].payload.size());
+                buffer_.insert(0, frames[i].payload);
+                buffer_.insert(0, header,
+                               static_cast<std::size_t>(len));
+            }
+            return true;
+        }
+        char chunk[65536];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            buffer_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;  // EOF: coordinator is gone.
+    }
+}
+
+std::string
+encodeJob(const WireJob &wire)
+{
+    const SystemConfig &cfg = wire.job.config;
+    const PrefetcherConfig &pf = cfg.prefetcher;
+    std::ostringstream out;
+    out << "job 1\n";
+    out << "index " << wire.index << '\n';
+    out << "fingerprint " << wire.fingerprint << '\n';
+    out << "workload ";
+    putString(out, wire.job.workload);
+    out << '\n';
+    out << "options " << wire.job.options.warmup_instructions << ' '
+        << wire.job.options.measure_instructions << ' '
+        << wire.job.options.seed << ' '
+        << (wire.job.compare_baseline ? 1 : 0) << '\n';
+    out << "baseline " << (wire.baseline ? 1 : 0) << '\n';
+    out << "system " << cfg.num_cores << ' '
+        << doubleBits(cfg.frequency_ghz) << ' ' << cfg.seed << '\n';
+    out << "core " << cfg.core.width << ' ' << cfg.core.rob_entries
+        << ' ' << cfg.core.lsq_entries << ' ' << cfg.core.alu_latency
+        << '\n';
+    for (const auto &[label, cache] :
+         {std::pair<const char *, const CacheConfig &>{"l1d", cfg.l1d},
+          {"llc", cfg.llc}}) {
+        out << label << ' ' << cache.size_bytes << ' ' << cache.ways
+            << ' ' << cache.hit_latency << ' ' << cache.mshr_entries
+            << ' ' << cache.prefetch_queue << ' '
+            << static_cast<unsigned>(cache.replacement) << '\n';
+    }
+    out << "dram " << cfg.dram.channels << ' '
+        << cfg.dram.banks_per_channel << ' ' << cfg.dram.row_size_bytes
+        << ' ' << cfg.dram.controller_latency << ' ' << cfg.dram.t_cas
+        << ' ' << cfg.dram.t_rcd << ' ' << cfg.dram.t_rp << ' '
+        << cfg.dram.data_transfer << ' ' << cfg.dram.read_queue_entries
+        << '\n';
+    out << "pf " << static_cast<unsigned>(pf.kind) << ' '
+        << pf.region_blocks << ' ' << pf.pht_entries << ' '
+        << pf.pht_ways << ' ' << pf.accumulation_entries << ' '
+        << pf.filter_entries << ' ' << doubleBits(pf.vote_threshold)
+        << ' ' << pf.bop_rr_entries << ' ' << pf.bop_score_max << ' '
+        << pf.bop_round_max << ' ' << pf.bop_bad_score << ' '
+        << pf.bop_degree << ' ' << pf.spp_signature_entries << ' '
+        << pf.spp_pattern_entries << ' ' << pf.spp_filter_entries
+        << ' ' << doubleBits(pf.spp_confidence_threshold) << ' '
+        << pf.spp_max_depth << ' ' << pf.vldp_dhb_entries << ' '
+        << pf.vldp_opt_entries << ' ' << pf.vldp_dpt_entries << ' '
+        << pf.vldp_degree << ' ' << pf.ampm_map_entries << ' '
+        << pf.ampm_degree << ' ' << pf.stride_table_entries << ' '
+        << pf.stride_degree << ' ' << pf.num_events << '\n';
+    out << "chaos " << (cfg.chaos.enabled ? 1 : 0) << ' '
+        << cfg.chaos.seed << ' ' << doubleBits(cfg.chaos.rate) << ' '
+        << cfg.chaos.site_mask << '\n';
+    out << "end\n";
+    return out.str();
+}
+
+bool
+decodeJob(const std::string &payload, WireJob &out)
+{
+    std::istringstream in(payload);
+    unsigned version = 0;
+    if (!expect(in, "job") || !(in >> version) || version != 1)
+        return false;
+
+    WireJob wire;
+    SystemConfig &cfg = wire.job.config;
+    PrefetcherConfig &pf = cfg.prefetcher;
+    if (!expect(in, "index") || !(in >> wire.index))
+        return false;
+    if (!expect(in, "fingerprint") || !(in >> wire.fingerprint))
+        return false;
+    if (!expect(in, "workload") || !getString(in, wire.job.workload))
+        return false;
+    unsigned compare_baseline = 0;
+    if (!expect(in, "options") ||
+        !(in >> wire.job.options.warmup_instructions >>
+          wire.job.options.measure_instructions >>
+          wire.job.options.seed >> compare_baseline))
+        return false;
+    wire.job.compare_baseline = compare_baseline != 0;
+    unsigned baseline = 0;
+    if (!expect(in, "baseline") || !(in >> baseline))
+        return false;
+    wire.baseline = baseline != 0;
+
+    std::uint64_t frequency_bits = 0;
+    if (!expect(in, "system") ||
+        !(in >> cfg.num_cores >> frequency_bits >> cfg.seed))
+        return false;
+    cfg.frequency_ghz = doubleFromBits(frequency_bits);
+    if (!expect(in, "core") ||
+        !(in >> cfg.core.width >> cfg.core.rob_entries >>
+          cfg.core.lsq_entries >> cfg.core.alu_latency))
+        return false;
+    for (const auto &[label, cache] :
+         {std::pair<const char *, CacheConfig &>{"l1d", cfg.l1d},
+          {"llc", cfg.llc}}) {
+        unsigned replacement = 0;
+        if (!expect(in, label) ||
+            !(in >> cache.size_bytes >> cache.ways >>
+              cache.hit_latency >> cache.mshr_entries >>
+              cache.prefetch_queue >> replacement) ||
+            replacement > static_cast<unsigned>(ReplacementKind::Random))
+            return false;
+        cache.replacement = static_cast<ReplacementKind>(replacement);
+    }
+    if (!expect(in, "dram") ||
+        !(in >> cfg.dram.channels >> cfg.dram.banks_per_channel >>
+          cfg.dram.row_size_bytes >> cfg.dram.controller_latency >>
+          cfg.dram.t_cas >> cfg.dram.t_rcd >> cfg.dram.t_rp >>
+          cfg.dram.data_transfer >> cfg.dram.read_queue_entries))
+        return false;
+
+    unsigned kind = 0;
+    std::uint64_t vote_bits = 0;
+    std::uint64_t spp_conf_bits = 0;
+    if (!expect(in, "pf") ||
+        !(in >> kind >> pf.region_blocks >> pf.pht_entries >>
+          pf.pht_ways >> pf.accumulation_entries >> pf.filter_entries >>
+          vote_bits >> pf.bop_rr_entries >> pf.bop_score_max >>
+          pf.bop_round_max >> pf.bop_bad_score >> pf.bop_degree >>
+          pf.spp_signature_entries >> pf.spp_pattern_entries >>
+          pf.spp_filter_entries >> spp_conf_bits >> pf.spp_max_depth >>
+          pf.vldp_dhb_entries >> pf.vldp_opt_entries >>
+          pf.vldp_dpt_entries >> pf.vldp_degree >> pf.ampm_map_entries >>
+          pf.ampm_degree >> pf.stride_table_entries >>
+          pf.stride_degree >> pf.num_events) ||
+        kind > static_cast<unsigned>(PrefetcherKind::EventStudy))
+        return false;
+    pf.kind = static_cast<PrefetcherKind>(kind);
+    pf.vote_threshold = doubleFromBits(vote_bits);
+    pf.spp_confidence_threshold = doubleFromBits(spp_conf_bits);
+
+    unsigned chaos_enabled = 0;
+    std::uint64_t rate_bits = 0;
+    if (!expect(in, "chaos") ||
+        !(in >> chaos_enabled >> cfg.chaos.seed >> rate_bits >>
+          cfg.chaos.site_mask))
+        return false;
+    cfg.chaos.enabled = chaos_enabled != 0;
+    cfg.chaos.rate = doubleFromBits(rate_bits);
+
+    if (!expect(in, "end"))
+        return false;
+    out = std::move(wire);
+    return true;
+}
+
+std::string
+encodeResult(const WireResult &result)
+{
+    std::ostringstream out;
+    out << "result 1\n";
+    out << "index " << result.index << '\n';
+    out << "status " << static_cast<unsigned>(result.status) << '\n';
+    out << "attempts " << result.attempts << '\n';
+    out << "wall " << doubleBits(result.wall_seconds) << '\n';
+    out << "runs " << result.runs << '\n';
+    out << "cycles " << result.cycles << '\n';
+    out << "fingerprint " << result.fingerprint << '\n';
+    out << "error ";
+    putString(out, result.error);
+    out << '\n';
+    out << "record ";
+    putString(out, result.record);
+    out << '\n';
+    out << "end\n";
+    return out.str();
+}
+
+bool
+decodeResult(const std::string &payload, WireResult &out)
+{
+    std::istringstream in(payload);
+    unsigned version = 0;
+    if (!expect(in, "result") || !(in >> version) || version != 1)
+        return false;
+    WireResult wire;
+    unsigned status = 0;
+    std::uint64_t wall_bits = 0;
+    if (!expect(in, "index") || !(in >> wire.index))
+        return false;
+    if (!expect(in, "status") || !(in >> status) ||
+        status > static_cast<unsigned>(JobStatus::Failed))
+        return false;
+    wire.status = static_cast<JobStatus>(status);
+    if (!expect(in, "attempts") || !(in >> wire.attempts))
+        return false;
+    if (!expect(in, "wall") || !(in >> wall_bits))
+        return false;
+    wire.wall_seconds = doubleFromBits(wall_bits);
+    if (!expect(in, "runs") || !(in >> wire.runs))
+        return false;
+    if (!expect(in, "cycles") || !(in >> wire.cycles))
+        return false;
+    if (!expect(in, "fingerprint") || !(in >> wire.fingerprint))
+        return false;
+    if (!expect(in, "error") || !getString(in, wire.error))
+        return false;
+    if (!expect(in, "record") || !getString(in, wire.record))
+        return false;
+    if (!expect(in, "end"))
+        return false;
+    out = std::move(wire);
+    return true;
+}
+
+std::string
+encodeHello(const WireHello &hello)
+{
+    std::ostringstream out;
+    out << "hello 1 " << hello.pid << ' ' << hello.slot << '\n';
+    return out.str();
+}
+
+bool
+decodeHello(const std::string &payload, WireHello &out)
+{
+    std::istringstream in(payload);
+    unsigned version = 0;
+    WireHello hello;
+    if (!expect(in, "hello") || !(in >> version) || version != 1 ||
+        !(in >> hello.pid >> hello.slot))
+        return false;
+    out = hello;
+    return true;
+}
+
+} // namespace dist
+} // namespace bingo

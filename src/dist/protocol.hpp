@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Wire protocol between the sweep coordinator and its bingo_worker
+ * processes (src/dist/coordinator.hpp, src/dist/worker.hpp).
+ *
+ * Transport is a SOCK_STREAM socketpair carrying length-prefixed
+ * frames: a one-line text header `BJF1 <type> <payload_bytes>\n`
+ * followed by exactly `payload_bytes` of payload. Payloads are the
+ * same pipe-separated, length-prefixed-string, doubles-as-IEEE-bits
+ * text the journal uses, so every value round-trips bit-exactly.
+ *
+ * Messages:
+ *  - coordinator → worker: `job` (a fully serialized SweepJob plus the
+ *    coordinator's job index and fingerprint), `shutdown` (drain and
+ *    exit).
+ *  - worker → coordinator: `hello` (pid/slot/version handshake),
+ *    `heartbeat` (liveness, every few hundred ms from a dedicated
+ *    thread even while a simulation runs), `result` (the JobOutcome
+ *    summary plus, for completed jobs, the exact journal record bytes
+ *    — journalEncode output — so the coordinator needs no second
+ *    serializer), `bye` (graceful exit notice).
+ *
+ * Drift guard: the worker re-derives the job fingerprint from the
+ * decoded SweepJob and refuses a mismatch. A SystemConfig field added
+ * to the fingerprint but forgotten here therefore fails loudly at the
+ * first dispatch instead of silently simulating the wrong config.
+ */
+
+#ifndef BINGO_DIST_PROTOCOL_HPP
+#define BINGO_DIST_PROTOCOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace bingo
+{
+namespace dist
+{
+
+/** Frame header magic; the trailing digit is the protocol version. */
+inline constexpr char kFrameMagic[] = "BJF1";
+
+/** Frame types. */
+enum class MsgType : unsigned
+{
+    Hello,
+    Heartbeat,
+    Job,
+    Result,
+    Shutdown,
+    Bye,
+};
+
+/** One parsed frame. */
+struct Frame
+{
+    MsgType type = MsgType::Heartbeat;
+    std::string payload;
+};
+
+/**
+ * Write one frame to `fd` (handles short writes; MSG_NOSIGNAL, so a
+ * dead peer yields `false` instead of SIGPIPE). Thread-safe only if
+ * callers serialize per fd — the worker wraps this in a mutex shared
+ * with its heartbeat thread.
+ */
+bool sendFrame(int fd, MsgType type, std::string_view payload);
+
+/**
+ * Incremental frame parser over a stream fd. Feed it bytes with
+ * poll()/readBlocking(); complete frames come out in order.
+ */
+class FrameReader
+{
+  public:
+    explicit FrameReader(int fd = -1) : fd_(fd) {}
+
+    void reset(int fd)
+    {
+        fd_ = fd;
+        buffer_.clear();
+    }
+
+    /**
+     * Drain everything currently readable from a non-blocking fd into
+     * the buffer and append complete frames to `out`. Returns false
+     * once the peer is gone (EOF or hard error) — frames already
+     * buffered are still appended first, so a worker's final `result`
+     * is never lost to the race with its own exit.
+     */
+    bool poll(std::vector<Frame> &out);
+
+    /**
+     * Blocking read of exactly one frame (worker side). Returns false
+     * on EOF/error — for a worker that means the coordinator is gone
+     * and it must exit rather than run orphaned forever.
+     */
+    bool readBlocking(Frame &out);
+
+  private:
+    bool extract(std::vector<Frame> &out);
+
+    int fd_;
+    std::string buffer_;
+};
+
+/** `job` payload: the coordinator's view of one dispatched job. */
+struct WireJob
+{
+    std::uint64_t index = 0;       ///< Coordinator job index.
+    std::string fingerprint;       ///< jobFingerprint(job), precomputed.
+    SweepJob job;
+    /// Baseline warm, not a sweep job: the worker runs it and returns
+    /// the record bytes, but does NOT journal it into its shard — the
+    /// single-process runner never journals baselines, and the merged
+    /// journal must stay byte-identical to a single-process run.
+    bool baseline = false;
+};
+
+/** `result` payload: everything the coordinator needs back. */
+struct WireResult
+{
+    std::uint64_t index = 0;
+    JobStatus status = JobStatus::Failed;
+    unsigned attempts = 0;
+    double wall_seconds = 0.0;
+    std::uint64_t runs = 0;        ///< Simulations completed (counters).
+    std::uint64_t cycles = 0;      ///< Simulated cycles (counters).
+    std::string fingerprint;
+    std::string error;             ///< Failure/degradation reason.
+    std::string record;            ///< journalEncode bytes; empty when
+                                   ///< the job failed.
+};
+
+std::string encodeJob(const WireJob &job);
+bool decodeJob(const std::string &payload, WireJob &out);
+
+std::string encodeResult(const WireResult &result);
+bool decodeResult(const std::string &payload, WireResult &out);
+
+/** `hello` payload. */
+struct WireHello
+{
+    std::uint64_t pid = 0;
+    unsigned slot = 0;
+};
+
+std::string encodeHello(const WireHello &hello);
+bool decodeHello(const std::string &payload, WireHello &out);
+
+} // namespace dist
+} // namespace bingo
+
+#endif // BINGO_DIST_PROTOCOL_HPP

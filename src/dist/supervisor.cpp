@@ -1,0 +1,136 @@
+#include "dist/supervisor.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace bingo
+{
+namespace dist
+{
+
+namespace
+{
+
+/** Directory holding the currently running executable ("" if unknown). */
+std::string
+selfExeDir()
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return {};
+    buf[n] = '\0';
+    return std::filesystem::path(buf).parent_path().string();
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+std::string
+workerBinaryPath()
+{
+    if (const char *env = std::getenv("BINGO_WORKER_BIN");
+        env != nullptr && *env != '\0') {
+        std::error_code ec;
+        if (std::filesystem::exists(env, ec))
+            return env;
+        return {};
+    }
+    const std::string dir = selfExeDir();
+    if (dir.empty())
+        return {};
+    // Benches and examples live next to bingo_worker in build/src;
+    // tests live in build/tests, one level over.
+    for (const char *candidate :
+         {"/bingo_worker", "/../src/bingo_worker", "/../bingo_worker"}) {
+        const std::string path = dir + candidate;
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec))
+            return path;
+    }
+    return {};
+}
+
+bool
+spawnWorker(const std::string &binary, const std::string &shard_dir,
+            unsigned slot, WorkerProc &out)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        return false;
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: worker end of the pair becomes fd 3, exec the worker.
+        ::close(fds[0]);
+        if (fds[1] != 3) {
+            if (::dup2(fds[1], 3) != 3)
+                ::_exit(127);
+            ::close(fds[1]);
+        }
+        const std::string slot_str = std::to_string(slot);
+        const char *argv[] = {binary.c_str(),    "--socket-fd", "3",
+                              "--shard-dir",     shard_dir.c_str(),
+                              "--slot",          slot_str.c_str(),
+                              nullptr};
+        ::execv(binary.c_str(), const_cast<char *const *>(argv));
+        ::_exit(127);
+    }
+
+    ::close(fds[1]);
+    if (!setNonBlocking(fds[0])) {
+        ::close(fds[0]);
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        return false;
+    }
+    out.pid = pid;
+    out.fd = fds[0];
+    out.slot = slot;
+    ++out.spawn_count;
+    out.said_hello = false;
+    out.reader.reset(fds[0]);
+    out.last_heard = std::chrono::steady_clock::now();
+    out.job_start = out.last_heard;
+    out.in_flight = WorkerProc::kIdle;
+    return true;
+}
+
+void
+killWorker(WorkerProc &worker)
+{
+    if (worker.fd >= 0) {
+        ::close(worker.fd);
+        worker.fd = -1;
+    }
+    if (worker.pid > 0) {
+        ::kill(worker.pid, SIGKILL);
+        int status = 0;
+        while (::waitpid(worker.pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        worker.pid = -1;
+    }
+}
+
+} // namespace dist
+} // namespace bingo

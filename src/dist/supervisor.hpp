@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Worker-process mechanics for the distributed sweep runner: locating
+ * the bingo_worker binary, spawning it over a socketpair, and the
+ * per-worker supervision state the coordinator tracks (liveness,
+ * heartbeats, the in-flight job, respawn counts).
+ *
+ * Policy — who to kill when, what counts as poison, how often to
+ * respawn — lives in coordinator.cpp; this file is the mechanism.
+ */
+
+#ifndef BINGO_DIST_SUPERVISOR_HPP
+#define BINGO_DIST_SUPERVISOR_HPP
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include <sys/types.h>
+
+#include "dist/protocol.hpp"
+
+namespace bingo
+{
+namespace dist
+{
+
+/**
+ * Path of the bingo_worker binary: $BINGO_WORKER_BIN if set, else a
+ * few locations relative to the running executable (same directory,
+ * sibling src/ directory — covering the build-tree layouts of the
+ * benches, tests and examples). Empty string when none exists, which
+ * makes the coordinator decline distribution and the sweep fall back
+ * to the in-process runner.
+ */
+std::string workerBinaryPath();
+
+/** Supervision state of one worker process. */
+struct WorkerProc
+{
+    pid_t pid = -1;
+    int fd = -1;                   ///< Coordinator end of the socketpair.
+    unsigned slot = 0;             ///< Stable shard slot (w<slot>).
+    unsigned spawn_count = 0;      ///< Spawns consumed for this slot.
+    bool said_hello = false;
+    FrameReader reader;
+
+    /// Last frame (heartbeat or otherwise) received, for liveness.
+    std::chrono::steady_clock::time_point last_heard{};
+    /// When the in-flight job was dispatched (deadline base).
+    std::chrono::steady_clock::time_point job_start{};
+    /// Index into the sweep's job list, or npos when idle.
+    std::size_t in_flight = static_cast<std::size_t>(-1);
+
+    static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+
+    bool alive() const { return pid > 0; }
+    bool idle() const { return in_flight == kIdle; }
+};
+
+/**
+ * Fork/exec one bingo_worker for `slot`, journaling into `shard_dir`.
+ * The worker gets its end of a SOCK_STREAM socketpair as fd 3 and is
+ * invoked as `bingo_worker --socket-fd 3 --shard-dir <dir> --slot <n>`.
+ * On success fills pid/fd (coordinator end, set non-blocking) and
+ * resets the reader/liveness clocks. Returns false (worker marked
+ * dead) when the socketpair or fork fails.
+ */
+bool spawnWorker(const std::string &binary, const std::string &shard_dir,
+                 unsigned slot, WorkerProc &out);
+
+/**
+ * SIGKILL + reap `worker` (blocking waitpid) and close its fd. Safe on
+ * an already-dead worker. Leaves pid/fd at -1. This is the single
+ * teardown path; worker death is *detected* by the coordinator through
+ * FrameReader EOF (which flushes any buffered final frames first) or a
+ * heartbeat/deadline expiry, never by closing the fd early — a dead
+ * worker's socket may still hold its last `result`.
+ */
+void killWorker(WorkerProc &worker);
+
+} // namespace dist
+} // namespace bingo
+
+#endif // BINGO_DIST_SUPERVISOR_HPP

@@ -1,0 +1,215 @@
+#include "dist/worker.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "dist/protocol.hpp"
+#include "sim/experiment.hpp"
+#include "sim/journal.hpp"
+
+namespace bingo
+{
+namespace dist
+{
+
+namespace
+{
+
+/**
+ * Directory for the `:once` knob marker files — shared by every worker
+ * of the sweep so the knob fires in exactly one process.
+ * BINGO_DIST_TEST_DIR when set (tests that byte-compare journal
+ * directories must keep markers out of the journal tree), otherwise
+ * the shards root.
+ */
+std::string
+markerDir(const std::string &shard_dir)
+{
+    if (const char *env = std::getenv("BINGO_DIST_TEST_DIR");
+        env != nullptr && *env != '\0')
+        return env;
+    return std::filesystem::path(shard_dir).parent_path().string();
+}
+
+/**
+ * Whether the `env_name` fault knob targets sweep job `index`. With
+ * the `:once` suffix, an O_CREAT|O_EXCL marker file makes only the
+ * first worker (and first dispatch) to draw the job fire; respawned
+ * workers simulate it normally, modelling a transient crash instead of
+ * a poison job.
+ */
+bool
+knobFires(const char *env_name, std::uint64_t index,
+          const std::string &shard_dir, const char *tag)
+{
+    const char *value = std::getenv(env_name);
+    if (value == nullptr || *value == '\0')
+        return false;
+    char *end = nullptr;
+    const unsigned long long target = std::strtoull(value, &end, 10);
+    if (end == value || target != index)
+        return false;
+    if (*end == '\0')
+        return true;
+    if (std::strcmp(end, ":once") != 0)
+        return false;
+    const std::string dir = markerDir(shard_dir);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string marker = dir + "/" + tag + "." +
+                               std::to_string(index) + ".fired";
+    const int fd =
+        ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;  // Already fired in some worker.
+    ::close(fd);
+    return true;
+}
+
+} // namespace
+
+int
+workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
+{
+    // A foreground Ctrl-C signals the whole process group, workers
+    // included. The coordinator owns drain policy — workers ignore
+    // terminal signals so in-flight jobs finish and journal, and exit
+    // via Shutdown frame or socket EOF (the coordinator SIGKILLs
+    // stragglers). A worker can never outlive its coordinator: EOF on
+    // the socketpair is unfakeable.
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGTERM, SIG_IGN);
+
+    std::error_code ec;
+    std::filesystem::create_directories(shard_dir, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "bingo_worker: cannot create shard dir %s: %s\n",
+                     shard_dir.c_str(), ec.message().c_str());
+        return 1;
+    }
+
+    // The heartbeat thread and the job loop share the socket; frames
+    // must not interleave.
+    std::mutex send_mutex;
+    const auto send = [&](MsgType type, const std::string &payload) {
+        std::lock_guard<std::mutex> lock(send_mutex);
+        return sendFrame(socket_fd, type, payload);
+    };
+
+    WireHello hello;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.slot = slot;
+    if (!send(MsgType::Hello, encodeHello(hello)))
+        return 1;
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> mute{false};  // Hang knob: simulate a wedged
+                                    // worker by silencing heartbeats.
+    std::thread heartbeat([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            if (!mute.load(std::memory_order_relaxed))
+                send(MsgType::Heartbeat, "");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(200));
+        }
+    });
+
+    int exit_code = 0;
+    FrameReader reader(socket_fd);
+    Frame frame;
+    for (;;) {
+        if (!reader.readBlocking(frame))
+            break;  // Coordinator gone — never simulate orphaned.
+        if (frame.type == MsgType::Shutdown) {
+            send(MsgType::Bye, "");
+            break;
+        }
+        if (frame.type != MsgType::Job)
+            continue;
+
+        WireJob wire;
+        if (!decodeJob(frame.payload, wire)) {
+            std::fprintf(stderr,
+                         "bingo_worker[%u]: undecodable job frame\n",
+                         slot);
+            exit_code = 2;
+            break;
+        }
+        WireResult result;
+        result.index = wire.index;
+        result.fingerprint = wire.fingerprint;
+
+        // Drift guard: a config field missing from the wire format
+        // yields a different fingerprint here than the coordinator
+        // computed — fail the job loudly instead of silently
+        // simulating the wrong machine.
+        const std::string derived = jobFingerprint(wire.job);
+        if (derived != wire.fingerprint) {
+            result.status = JobStatus::Failed;
+            result.error =
+                "job fingerprint drift: coordinator sent " +
+                wire.fingerprint + ", worker derived " + derived +
+                " — wire serialization out of sync with SystemConfig";
+            if (!send(MsgType::Result, encodeResult(result)))
+                break;
+            continue;
+        }
+
+        if (knobFires("BINGO_DIST_TEST_CRASH_JOB", wire.index,
+                      shard_dir, "crash")) {
+            ::raise(SIGKILL);  // Indistinguishable from kill -9.
+        }
+        if (knobFires("BINGO_DIST_TEST_HANG_JOB", wire.index,
+                      shard_dir, "hang")) {
+            mute.store(true, std::memory_order_relaxed);
+            for (;;)
+                ::pause();  // Until the coordinator loses patience.
+        }
+
+        const std::uint64_t runs_before = completedRuns();
+        const std::uint64_t cycles_before = simulatedCycles();
+        RunResult run;
+        const JobOutcome outcome =
+            runSingleJob(wire.job, wire.index, run);
+        result.status = outcome.status;
+        result.attempts = outcome.attempts;
+        result.wall_seconds = outcome.wall_seconds;
+        result.error = outcome.error;
+        result.runs = completedRuns() - runs_before;
+        result.cycles = simulatedCycles() - cycles_before;
+        if (outcome.ok()) {
+            result.record = journalEncode(wire.fingerprint, run);
+            if (!wire.baseline) {
+                try {
+                    journalStore(shard_dir, wire.fingerprint, run);
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr, "bingo_worker[%u]: %s\n",
+                                 slot, e.what());
+                }
+            }
+        }
+        if (!send(MsgType::Result, encodeResult(result)))
+            break;
+    }
+
+    stop.store(true, std::memory_order_relaxed);
+    heartbeat.join();
+    return exit_code;
+}
+
+} // namespace dist
+} // namespace bingo

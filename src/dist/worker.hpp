@@ -1,0 +1,47 @@
+/**
+ * @file
+ * bingo_worker process body: receive serialized SweepJobs from the
+ * coordinator over the protocol socket, simulate them with the same
+ * runSingleJob() kernel the in-process runner uses, journal each
+ * completed job into this worker's own shard directory, and stream the
+ * outcomes (including the exact journal-record bytes) back.
+ *
+ * Liveness: a dedicated heartbeat thread sends a frame every ~200 ms
+ * even while a simulation runs, so the coordinator can tell "slow job"
+ * from "hung worker". EOF on the socket means the coordinator died;
+ * the worker exits instead of simulating orphaned.
+ *
+ * Test knobs (used by the crash-tolerance tests and the CI smoke job
+ * to produce real worker deaths, equivalent to an external kill -9):
+ *  - BINGO_DIST_TEST_CRASH_JOB=<index>[:once] — SIGKILL self when
+ *    dispatched sweep job <index>.
+ *  - BINGO_DIST_TEST_HANG_JOB=<index>[:once] — stop heartbeating and
+ *    sleep forever when dispatched sweep job <index>.
+ * With `:once` the knob fires only in the first worker process to draw
+ * the job (a marker file next to the shards makes respawned workers
+ * and re-dispatches proceed normally), turning "poison job" into
+ * "transient crash".
+ */
+
+#ifndef BINGO_DIST_WORKER_HPP
+#define BINGO_DIST_WORKER_HPP
+
+#include <string>
+
+namespace bingo
+{
+namespace dist
+{
+
+/**
+ * Run the worker protocol loop on `socket_fd` (blocking), journaling
+ * into `shard_dir` as worker `slot`. Returns the process exit code:
+ * 0 after a clean Shutdown/EOF drain, nonzero on protocol errors.
+ */
+int workerMain(int socket_fd, const std::string &shard_dir,
+               unsigned slot);
+
+} // namespace dist
+} // namespace bingo
+
+#endif // BINGO_DIST_WORKER_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * bingo_worker entry point. Spawned by the distributed sweep
+ * coordinator (src/dist/coordinator.cpp) with its protocol socket on
+ * an inherited fd; not meant to be run by hand. See worker.hpp for the
+ * protocol loop and EXPERIMENTS.md ("Distributed sweeps") for the
+ * operator-facing picture.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dist/worker.hpp"
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket-fd <fd> --shard-dir <dir> --slot <n>\n"
+        "Internal worker process of the distributed sweep runner;\n"
+        "spawned by the coordinator (BINGO_DIST_WORKERS=N), not run\n"
+        "directly.\n",
+        argv0);
+    return 64;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int socket_fd = -1;
+    std::string shard_dir;
+    long slot = -1;
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (std::strcmp(argv[i], "--socket-fd") == 0)
+            socket_fd = std::atoi(argv[i + 1]);
+        else if (std::strcmp(argv[i], "--shard-dir") == 0)
+            shard_dir = argv[i + 1];
+        else if (std::strcmp(argv[i], "--slot") == 0)
+            slot = std::atol(argv[i + 1]);
+        else
+            return usage(argv[0]);
+    }
+    if (socket_fd < 0 || shard_dir.empty() || slot < 0)
+        return usage(argv[0]);
+    return bingo::dist::workerMain(socket_fd, shard_dir,
+                                   static_cast<unsigned>(slot));
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -11,7 +12,11 @@
 #include <thread>
 #include <utility>
 
+#include <unistd.h>
+
 #include "chaos/chaos.hpp"
+#include "common/hash.hpp"
+#include "dist/coordinator.hpp"
 #include "sim/journal.hpp"
 #include "sim/report.hpp"
 #include "sim/thread_pool.hpp"
@@ -94,13 +99,32 @@ std::condition_variable g_baseline_cv;
 std::map<std::string, BaselineSlot> g_baseline_cache;
 std::string g_baseline_substrate;
 
-/** Sleep between a job's failing attempt and its retry (bounded). */
+// --- Graceful SIGINT/SIGTERM drain -------------------------------------
+
+std::atomic<int> g_sweep_signal{0};
+std::mutex g_signal_mutex;
+int g_signal_depth = 0;
+struct sigaction g_old_sigint;
+struct sigaction g_old_sigterm;
+
+/**
+ * First signal: flag the drain (async-signal-safe: one atomic store
+ * and a write(2)). Second signal: restore the default disposition and
+ * re-raise, so an impatient second Ctrl-C still kills immediately.
+ */
 void
-retryBackoff(unsigned attempt)
+sweepSignalHandler(int sig)
 {
-    const unsigned shift = std::min(attempt - 1, 6u);
-    const unsigned ms = std::min(10u << shift, 500u);
-    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    if (g_sweep_signal.exchange(sig) != 0) {
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+        return;
+    }
+    static const char msg[] =
+        "\nbingo: signal received — draining sweep (in-flight jobs "
+        "finish and journal; signal again to abort immediately)\n";
+    const ssize_t rc = ::write(2, msg, sizeof(msg) - 1);
+    (void)rc;
 }
 
 /**
@@ -216,8 +240,15 @@ runJobWithRetries(const SweepJob &job, std::size_t index,
             outcome.error = "unknown exception";
             outcome.exception = std::current_exception();
         }
-        if (attempt < max_attempts)
-            retryBackoff(attempt);
+        // A drain request cancels the remaining retries: the last
+        // failure is already recorded, and the journal keeps every
+        // completed job for the resume.
+        if (sweepInterrupted())
+            break;
+        if (attempt < max_attempts) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                retryBackoffMs(index, attempt)));
+        }
     }
 
     outcome.wall_seconds =
@@ -239,7 +270,20 @@ runIndexed(const std::vector<SweepJob> &jobs,
            std::vector<JobOutcome> &outcomes, unsigned num_threads,
            const SweepFaultHook &fault_hook)
 {
+    // Stop dispatching on SIGINT/SIGTERM: jobs that have not started
+    // when the signal lands are reported instead of run, in-flight
+    // jobs finish (or hit their watchdog deadline) and journal as
+    // usual, so the interrupted sweep resumes from BINGO_JOURNAL_DIR.
+    ScopedSweepSignals signal_guard;
     const auto runOne = [&](std::size_t i) {
+        if (sweepInterrupted()) {
+            outcomes[i].status = JobStatus::Failed;
+            outcomes[i].attempts = 0;
+            outcomes[i].error =
+                "sweep interrupted by signal before this job started "
+                "(journaled jobs are kept; re-run to resume)";
+            return;
+        }
         outcomes[i] =
             runJobWithRetries(jobs[i], i, collect, fault_hook);
     };
@@ -265,6 +309,8 @@ runIndexed(const std::vector<SweepJob> &jobs,
     // calls — a job may sweep substrate knobs (e.g. LLC replacement)
     // while its reference point stays the Table I machine.
     const auto warmOne = [&](std::size_t i) {
+        if (sweepInterrupted())
+            return;
         try {
             baselineFor(jobs[i].workload, SystemConfig{},
                         jobs[i].options);
@@ -326,6 +372,51 @@ sweepRetries()
 {
     return static_cast<unsigned>(
         std::min<std::uint64_t>(envU64("BINGO_RETRIES", 1), 100));
+}
+
+unsigned
+retryBackoffMs(std::size_t job_index, unsigned attempt)
+{
+    const unsigned shift = std::min(attempt > 0 ? attempt - 1 : 0, 6u);
+    const unsigned base = std::min(10u << shift, 500u);
+    // Deterministic jitter in [0, base/2]: two failing jobs (or two
+    // respawning workers) never sleep in lockstep, yet every
+    // (job_index, attempt) pair always waits the same time.
+    const std::uint64_t draw = hashCombine(
+        static_cast<std::uint64_t>(job_index) + 0x9e3779b97f4a7c15ULL,
+        attempt);
+    const unsigned jitter =
+        static_cast<unsigned>(draw % (base / 2 + 1));
+    return base / 2 + jitter;
+}
+
+bool
+sweepInterrupted()
+{
+    return g_sweep_signal.load(std::memory_order_relaxed) != 0;
+}
+
+ScopedSweepSignals::ScopedSweepSignals()
+{
+    std::lock_guard<std::mutex> lock(g_signal_mutex);
+    if (++g_signal_depth > 1)
+        return;
+    g_sweep_signal.store(0);
+    struct sigaction action = {};
+    action.sa_handler = sweepSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESTART;
+    sigaction(SIGINT, &action, &g_old_sigint);
+    sigaction(SIGTERM, &action, &g_old_sigterm);
+}
+
+ScopedSweepSignals::~ScopedSweepSignals()
+{
+    std::lock_guard<std::mutex> lock(g_signal_mutex);
+    if (--g_signal_depth > 0)
+        return;
+    sigaction(SIGINT, &g_old_sigint, nullptr);
+    sigaction(SIGTERM, &g_old_sigterm, nullptr);
 }
 
 double
@@ -461,6 +552,47 @@ sweepJobCount()
     return hw > 0 ? hw : 1;
 }
 
+unsigned
+sweepDistWorkers()
+{
+    return static_cast<unsigned>(
+        std::min<std::uint64_t>(envU64("BINGO_DIST_WORKERS", 0), 256));
+}
+
+JobOutcome
+runSingleJob(const SweepJob &job, std::size_t index, RunResult &result)
+{
+    const auto collect = [&](std::size_t, System &system) {
+        result = collectResult(system, job.workload);
+    };
+    return runJobWithRetries(job, index, collect, {});
+}
+
+void
+primeBaselineCache(const std::string &workload,
+                   const ExperimentOptions &options,
+                   const RunResult &result)
+{
+    const std::string key = baselineKey(workload, options);
+    std::lock_guard<std::mutex> lock(g_baseline_mutex);
+    // Baseline jobs always run the default substrate (see runIndexed).
+    if (g_baseline_substrate.empty())
+        g_baseline_substrate = substrateFingerprint(SystemConfig{});
+    auto [it, inserted] = g_baseline_cache.try_emplace(key);
+    if (!inserted && it->second.ready)
+        return;
+    it->second.result = result;
+    it->second.ready = true;
+    g_baseline_cv.notify_all();
+}
+
+void
+addExternalRunStats(std::uint64_t runs, std::uint64_t cycles)
+{
+    g_completed_runs.fetch_add(runs, std::memory_order_relaxed);
+    g_simulated_cycles.fetch_add(cycles, std::memory_order_relaxed);
+}
+
 std::vector<JobOutcome>
 runSweepSystemsOutcomes(
     const std::vector<SweepJob> &jobs,
@@ -476,6 +608,32 @@ runSweepSystemsOutcomes(
     return outcomes;
 }
 
+namespace
+{
+
+/** Post-drain note: how much of the sweep a signal cut off. */
+void
+reportInterrupted(const std::vector<JobOutcome> &outcomes)
+{
+    if (!sweepInterrupted())
+        return;
+    std::size_t not_run = 0;
+    for (const JobOutcome &outcome : outcomes) {
+        if (outcome.status == JobStatus::Failed &&
+            outcome.error.find("sweep interrupted") != std::string::npos)
+            ++not_run;
+    }
+    std::printf("Sweep interrupted by signal: %llu of %llu jobs not "
+                "run; completed jobs are journaled%s\n",
+                static_cast<unsigned long long>(not_run),
+                static_cast<unsigned long long>(outcomes.size()),
+                sweepJournalDir().empty()
+                    ? " only if BINGO_JOURNAL_DIR is set"
+                    : ", re-run the same command to resume");
+}
+
+} // namespace
+
 std::vector<JobOutcome>
 runSweepOutcomes(const std::vector<SweepJob> &jobs,
                  unsigned num_threads, const SweepFaultHook &fault_hook)
@@ -484,6 +642,25 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs,
     std::vector<RunResult> results(jobs.size());
     std::vector<std::string> fingerprints(jobs.size());
     const std::string journal_dir = sweepJournalDir();
+
+    // Distributed dispatch is transparent: BINGO_DIST_WORKERS=N hands
+    // the pending jobs to N supervised bingo_worker processes instead
+    // of in-process threads. Callers that pin num_threads or install a
+    // fault hook (test seams) keep the in-process path.
+    const bool want_dist = sweepDistWorkers() > 0 && num_threads == 0 &&
+                           !fault_hook && !jobs.empty();
+    if (want_dist && !journal_dir.empty()) {
+        // A previous coordinator may have died after its workers
+        // journaled results but before the merge; fold those shards in
+        // so the resume pass below sees them.
+        const ShardMergeStats leftover = journalMergeShards(journal_dir);
+        if (leftover.merged > 0) {
+            std::printf("Journal: recovered %llu record(s) from "
+                        "leftover worker shards\n",
+                        static_cast<unsigned long long>(
+                            leftover.merged));
+        }
+    }
 
     // Resume pass: journaled jobs become Skipped outcomes up front and
     // never reach the pool.
@@ -502,6 +679,14 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs,
         }
         pending.push_back(i);
     }
+
+    if (want_dist && !pending.empty() &&
+        dist::runSweepDistributed(jobs, pending, outcomes)) {
+        reportInterrupted(outcomes);
+        return outcomes;
+    }
+    // (Falls through to in-process execution when the bingo_worker
+    // binary cannot be located — reported by the coordinator.)
 
     // Journal inside collect — i.e. the moment each job finishes on
     // its worker — so a sweep killed mid-flight keeps everything that
@@ -523,6 +708,7 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs,
         if (outcomes[i].ok())
             outcomes[i].result = std::move(results[i]);
     }
+    reportInterrupted(outcomes);
     return outcomes;
 }
 

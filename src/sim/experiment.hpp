@@ -102,8 +102,28 @@ struct SweepJob
  */
 unsigned sweepJobCount();
 
+/**
+ * Distributed worker-process count: BINGO_DIST_WORKERS (0 = off).
+ * When nonzero, runSweepOutcomes dispatches jobs to bingo_worker
+ * processes through the src/dist coordinator instead of in-process
+ * threads (see dist/coordinator.hpp for the full contract).
+ */
+unsigned sweepDistWorkers();
+
 /** Extra attempts per failing job: BINGO_RETRIES (default 1). */
 unsigned sweepRetries();
+
+/**
+ * Backoff before retry `attempt` (numbered from 1) of job `job_index`:
+ * a bounded exponential base of 10 ms doubling per attempt, capped at
+ * 500 ms, jittered into [base/2, base] by a splitmix64 draw seeded
+ * from (job_index, attempt). The jitter de-synchronizes workers that
+ * fail simultaneously (thundering-herd avoidance) while staying fully
+ * deterministic: the same job and attempt always wait the same time.
+ * Pure function, exposed for direct unit testing; the sweep runner and
+ * the distributed supervisor both sleep exactly this value.
+ */
+unsigned retryBackoffMs(std::size_t job_index, unsigned attempt);
 
 /**
  * Per-job watchdog deadline in seconds: BINGO_JOB_TIMEOUT_S
@@ -192,6 +212,64 @@ void runSweepSystems(
     const std::vector<SweepJob> &jobs,
     const std::function<void(std::size_t, System &)> &collect,
     unsigned num_threads = 0);
+
+/**
+ * Run one sweep job on the calling thread with the full retry/
+ * timeout/chaos/telemetry treatment of a sweep worker, snapshotting
+ * the RunResult into `result` on success (Ok or Degraded). Never
+ * throws. This is the execution kernel shared by the in-process runner
+ * and the bingo_worker processes of the distributed runner; it touches
+ * no journal — persistence is the caller's job.
+ */
+JobOutcome runSingleJob(const SweepJob &job, std::size_t index,
+                        RunResult &result);
+
+/**
+ * Internal (distributed runner): seed the process-wide baseline cache
+ * with a result computed by a worker process, so post-sweep
+ * baselineFor()/tryBaselineFor() calls hit instead of re-simulating.
+ * An already-present entry is left untouched.
+ */
+void primeBaselineCache(const std::string &workload,
+                        const ExperimentOptions &options,
+                        const RunResult &result);
+
+/**
+ * Internal (distributed runner): fold simulations completed by worker
+ * processes into this process's completedRuns()/simulatedCycles()
+ * counters, so SweepTimer throughput lines and BENCH_*.json stay
+ * meaningful under distributed dispatch.
+ */
+void addExternalRunStats(std::uint64_t runs, std::uint64_t cycles);
+
+/**
+ * True once the current sweep has received SIGINT or SIGTERM under a
+ * ScopedSweepSignals guard. The runner then drains gracefully: no new
+ * jobs are dispatched, in-flight jobs finish (or hit their watchdog
+ * deadline) and journal as usual, and every undispatched job is
+ * reported as Failed with a "sweep interrupted" error — so the partial
+ * sweep is always resumable from BINGO_JOURNAL_DIR.
+ */
+bool sweepInterrupted();
+
+/**
+ * RAII SIGINT/SIGTERM handler installation for a graceful sweep drain.
+ * The first signal sets the sweepInterrupted() flag; a second signal
+ * restores the default disposition and re-raises, so an impatient
+ * second Ctrl-C still kills the process immediately. Nests: only the
+ * outermost guard installs/restores, which lets the distributed
+ * coordinator and the in-process runner share one flag. Installed
+ * automatically by runSweepOutcomes/runSweepSystemsOutcomes and the
+ * coordinator; only standalone drivers need to construct one.
+ */
+class ScopedSweepSignals
+{
+  public:
+    ScopedSweepSignals();
+    ~ScopedSweepSignals();
+    ScopedSweepSignals(const ScopedSweepSignals &) = delete;
+    ScopedSweepSignals &operator=(const ScopedSweepSignals &) = delete;
+};
 
 /**
  * Print a table of the failed jobs of a sweep (workload, prefetcher,

@@ -1,5 +1,6 @@
 #include "sim/journal.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cstdint>
@@ -235,9 +236,20 @@ bool
 journalLoad(const std::string &dir, const std::string &fingerprint,
             RunResult &out)
 {
-    std::ifstream in(journalRecordPath(dir, fingerprint));
-    if (!in)
+    std::ifstream file(journalRecordPath(dir, fingerprint),
+                       std::ios::binary);
+    if (!file)
         return false;
+    std::ostringstream text;
+    text << file.rdbuf();
+    return journalDecode(text.str(), fingerprint, out);
+}
+
+bool
+journalDecode(const std::string &text, const std::string &fingerprint,
+              RunResult &out)
+{
+    std::istringstream in(text);
 
     std::string tag;
     unsigned version = 0;
@@ -321,6 +333,86 @@ journalLoad(const std::string &dir, const std::string &fingerprint,
     return true;
 }
 
+std::string
+journalEncode(const std::string &fingerprint, const RunResult &result)
+{
+    std::ostringstream out;
+    out << kFormatTag << ' ' << kFormatVersion << '\n';
+    out << "fingerprint " << fingerprint << '\n';
+    out << "workload " << result.workload.size() << ' '
+        << result.workload << '\n';
+    out << "kind " << static_cast<unsigned>(result.kind) << '\n';
+    out << "cores " << result.core_ipc.size() << '\n';
+    out << "ipc" << std::hex;
+    for (const double ipc : result.core_ipc)
+        out << ' ' << doubleBits(ipc);
+    out << std::dec << '\n';
+    out << "instructions " << result.instructions << '\n';
+
+    std::vector<const std::uint64_t *> fields;
+    cacheFields(result.llc, fields);
+    writeStatsLine(out, "llc", fields);
+    cacheFields(result.l1d, fields);
+    writeStatsLine(out, "l1d", fields);
+    dramFields(result.dram, fields);
+    writeStatsLine(out, "dram", fields);
+
+    out << "storage " << result.prefetch_storage_bytes << '\n';
+    if (result.degraded) {
+        out << "degraded " << result.degraded_reason.size() << ' '
+            << result.degraded_reason << '\n';
+    }
+    out << "end\n";
+    return out.str();
+}
+
+namespace
+{
+
+/** Write `content` to `path` via temp + rename; throws on failure. */
+void
+atomicWriteRecord(const std::string &path, const std::string &content)
+{
+    namespace fs = std::filesystem;
+    const std::string temp_path =
+        path + ".tmp." +
+        std::to_string(std::hash<std::thread::id>{}(
+                           std::this_thread::get_id()) &
+                       0xFFFFFF);
+    {
+        std::ofstream out(temp_path, std::ios::trunc | std::ios::binary);
+        if (!out)
+            throw std::runtime_error("journal: cannot write " +
+                                     temp_path);
+        out << content;
+        out.flush();
+        if (!out)
+            throw std::runtime_error("journal: write failed for " +
+                                     temp_path);
+    }
+    std::error_code ec;
+    fs::rename(temp_path, path, ec);
+    if (ec) {
+        fs::remove(temp_path, ec);
+        throw std::runtime_error("journal: cannot rename into " + path);
+    }
+}
+
+/** Read a whole file; false when it cannot be opened. */
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    return true;
+}
+
+} // namespace
+
 void
 journalStore(const std::string &dir, const std::string &fingerprint,
              const RunResult &result)
@@ -331,55 +423,91 @@ journalStore(const std::string &dir, const std::string &fingerprint,
     if (ec)
         throw std::runtime_error("journal: cannot create " + dir +
                                  ": " + ec.message());
+    atomicWriteRecord(journalRecordPath(dir, fingerprint),
+                      journalEncode(fingerprint, result));
+}
 
-    const std::string final_path = journalRecordPath(dir, fingerprint);
-    const std::string temp_path =
-        final_path + ".tmp." +
-        std::to_string(std::hash<std::thread::id>{}(
-                           std::this_thread::get_id()) &
-                       0xFFFFFF);
-    {
-        std::ofstream out(temp_path, std::ios::trunc);
-        if (!out)
-            throw std::runtime_error("journal: cannot write " +
-                                     temp_path);
-        out << kFormatTag << ' ' << kFormatVersion << '\n';
-        out << "fingerprint " << fingerprint << '\n';
-        out << "workload " << result.workload.size() << ' '
-            << result.workload << '\n';
-        out << "kind " << static_cast<unsigned>(result.kind) << '\n';
-        out << "cores " << result.core_ipc.size() << '\n';
-        out << "ipc" << std::hex;
-        for (const double ipc : result.core_ipc)
-            out << ' ' << doubleBits(ipc);
-        out << std::dec << '\n';
-        out << "instructions " << result.instructions << '\n';
+std::string
+journalShardRoot(const std::string &dir)
+{
+    return (std::filesystem::path(dir) / "shards").string();
+}
 
-        std::vector<const std::uint64_t *> fields;
-        cacheFields(result.llc, fields);
-        writeStatsLine(out, "llc", fields);
-        cacheFields(result.l1d, fields);
-        writeStatsLine(out, "l1d", fields);
-        dramFields(result.dram, fields);
-        writeStatsLine(out, "dram", fields);
+std::string
+journalShardDir(const std::string &dir, unsigned slot)
+{
+    return (std::filesystem::path(journalShardRoot(dir)) /
+            ("w" + std::to_string(slot)))
+        .string();
+}
 
-        out << "storage " << result.prefetch_storage_bytes << '\n';
-        if (result.degraded) {
-            out << "degraded " << result.degraded_reason.size() << ' '
-                << result.degraded_reason << '\n';
+ShardMergeStats
+journalMergeShards(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    ShardMergeStats stats;
+    const fs::path root(journalShardRoot(dir));
+    std::error_code ec;
+    if (!fs::is_directory(root, ec))
+        return stats;
+
+    std::vector<fs::path> shard_dirs;
+    for (const auto &entry : fs::directory_iterator(root, ec)) {
+        if (entry.is_directory())
+            shard_dirs.push_back(entry.path());
+    }
+    // Deterministic merge order, so which duplicate "wins" (they are
+    // byte-identical anyway) never depends on directory enumeration.
+    std::sort(shard_dirs.begin(), shard_dirs.end());
+
+    for (const fs::path &shard : shard_dirs) {
+        ++stats.shard_dirs;
+        std::vector<fs::path> records;
+        for (const auto &entry : fs::directory_iterator(shard, ec)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".run")
+                records.push_back(entry.path());
         }
-        out << "end\n";
-        out.flush();
-        if (!out)
-            throw std::runtime_error("journal: write failed for " +
-                                     temp_path);
+        std::sort(records.begin(), records.end());
+        for (const fs::path &record : records) {
+            const std::string fingerprint = record.stem().string();
+            std::string content;
+            RunResult decoded;
+            if (!readFile(record.string(), content) ||
+                !journalDecode(content, fingerprint, decoded)) {
+                std::fprintf(stderr,
+                             "journal: skipping corrupt shard record "
+                             "%s\n",
+                             record.string().c_str());
+                ++stats.corrupt;
+                fs::remove(record, ec);
+                continue;
+            }
+            const std::string canonical =
+                journalRecordPath(dir, fingerprint);
+            std::string existing;
+            if (readFile(canonical, existing)) {
+                if (existing != content) {
+                    throw std::runtime_error(
+                        "journal: conflicting records for fingerprint " +
+                        fingerprint + ": shard " + record.string() +
+                        " disagrees with canonical " + canonical +
+                        " (nondeterministic run or cross-config "
+                        "contamination)");
+                }
+                ++stats.deduplicated;
+            } else {
+                atomicWriteRecord(canonical, content);
+                ++stats.merged;
+            }
+            fs::remove(record, ec);
+        }
+        // Leave non-record droppings (stale temp files, test markers)
+        // behind only if present; an emptied shard dir is removed.
+        fs::remove(shard, ec);
     }
-    fs::rename(temp_path, final_path, ec);
-    if (ec) {
-        fs::remove(temp_path, ec);
-        throw std::runtime_error("journal: cannot rename into " +
-                                 final_path);
-    }
+    fs::remove(root, ec);
+    return stats;
 }
 
 } // namespace bingo

@@ -12,11 +12,20 @@
  * run lengths/seed — so a record can never be replayed against a
  * different experiment. Doubles are stored as their IEEE-754 bit
  * patterns, making a resumed table bit-identical, not just close.
+ *
+ * Shards: the distributed runner (src/dist) gives every worker process
+ * its own shard directory under `<dir>/shards/` to journal into, and
+ * the coordinator folds the shards back into the canonical directory
+ * with journalMergeShards(). Because the record serializer is shared
+ * (journalEncode is the only writer) and simulations are
+ * deterministic, a merged distributed journal is byte-identical to the
+ * journal of a single-process run of the same jobs.
  */
 
 #ifndef BINGO_SIM_JOURNAL_HPP
 #define BINGO_SIM_JOURNAL_HPP
 
+#include <cstddef>
 #include <string>
 
 #include "sim/metrics.hpp"
@@ -55,6 +64,58 @@ bool journalLoad(const std::string &dir, const std::string &fingerprint,
  */
 void journalStore(const std::string &dir, const std::string &fingerprint,
                   const RunResult &result);
+
+/**
+ * Serialize `result` into the exact bytes journalStore writes — the
+ * single record serializer shared by the journal, the worker shards,
+ * and the coordinator/worker wire protocol, which is what makes
+ * "merged shards are byte-identical to a single-process journal" a
+ * structural property rather than a hope.
+ */
+std::string journalEncode(const std::string &fingerprint,
+                          const RunResult &result);
+
+/**
+ * Parse journalEncode output. Returns false — never throws — when the
+ * text is truncated, garbled, from another format version, or carries
+ * a fingerprint other than `fingerprint`.
+ */
+bool journalDecode(const std::string &text,
+                   const std::string &fingerprint, RunResult &out);
+
+/** `<dir>/shards`: where worker shard directories live. */
+std::string journalShardRoot(const std::string &dir);
+
+/** Shard directory of worker slot `slot` under journal `dir`. */
+std::string journalShardDir(const std::string &dir, unsigned slot);
+
+/** What journalMergeShards did, for logs and tests. */
+struct ShardMergeStats
+{
+    std::size_t shard_dirs = 0;   ///< Shard directories visited.
+    std::size_t merged = 0;       ///< Records moved into the canonical dir.
+    std::size_t deduplicated = 0; ///< Identical duplicates dropped.
+    std::size_t corrupt = 0;      ///< Truncated/garbled records skipped.
+};
+
+/**
+ * Fold every record under `<dir>/shards/` into the canonical journal
+ * `dir`, fingerprint-keyed:
+ *  - a fingerprint absent from the canonical dir is moved in (atomic
+ *    temp + rename, byte-for-byte the shard record's content);
+ *  - a duplicate with byte-identical payload is deduplicated (the
+ *    shard copy is deleted) — re-dispatched jobs after a worker death
+ *    land here, since re-simulation is deterministic;
+ *  - a duplicate with a *conflicting* payload throws std::runtime_error
+ *    naming both file paths: it means nondeterminism or cross-config
+ *    contamination, and must never be silently resolved;
+ *  - a truncated or garbled record (worker died mid-write of a temp
+ *    that somehow survived, disk corruption) is skipped with a warning
+ *    to stderr, never a crash — the job simply re-runs.
+ * Emptied shard directories (and the shards root) are removed. Safe to
+ * call when `<dir>/shards` does not exist (returns all-zero stats).
+ */
+ShardMergeStats journalMergeShards(const std::string &dir);
 
 } // namespace bingo
 
