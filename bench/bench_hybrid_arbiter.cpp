@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Hybrid arbiter shape check: Bingo, ISB, Domino and the Hybrid
+ * composition of the three on the temporal Markov-chase workload plus
+ * a spatial/server slice of Table II.
+ *
+ * The claims under test:
+ *  - the temporal engines beat Bingo on the pointer-chase trace
+ *    (scattered Markov chains have no spatial structure to vote on);
+ *  - Bingo beats the temporal engines on the spatial workloads;
+ *  - the per-PC arbiter keeps Hybrid at (or above) the best single
+ *    engine everywhere — it should never trail the per-workload
+ *    winner by more than a whisker, because the accuracy counters
+ *    route the issue bandwidth to whichever engine is winning.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/experiment.hpp"
+#include "sim/report.hpp"
+#include "workload/generator.hpp"
+
+int
+main()
+{
+    using namespace bingo;
+
+    const ExperimentOptions options = defaultOptions();
+    const SweepTimer timer;
+    std::printf("Hybrid arbiter: temporal engines vs Bingo vs the "
+                "per-PC hybrid composition\n");
+    printConfigHeader(SystemConfig{});
+
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::Bingo, PrefetcherKind::Isb,
+        PrefetcherKind::Domino, PrefetcherKind::Hybrid};
+    std::vector<std::string> workloads = temporalWorkloadNames();
+    workloads.insert(workloads.end(),
+                     {"Data Serving", "Streaming", "em3d"});
+
+    TextTable table({"Workload", "Prefetcher", "MPKI", "Coverage",
+                     "Accuracy", "Timely"});
+
+    std::vector<SweepJob> jobs;
+    for (const std::string &workload : workloads) {
+        for (PrefetcherKind kind : kinds) {
+            jobs.push_back({workload, benchutil::configFor(kind),
+                            options, /*compare_baseline=*/true});
+        }
+    }
+    const std::vector<JobOutcome> outcomes = runSweepOutcomes(jobs);
+
+    bool hybrid_holds = true;
+    bool temporal_wins = true;
+    std::size_t job = 0;
+    for (const std::string &workload : workloads) {
+        const RunResult *baseline =
+            tryBaselineFor(workload, SystemConfig{}, options);
+        double best_single = 0.0;
+        double bingo_cov = 0.0;
+        double temporal_cov = 0.0;
+        double hybrid_cov = 0.0;
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const JobOutcome &outcome = outcomes[job++];
+            if (baseline == nullptr || !outcome.ok()) {
+                table.addRow({workload, prefetcherName(kinds[k]),
+                              benchutil::kFailCell,
+                              benchutil::kFailCell,
+                              benchutil::kFailCell,
+                              benchutil::kFailCell});
+                continue;
+            }
+            const PrefetchMetrics metrics =
+                computeMetrics(*baseline, outcome.result);
+            const CacheStats &llc = outcome.result.llc;
+            table.addRow(
+                {workload, prefetcherName(kinds[k]),
+                 benchutil::cellFor(
+                     outcome, fmtDouble(outcome.result.llcMpki())),
+                 benchutil::cellFor(outcome,
+                                    fmtPercent(metrics.coverage)),
+                 benchutil::cellFor(outcome,
+                                    fmtPercent(metrics.accuracy)),
+                 llc.useful_prefetches > 0
+                     ? fmtPercent(1.0 - llc.lateHitRate())
+                     : "n/a"});
+            if (kinds[k] == PrefetcherKind::Hybrid) {
+                hybrid_cov = metrics.coverage;
+            } else {
+                best_single = std::max(best_single, metrics.coverage);
+                if (kinds[k] == PrefetcherKind::Bingo)
+                    bingo_cov = metrics.coverage;
+                else
+                    temporal_cov =
+                        std::max(temporal_cov, metrics.coverage);
+            }
+        }
+        // The acceptance bar: hybrid within 2% of the per-workload
+        // best single engine, temporal above Bingo on the chase.
+        if (hybrid_cov < best_single - 0.02)
+            hybrid_holds = false;
+        if (workload == "Markov Chase" && temporal_cov <= bingo_cov)
+            temporal_wins = false;
+        std::printf("  %-14s best-single %5.1f%%  hybrid %5.1f%%  "
+                    "(delta %+.1f%%)\n",
+                    workload.c_str(), best_single * 100.0,
+                    hybrid_cov * 100.0,
+                    (hybrid_cov - best_single) * 100.0);
+    }
+    table.print();
+    table.maybeWriteCsv("hybrid_arbiter");
+    reportFailures(jobs, outcomes);
+
+    std::printf("\nShape check: %s; %s.\n",
+                temporal_wins
+                    ? "temporal engines beat Bingo on Markov Chase"
+                    : "FAILED - Bingo matched the temporal engines "
+                      "on Markov Chase",
+                hybrid_holds
+                    ? "hybrid held the best single engine everywhere"
+                    : "FAILED - hybrid trailed the best single "
+                      "engine by more than 2%");
+    timer.report("hybrid_arbiter");
+    return (temporal_wins && hybrid_holds) ? 0 : 1;
+}

@@ -66,9 +66,9 @@ main(int argc, char **argv)
     const std::string pf_name = argc > 2 ? argv[2] : "bingo";
 
     SystemConfig config;
-    config.prefetcher.kind = pf_name == "none"
-                                 ? PrefetcherKind::None
-                                 : PrefetcherKind::Bingo;
+    // Resolve via the factory registry: any engine it can name works
+    // here, and a typo prints the full list.
+    config.prefetcher.kind = prefetcherKindFromName(pf_name);
 
     // Each core replays its own copy of the trace (the file source is
     // cyclic, so short traces simply loop).

@@ -80,6 +80,9 @@ prefetcherName(PrefetcherKind kind)
       case PrefetcherKind::Bingo: return "Bingo";
       case PrefetcherKind::BingoMulti: return "BingoMulti";
       case PrefetcherKind::EventStudy: return "EventStudy";
+      case PrefetcherKind::Isb: return "ISB";
+      case PrefetcherKind::Domino: return "Domino";
+      case PrefetcherKind::Hybrid: return "Hybrid";
     }
     return "Unknown";
 }
@@ -135,6 +138,40 @@ PrefetcherConfig::storageBytes() const
       case PrefetcherKind::BingoMulti:
         // One full table per event: tag + footprint + lru each.
         return num_events * pht_entries * (26 + fp_bits + 4) / 8;
+      case PrefetcherKind::Isb:
+        // Training unit: pc tag(16)+last block(36); PS: tag(30)+
+        // structural(32)+conf(2); SP: tag(32)+block(36); plus the
+        // shared metadata filter: tag(16)+counter.
+        return (isb_training_entries * (16 + 36) +
+                isb_mapping_entries * (30 + 32 + 2) +
+                isb_mapping_entries * (32 + 36) +
+                temporal_filter_entries *
+                    (16 + temporal_filter_bits)) / 8;
+      case PrefetcherKind::Domino:
+        // Pair table: tag(24)+next block(36)+conf(2); single-miss
+        // fallback at a quarter of the entries; shared filter.
+        return (domino_table_entries * (24 + 36 + 2) +
+                (domino_table_entries / 4) * (24 + 36 + 2) +
+                temporal_filter_entries *
+                    (16 + temporal_filter_bits)) / 8;
+      case PrefetcherKind::Hybrid: {
+        // Sum of the hosted engines plus the arbiter's own tables:
+        // per-PC router (tag + one counter per engine + lru) and the
+        // issued-block verdict tracker (tag + pc + engine mask).
+        std::uint64_t total =
+            (hybrid_pc_entries *
+                 (16 + hybrid_engines.size() * hybrid_counter_bits +
+                  4) +
+             hybrid_tracker_entries * (36 + 16 + 8)) / 8;
+        for (PrefetcherKind engine : hybrid_engines) {
+            if (engine == PrefetcherKind::Hybrid)
+                continue;  // Nesting is rejected by validate().
+            PrefetcherConfig sub = *this;
+            sub.kind = engine;
+            total += sub.storageBytes();
+        }
+        return total;
+      }
     }
     return 0;
 }
@@ -206,6 +243,62 @@ SystemConfig::validate() const
         reject("prefetcher.num_events",
                "must be in [1, 5], got " +
                    std::to_string(pf.num_events));
+
+    // Temporal-family tables are built 8-way, so the entry counts must
+    // split into power-of-two sets.
+    const auto requireTableEntries = [](const std::string &field,
+                                        std::uint64_t entries) {
+        if (entries < 8 || !isPowerOfTwo(entries))
+            reject(field, "must be a power of two >= 8, got " +
+                              std::to_string(entries));
+    };
+    requireTableEntries("prefetcher.isb_training_entries",
+                        pf.isb_training_entries);
+    requireTableEntries("prefetcher.isb_mapping_entries",
+                        pf.isb_mapping_entries);
+    requireTableEntries("prefetcher.domino_table_entries",
+                        pf.domino_table_entries);
+    requireTableEntries("prefetcher.temporal_filter_entries",
+                        pf.temporal_filter_entries);
+    requireTableEntries("prefetcher.hybrid_pc_entries",
+                        pf.hybrid_pc_entries);
+    requireTableEntries("prefetcher.hybrid_tracker_entries",
+                        pf.hybrid_tracker_entries);
+    requireDegree("prefetcher.isb_degree", pf.isb_degree);
+    requireDegree("prefetcher.domino_degree", pf.domino_degree);
+    requireDegree("prefetcher.hybrid_issue_budget",
+                  pf.hybrid_issue_budget);
+    if (pf.temporal_filter_bits < 1 || pf.temporal_filter_bits > 8)
+        reject("prefetcher.temporal_filter_bits",
+               "must be in [1, 8], got " +
+                   std::to_string(pf.temporal_filter_bits));
+    if (pf.temporal_filter_threshold >=
+        (1U << pf.temporal_filter_bits))
+        reject("prefetcher.temporal_filter_threshold",
+               "must be representable in temporal_filter_bits, got " +
+                   std::to_string(pf.temporal_filter_threshold));
+    if (pf.hybrid_counter_bits < 1 || pf.hybrid_counter_bits > 8)
+        reject("prefetcher.hybrid_counter_bits",
+               "must be in [1, 8], got " +
+                   std::to_string(pf.hybrid_counter_bits));
+    if (pf.kind == PrefetcherKind::Hybrid) {
+        if (pf.hybrid_engines.empty())
+            reject("prefetcher.hybrid_engines", "must not be empty");
+        if (pf.hybrid_engines.size() > 8)
+            reject("prefetcher.hybrid_engines",
+                   "must host at most 8 engines, got " +
+                       std::to_string(pf.hybrid_engines.size()));
+        for (PrefetcherKind engine : pf.hybrid_engines) {
+            if (engine == PrefetcherKind::Hybrid)
+                reject("prefetcher.hybrid_engines",
+                       "must not nest Hybrid inside Hybrid");
+            if (engine == PrefetcherKind::None ||
+                engine == PrefetcherKind::EventStudy)
+                reject("prefetcher.hybrid_engines",
+                       "must host prefetching engines, got " +
+                           prefetcherName(engine));
+        }
+    }
 
     requireFraction("chaos.rate", chaos.rate);
     if (chaos.enabled && chaos.site_mask == 0)

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -98,6 +99,12 @@ enum class PrefetcherKind
     Bingo,
     BingoMulti,   ///< Naive multi-table TAGE-like variant (Fig. 3/4).
     EventStudy,   ///< Non-prefetching observer (Figs. 2-4).
+    // Values below were appended after EventStudy; journal records and
+    // the dist wire protocol serialize the enum as an unsigned, so new
+    // kinds must only ever be appended here.
+    Isb,          ///< ISB/SISB-style temporal stream prefetcher.
+    Domino,       ///< Domino-style pair/sequence correlation.
+    Hybrid,       ///< Multi-engine arbiter with per-PC routing.
 };
 
 /** Human-readable prefetcher name as used in the paper's figures. */
@@ -149,6 +156,42 @@ struct PrefetcherConfig
     // --- BingoMulti / EventStudy: number of event tables (1..5),
     //     longest first: PC+Address, PC+Offset, PC, Address, Offset.
     unsigned num_events = 2;
+
+    // --- ISB (temporal): per-PC training unit plus the two mapping
+    //     caches (physical->structural and structural->physical).
+    std::size_t isb_training_entries = 256;
+    std::size_t isb_mapping_entries = 262144;  ///< Each of PS and SP.
+    unsigned isb_degree = 8;
+
+    // --- Domino (temporal): last-two-miss pair table plus a
+    //     single-miss fallback table (a quarter of the pair entries).
+    std::size_t domino_table_entries = 262144;
+    unsigned domino_degree = 8;
+
+    // --- Triangel-style metadata filter shared by the temporal
+    //     engines: a correlation must be sampled `threshold` times
+    //     before it may claim a mapping/correlation-table entry, so
+    //     one-shot noise cannot evict established metadata.
+    std::size_t temporal_filter_entries = 131072;
+    unsigned temporal_filter_bits = 2;
+    unsigned temporal_filter_threshold = 1;
+
+    // --- Hybrid arbiter: hosted engines (order fixes the tie-break
+    //     and the telemetry attribution), per-PC accuracy table,
+    //     issued-block verdict tracker, and the issue budget shared
+    //     across engines per trigger access.
+    std::vector<PrefetcherKind> hybrid_engines{
+        PrefetcherKind::Bingo, PrefetcherKind::Isb,
+        PrefetcherKind::Domino};
+    std::size_t hybrid_pc_entries = 1024;
+    // Sized like the LLC tag array: the verdict state conceptually
+    // lives in the cache tags (a prefetched bit plus proposer mask per
+    // line), so a tracked block survives until its demand or eviction
+    // actually happens. An undersized tracker churns out most verdicts
+    // and the confidence counters drift on the biased remainder.
+    std::size_t hybrid_tracker_entries = 131072;
+    unsigned hybrid_counter_bits = 4;
+    unsigned hybrid_issue_budget = 32;
 
     /** Metadata storage of this prefetcher in bytes (for Fig. 9). */
     std::uint64_t storageBytes() const;

@@ -223,6 +223,17 @@ encodeJob(const WireJob &wire)
         << pf.vldp_degree << ' ' << pf.ampm_map_entries << ' '
         << pf.ampm_degree << ' ' << pf.stride_table_entries << ' '
         << pf.stride_degree << ' ' << pf.num_events << '\n';
+    out << "temporal " << pf.isb_training_entries << ' '
+        << pf.isb_mapping_entries << ' ' << pf.isb_degree << ' '
+        << pf.domino_table_entries << ' ' << pf.domino_degree << ' '
+        << pf.temporal_filter_entries << ' ' << pf.temporal_filter_bits
+        << ' ' << pf.temporal_filter_threshold << ' '
+        << pf.hybrid_pc_entries << ' ' << pf.hybrid_tracker_entries
+        << ' ' << pf.hybrid_counter_bits << ' '
+        << pf.hybrid_issue_budget << ' ' << pf.hybrid_engines.size();
+    for (PrefetcherKind engine : pf.hybrid_engines)
+        out << ' ' << static_cast<unsigned>(engine);
+    out << '\n';
     out << "chaos " << (cfg.chaos.enabled ? 1 : 0) << ' '
         << cfg.chaos.seed << ' ' << doubleBits(cfg.chaos.rate) << ' '
         << cfg.chaos.site_mask << '\n';
@@ -301,11 +312,32 @@ decodeJob(const std::string &payload, WireJob &out)
           pf.vldp_dpt_entries >> pf.vldp_degree >> pf.ampm_map_entries >>
           pf.ampm_degree >> pf.stride_table_entries >>
           pf.stride_degree >> pf.num_events) ||
-        kind > static_cast<unsigned>(PrefetcherKind::EventStudy))
+        kind > static_cast<unsigned>(PrefetcherKind::Hybrid))
         return false;
     pf.kind = static_cast<PrefetcherKind>(kind);
     pf.vote_threshold = doubleFromBits(vote_bits);
     pf.spp_confidence_threshold = doubleFromBits(spp_conf_bits);
+
+    std::size_t n_engines = 0;
+    if (!expect(in, "temporal") ||
+        !(in >> pf.isb_training_entries >> pf.isb_mapping_entries >>
+          pf.isb_degree >> pf.domino_table_entries >>
+          pf.domino_degree >> pf.temporal_filter_entries >>
+          pf.temporal_filter_bits >> pf.temporal_filter_threshold >>
+          pf.hybrid_pc_entries >> pf.hybrid_tracker_entries >>
+          pf.hybrid_counter_bits >> pf.hybrid_issue_budget >>
+          n_engines) ||
+        n_engines > 8)
+        return false;
+    pf.hybrid_engines.clear();
+    for (std::size_t i = 0; i < n_engines; ++i) {
+        unsigned engine = 0;
+        if (!(in >> engine) ||
+            engine > static_cast<unsigned>(PrefetcherKind::Hybrid))
+            return false;
+        pf.hybrid_engines.push_back(
+            static_cast<PrefetcherKind>(engine));
+    }
 
     unsigned chaos_enabled = 0;
     std::uint64_t rate_bits = 0;

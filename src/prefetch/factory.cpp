@@ -1,47 +1,107 @@
+/**
+ * @file
+ * Prefetcher factory: one registry row per engine. Adding a model is
+ * one header include plus one `entry<Model>` line — the switch-based
+ * dispatch, the CLI name lookup, and the "registered names" error
+ * text all derive from the same table.
+ */
+
 #include "prefetch/prefetcher.hpp"
+
+#include <stdexcept>
 
 #include "prefetch/ampm.hpp"
 #include "prefetch/bingo.hpp"
 #include "prefetch/bingo_multi.hpp"
 #include "prefetch/bop.hpp"
 #include "prefetch/event_study.hpp"
+#include "prefetch/hybrid.hpp"
 #include "prefetch/nextline.hpp"
 #include "prefetch/sms.hpp"
 #include "prefetch/spp.hpp"
 #include "prefetch/stride.hpp"
+#include "prefetch/temporal/domino.hpp"
+#include "prefetch/temporal/isb.hpp"
 #include "prefetch/vldp.hpp"
 
 namespace bingo
 {
 
+namespace
+{
+
+using Builder =
+    std::unique_ptr<Prefetcher> (*)(const PrefetcherConfig &);
+
+struct RegistryRow
+{
+    PrefetcherKind kind;
+    const char *cli_name;  ///< Lower-case name used on command lines.
+    Builder build;         ///< Null for kinds with no model (None).
+};
+
+template <typename Model>
+std::unique_ptr<Prefetcher>
+construct(const PrefetcherConfig &config)
+{
+    return std::make_unique<Model>(config);
+}
+
+constexpr RegistryRow kRegistry[] = {
+    {PrefetcherKind::None, "none", nullptr},
+    {PrefetcherKind::NextLine, "nextline", construct<NextLinePrefetcher>},
+    {PrefetcherKind::Stride, "stride", construct<StridePrefetcher>},
+    {PrefetcherKind::Bop, "bop", construct<BopPrefetcher>},
+    {PrefetcherKind::Spp, "spp", construct<SppPrefetcher>},
+    {PrefetcherKind::Vldp, "vldp", construct<VldpPrefetcher>},
+    {PrefetcherKind::Ampm, "ampm", construct<AmpmPrefetcher>},
+    {PrefetcherKind::Sms, "sms", construct<SmsPrefetcher>},
+    {PrefetcherKind::Bingo, "bingo", construct<BingoPrefetcher>},
+    {PrefetcherKind::BingoMulti, "bingo-multi",
+     construct<BingoMultiPrefetcher>},
+    {PrefetcherKind::EventStudy, "event-study",
+     construct<EventStudyObserver>},
+    {PrefetcherKind::Isb, "isb", construct<IsbPrefetcher>},
+    {PrefetcherKind::Domino, "domino", construct<DominoPrefetcher>},
+    {PrefetcherKind::Hybrid, "hybrid", construct<HybridPrefetcher>},
+};
+
+} // namespace
+
 std::unique_ptr<Prefetcher>
 makePrefetcher(const PrefetcherConfig &config)
 {
-    switch (config.kind) {
-      case PrefetcherKind::None:
-        return nullptr;
-      case PrefetcherKind::NextLine:
-        return std::make_unique<NextLinePrefetcher>(config);
-      case PrefetcherKind::Stride:
-        return std::make_unique<StridePrefetcher>(config);
-      case PrefetcherKind::Bop:
-        return std::make_unique<BopPrefetcher>(config);
-      case PrefetcherKind::Spp:
-        return std::make_unique<SppPrefetcher>(config);
-      case PrefetcherKind::Vldp:
-        return std::make_unique<VldpPrefetcher>(config);
-      case PrefetcherKind::Ampm:
-        return std::make_unique<AmpmPrefetcher>(config);
-      case PrefetcherKind::Sms:
-        return std::make_unique<SmsPrefetcher>(config);
-      case PrefetcherKind::Bingo:
-        return std::make_unique<BingoPrefetcher>(config);
-      case PrefetcherKind::BingoMulti:
-        return std::make_unique<BingoMultiPrefetcher>(config);
-      case PrefetcherKind::EventStudy:
-        return std::make_unique<EventStudyObserver>(config);
+    for (const RegistryRow &row : kRegistry) {
+        if (row.kind != config.kind)
+            continue;
+        return row.build == nullptr ? nullptr : row.build(config);
     }
     return nullptr;
+}
+
+PrefetcherKind
+prefetcherKindFromName(const std::string &name)
+{
+    for (const RegistryRow &row : kRegistry)
+        if (name == row.cli_name)
+            return row.kind;
+    std::string known;
+    for (const RegistryRow &row : kRegistry) {
+        if (!known.empty())
+            known += ", ";
+        known += row.cli_name;
+    }
+    throw std::invalid_argument("unknown prefetcher '" + name +
+                                "' (registered: " + known + ")");
+}
+
+std::vector<std::string>
+registeredPrefetcherNames()
+{
+    std::vector<std::string> names;
+    for (const RegistryRow &row : kRegistry)
+        names.emplace_back(row.cli_name);
+    return names;
 }
 
 } // namespace bingo

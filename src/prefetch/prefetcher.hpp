@@ -98,6 +98,16 @@ class Prefetcher
 std::unique_ptr<Prefetcher> makePrefetcher(const PrefetcherConfig &config);
 
 /**
+ * Resolve a lower-case command-line name ("bingo", "isb", ...) to its
+ * PrefetcherKind. Throws std::invalid_argument listing every
+ * registered name when `name` is unknown.
+ */
+PrefetcherKind prefetcherKindFromName(const std::string &name);
+
+/** Every registered command-line name, in registry order. */
+std::vector<std::string> registeredPrefetcherNames();
+
+/**
  * The five trigger-event heuristics of the paper's Figure 2, longest
  * to shortest. Each maps a trigger access to the 64-bit key the history
  * table is searched with.

@@ -1,0 +1,161 @@
+#include "prefetch/temporal/domino.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+namespace
+{
+
+std::uint64_t
+pairIndex(Addr prev, Addr last)
+{
+    return mix64(prev * 0x9e3779b97f4a7c15ULL ^ last);
+}
+
+std::uint64_t
+singleIndex(Addr last)
+{
+    return mix64(last);
+}
+
+} // namespace
+
+DominoPrefetcher::DominoPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      pair_(config.domino_table_entries / kWays, kWays),
+      single_((config.domino_table_entries / 4) / kWays, kWays),
+      filter_(config.temporal_filter_entries,
+              config.temporal_filter_bits,
+              config.temporal_filter_threshold),
+      degree_(config.domino_degree)
+{
+}
+
+void
+DominoPrefetcher::train(SetAssocTable<CorrEntry> &table,
+                        std::uint64_t key, Addr next)
+{
+    const std::size_t set = table.setIndex(key);
+    auto *entry = table.find(set, key);
+    if (entry == nullptr) {
+        // New correlation: it must recur in the sample filter before
+        // it may claim a table entry (Triangel's insertion gate). The
+        // key folds in the successor, so (context -> X) and
+        // (context -> Y) are sampled independently.
+        if (!filter_.admit(mix64(key ^ next))) {
+            filter_rejects_stat_.bump(stats_, "filter_rejects");
+            return;
+        }
+        // The filter already proved this correlation recurs, so it
+        // enters at prediction strength (conf 2) instead of needing
+        // yet another traversal to become usable.
+        table.insert(set, key, CorrEntry{next, 2});
+        return;
+    }
+    CorrEntry &corr = entry->data;
+    if (corr.next == next) {
+        if (corr.conf < 3)
+            ++corr.conf;
+        return;
+    }
+    // Conflicting successor: confidence hysteresis, then replace.
+    if (corr.conf > 0) {
+        --corr.conf;
+        return;
+    }
+    corr.next = next;
+    corr.conf = 1;
+    replacements_stat_.bump(stats_, "replacements");
+}
+
+void
+DominoPrefetcher::onAccess(const PrefetchAccess &access,
+                           std::vector<Addr> &out)
+{
+    const Addr block = access.block;
+
+    if (!access.hit) {
+        // Train on the miss sequence: (prev, last) -> block and the
+        // single-miss fallback last -> block.
+        if (misses_seen_ >= 2) {
+            trains_stat_.bump(stats_, "trains");
+            train(pair_, pairIndex(hist_prev_, hist_last_), block);
+        }
+        if (misses_seen_ >= 1)
+            train(single_, singleIndex(hist_last_), block);
+        hist_prev_ = hist_last_;
+        hist_last_ = block;
+        if (misses_seen_ < 2)
+            ++misses_seen_;
+    }
+
+    // Predict by chaining from the current context. Hits predict too
+    // (context = the access following the last misses), so a stream
+    // that prefetching has turned into hits keeps running ahead
+    // instead of stalling until the next miss.
+    Addr prev = access.hit ? hist_last_ : hist_prev_;
+    Addr last = block;
+    for (unsigned d = 0; d < degree_; ++d) {
+        Addr next = 0;
+        auto *pair = pair_.find(pair_.setIndex(pairIndex(prev, last)),
+                                pairIndex(prev, last));
+        if (pair != nullptr && pair->data.conf >= 2) {
+            next = pair->data.next;
+            pair_predictions_stat_.bump(stats_, "pair_predictions");
+        } else {
+            auto *single =
+                single_.find(single_.setIndex(singleIndex(last)),
+                             singleIndex(last));
+            if (single != nullptr && single->data.conf >= 2) {
+                next = single->data.next;
+                single_predictions_stat_.bump(stats_,
+                                              "single_predictions");
+            }
+        }
+        if (next == 0)
+            break;
+        out.push_back(next);
+        prev = last;
+        last = next;
+    }
+}
+
+Addr
+DominoPrefetcher::predictedAfter(Addr prev, Addr last)
+{
+    const std::uint64_t key = pairIndex(prev, last);
+    auto *entry =
+        pair_.find(pair_.setIndex(key), key, /*touch=*/false);
+    return entry == nullptr ? 0 : entry->data.next;
+}
+
+void
+DominoPrefetcher::perturbMetadata(Rng &rng)
+{
+    // Soft error in the pair table, fallback table, or filter. An
+    // invalid victim consumes the draws without flipping.
+    const std::uint64_t table_draw = rng.below(3);
+    const std::uint64_t bit_draw = rng.next();
+    if (table_draw == 0) {
+        auto &entry = pair_.entryAt(rng.below(pair_.capacity()));
+        if (!entry.valid)
+            return;
+        entry.data.next ^=
+            1ULL << (kBlockBits + bit_draw % (45 - kBlockBits));
+    } else if (table_draw == 1) {
+        auto &entry = single_.entryAt(rng.below(single_.capacity()));
+        if (!entry.valid)
+            return;
+        entry.data.next ^=
+            1ULL << (kBlockBits + bit_draw % (45 - kBlockBits));
+    } else {
+        auto &entry = filter_.entryAt(rng.below(filter_.capacity()));
+        if (!entry.valid)
+            return;
+        entry.data ^= 1U << (bit_draw % 2);
+    }
+}
+
+} // namespace bingo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Domino temporal prefetcher (Bakhshalipour et al., HPCA 2018 — the
+ * same group as Bingo), simplified to its core mechanism.
+ *
+ * Domino indexes a correlation table with the *last two* miss
+ * addresses: the pair (miss[i-1], miss[i]) predicts miss[i+1], which
+ * disambiguates far better than single-miss Markov prefetchers when
+ * several streams interleave. A single-miss fallback table serves
+ * cold pairs. Predictions chain: each predicted block re-enters the
+ * pair index, following the learned sequence up to `degree` ahead.
+ *
+ * Insertions into both tables pass the Triangel-style MetadataFilter,
+ * and established entries are protected by confidence hysteresis, so
+ * one-shot miss noise neither claims nor evicts useful correlations.
+ */
+
+#ifndef BINGO_PREFETCH_TEMPORAL_DOMINO_HPP
+#define BINGO_PREFETCH_TEMPORAL_DOMINO_HPP
+
+#include "common/table.hpp"
+#include "prefetch/prefetcher.hpp"
+#include "prefetch/temporal/metadata_filter.hpp"
+
+namespace bingo
+{
+
+/** Domino-style pair/sequence correlation prefetcher. */
+class DominoPrefetcher : public Prefetcher
+{
+  public:
+    explicit DominoPrefetcher(const PrefetcherConfig &config);
+
+    void onAccess(const PrefetchAccess &access,
+                  std::vector<Addr> &out) override;
+    void perturbMetadata(Rng &rng) override;
+
+    std::string name() const override { return "Domino"; }
+
+    /** Occupancies (tests/diagnostics). */
+    std::size_t pairOccupancy() const { return pair_.occupancy(); }
+    std::size_t singleOccupancy() const
+    {
+        return single_.occupancy();
+    }
+    std::size_t filterOccupancy() const
+    {
+        return filter_.occupancy();
+    }
+
+    /** Predicted successor of the (prev, last) pair; 0 if none. */
+    Addr predictedAfter(Addr prev, Addr last);
+
+  private:
+    static constexpr std::size_t kWays = 8;
+
+    struct CorrEntry
+    {
+        Addr next = 0;
+        std::uint8_t conf = 0;  ///< Replacement hysteresis (2-bit).
+    };
+
+    /** Update `table` so `key` predicts `next`, filter-gated. */
+    void train(SetAssocTable<CorrEntry> &table, std::uint64_t key,
+               Addr next);
+
+    SetAssocTable<CorrEntry> pair_;
+    SetAssocTable<CorrEntry> single_;
+    MetadataFilter filter_;
+    Addr hist_prev_ = 0;  ///< Second-to-last miss block.
+    Addr hist_last_ = 0;  ///< Last miss block.
+    unsigned misses_seen_ = 0;
+    unsigned degree_;
+
+    CachedStat trains_stat_;
+    CachedStat filter_rejects_stat_;
+    CachedStat replacements_stat_;
+    CachedStat pair_predictions_stat_;
+    CachedStat single_predictions_stat_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_TEMPORAL_DOMINO_HPP

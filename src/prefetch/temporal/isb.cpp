@@ -1,0 +1,186 @@
+#include "prefetch/temporal/isb.hpp"
+
+#include "common/hash.hpp"
+
+namespace bingo
+{
+
+namespace
+{
+
+/** Correlation key of a consecutive (prev, next) block pair. */
+std::uint64_t
+pairKey(Addr prev, Addr next)
+{
+    return mix64(prev ^ (next * 0x9e3779b97f4a7c15ULL));
+}
+
+} // namespace
+
+IsbPrefetcher::IsbPrefetcher(const PrefetcherConfig &config)
+    : Prefetcher(config),
+      training_(config.isb_training_entries / kWays, kWays),
+      ps_(config.isb_mapping_entries / kWays, kWays),
+      sp_(config.isb_mapping_entries / kWays, kWays),
+      filter_(config.temporal_filter_entries,
+              config.temporal_filter_bits,
+              config.temporal_filter_threshold),
+      degree_(config.isb_degree)
+{
+}
+
+void
+IsbPrefetcher::installMapping(Addr block, std::uint64_t structural)
+{
+    ps_.insert(ps_.setIndex(mix64(block)), block,
+               PsEntry{structural, 1});
+    sp_.insert(sp_.setIndex(mix64(structural)), structural,
+               SpEntry{block});
+}
+
+void
+IsbPrefetcher::trainPair(Addr prev, Addr next)
+{
+    trains_stat_.bump(stats_, "trains");
+    auto *ps_prev = ps_.find(ps_.setIndex(mix64(prev)), prev);
+
+    if (ps_prev == nullptr) {
+        // Unmapped stream head: the pair must recur in the sample
+        // filter before it claims mappings, then head and successor
+        // are installed in one shot — a new stream is predictable on
+        // its very next traversal instead of converging chunk by
+        // chunk through remap hysteresis.
+        if (!filter_.admit(pairKey(prev, next))) {
+            filter_rejects_stat_.bump(stats_, "filter_rejects");
+            return;
+        }
+        const std::uint64_t s_prev = next_chunk_++ * kChunkBlocks;
+        chunk_allocs_stat_.bump(stats_, "chunk_allocs");
+        installMapping(prev, s_prev);
+        if (ps_.find(ps_.setIndex(mix64(next)), next) == nullptr)
+            installMapping(next, s_prev + 1);
+        // An already-mapped `next` belongs to another stream; the
+        // conflict resolves through hysteresis on later traversals.
+        return;
+    }
+
+    const std::uint64_t s_prev = ps_prev->data.structural;
+    const std::uint64_t target = s_prev + 1;
+    const bool boundary = (target % kChunkBlocks) == 0;
+    auto *ps_next = ps_.find(ps_.setIndex(mix64(next)), next);
+
+    if (ps_next == nullptr) {
+        if (!filter_.admit(pairKey(prev, next))) {
+            filter_rejects_stat_.bump(stats_, "filter_rejects");
+            return;
+        }
+        std::uint64_t assigned = target;
+        if (boundary) {
+            // The stream outgrew its chunk; continue it in a fresh one.
+            assigned = next_chunk_++ * kChunkBlocks;
+            chunk_allocs_stat_.bump(stats_, "chunk_allocs");
+        }
+        installMapping(next, assigned);
+        return;
+    }
+
+    PsEntry &entry = ps_next->data;
+    if (entry.structural == target || boundary) {
+        // Retrained in place (or the stream legitimately crosses into
+        // the chunk `next` already heads): reinforce, and refresh the
+        // SP side so live streams stay LRU-resident.
+        if (entry.conf < 3)
+            ++entry.conf;
+        sp_.find(sp_.setIndex(mix64(entry.structural)),
+                 entry.structural);
+        return;
+    }
+    // Conflicting stream position: hysteresis before remapping, so an
+    // occasional interleaving does not tear down a trained stream.
+    if (entry.conf > 0) {
+        --entry.conf;
+        return;
+    }
+    sp_.erase(sp_.setIndex(mix64(entry.structural)), entry.structural);
+    entry.structural = target;
+    entry.conf = 1;
+    sp_.insert(sp_.setIndex(mix64(target)), target, SpEntry{next});
+    remaps_stat_.bump(stats_, "remaps");
+}
+
+void
+IsbPrefetcher::onAccess(const PrefetchAccess &access,
+                        std::vector<Addr> &out)
+{
+    const Addr block = access.block;
+
+    // Train first — the stream advances before prediction, as in the
+    // paper — on every LLC access: the L1 has already filtered the
+    // stream down to the temporal misses worth learning.
+    auto *tu =
+        training_.find(training_.setIndex(mix64(access.pc)), access.pc);
+    if (tu == nullptr) {
+        training_.insert(training_.setIndex(mix64(access.pc)),
+                         access.pc, TrainingEntry{block});
+    } else {
+        const Addr prev = tu->data.last_block;
+        tu->data.last_block = block;
+        if (prev != block)
+            trainPair(prev, block);
+    }
+
+    // Predict: follow the structural stream from the trigger block.
+    auto *ps = ps_.find(ps_.setIndex(mix64(block)), block);
+    if (ps == nullptr)
+        return;
+    const std::uint64_t s = ps->data.structural;
+    for (unsigned d = 1; d <= degree_; ++d) {
+        const std::uint64_t target = s + d;
+        if (target / kChunkBlocks != s / kChunkBlocks)
+            break;  // Stream chunk ends here.
+        auto *sp = sp_.find(sp_.setIndex(mix64(target)), target);
+        if (sp == nullptr)
+            break;
+        out.push_back(sp->data.block);
+        predictions_stat_.bump(stats_, "predictions");
+    }
+}
+
+std::uint64_t
+IsbPrefetcher::structuralOf(Addr block)
+{
+    auto *ps = ps_.find(ps_.setIndex(mix64(block)), block,
+                        /*touch=*/false);
+    return ps == nullptr ? 0 : ps->data.structural;
+}
+
+void
+IsbPrefetcher::perturbMetadata(Rng &rng)
+{
+    // Soft error in one of the three metadata SRAMs. An invalid victim
+    // consumes the draws without flipping, keeping the fault schedule
+    // independent of occupancy.
+    const std::uint64_t table_draw = rng.below(3);
+    const std::uint64_t bit_draw = rng.next();
+    if (table_draw == 0) {
+        auto &entry = ps_.entryAt(rng.below(ps_.capacity()));
+        if (!entry.valid)
+            return;
+        entry.data.structural ^= 1ULL << (bit_draw % 32);
+    } else if (table_draw == 1) {
+        auto &entry = sp_.entryAt(rng.below(sp_.capacity()));
+        if (!entry.valid)
+            return;
+        // Keep the flip block-aligned and inside the guard's
+        // candidate address range.
+        entry.data.block ^=
+            1ULL << (kBlockBits + bit_draw % (45 - kBlockBits));
+    } else {
+        auto &entry = filter_.entryAt(rng.below(filter_.capacity()));
+        if (!entry.valid)
+            return;
+        entry.data ^= 1U << (bit_draw % 2);
+    }
+}
+
+} // namespace bingo

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Triangel-style metadata filter (Ainsworth & Foley, ISCA 2024).
+ *
+ * Temporal prefetchers learn orders of magnitude more correlations
+ * than their mapping tables can hold, and most of them never recur.
+ * Triangel's key observation is that a correlation should *earn* its
+ * table entry: a small sample filter of saturating counters counts
+ * sightings per correlation key, and only keys that have been seen
+ * `threshold` times before are admitted into the main metadata table.
+ * One-shot noise then dies in the filter instead of evicting an
+ * established mapping.
+ */
+
+#ifndef BINGO_PREFETCH_TEMPORAL_METADATA_FILTER_HPP
+#define BINGO_PREFETCH_TEMPORAL_METADATA_FILTER_HPP
+
+#include <cstdint>
+
+#include "common/table.hpp"
+
+namespace bingo
+{
+
+/** Sample filter gating insertion into temporal metadata tables. */
+class MetadataFilter
+{
+  public:
+    /**
+     * @param entries Total filter entries (8-way set-associative).
+     * @param bits Width of each sighting counter.
+     * @param threshold Prior sightings required before a key is
+     *        admitted; 0 admits everything (filter off).
+     */
+    MetadataFilter(std::size_t entries, unsigned bits,
+                   unsigned threshold)
+        : table_(entries / kWays, kWays),
+          max_((1U << bits) - 1), threshold_(threshold)
+    {
+    }
+
+    /**
+     * Record a sighting of `key` and report whether it has earned a
+     * metadata entry: true once the key had been sighted at least
+     * `threshold` times before this call.
+     */
+    bool
+    admit(std::uint64_t key)
+    {
+        if (threshold_ == 0)
+            return true;
+        const std::size_t set = table_.setIndex(key);
+        auto *entry = table_.find(set, key);
+        if (entry == nullptr) {
+            table_.insert(set, key, std::uint8_t{1});
+            return false;
+        }
+        const unsigned prior = entry->data;
+        if (entry->data < max_)
+            ++entry->data;
+        return prior >= threshold_;
+    }
+
+    std::size_t occupancy() const { return table_.occupancy(); }
+    std::size_t capacity() const { return table_.capacity(); }
+
+    /** Chaos hook: direct entry access for bit flips. */
+    SetAssocTable<std::uint8_t>::Entry &
+    entryAt(std::size_t index)
+    {
+        return table_.entryAt(index);
+    }
+
+  private:
+    static constexpr std::size_t kWays = 8;
+
+    SetAssocTable<std::uint8_t> table_;
+    unsigned max_;
+    unsigned threshold_;
+};
+
+} // namespace bingo
+
+#endif // BINGO_PREFETCH_TEMPORAL_METADATA_FILTER_HPP

@@ -115,6 +115,30 @@ serializeConfig(std::ostringstream &out, const SystemConfig &cfg)
     put(out, pf.stride_degree);
     put(out, pf.num_events);
 
+    // Temporal/hybrid identity is appended only for the PR-8 engine
+    // kinds, so every fingerprint of an earlier kind stays
+    // byte-identical to the pre-temporal format.
+    if (pf.kind == PrefetcherKind::Isb ||
+        pf.kind == PrefetcherKind::Domino ||
+        pf.kind == PrefetcherKind::Hybrid) {
+        put(out, 2u);
+        put(out, pf.isb_training_entries);
+        put(out, pf.isb_mapping_entries);
+        put(out, pf.isb_degree);
+        put(out, pf.domino_table_entries);
+        put(out, pf.domino_degree);
+        put(out, pf.temporal_filter_entries);
+        put(out, pf.temporal_filter_bits);
+        put(out, pf.temporal_filter_threshold);
+        put(out, pf.hybrid_engines.size());
+        for (PrefetcherKind engine : pf.hybrid_engines)
+            put(out, static_cast<unsigned>(engine));
+        put(out, pf.hybrid_pc_entries);
+        put(out, pf.hybrid_tracker_entries);
+        put(out, pf.hybrid_counter_bits);
+        put(out, pf.hybrid_issue_budget);
+    }
+
     // Chaos identity is appended only when fault injection is on, so
     // every chaos-off fingerprint — and therefore every existing
     // journal — is byte-identical to the pre-chaos format.
@@ -275,7 +299,7 @@ journalDecode(const std::string &text, const std::string &fingerprint,
                  static_cast<std::streamsize>(name_len)))
         return false;
     if (!expect(in, "kind") || !(in >> kind) ||
-        kind > static_cast<unsigned>(PrefetcherKind::EventStudy))
+        kind > static_cast<unsigned>(PrefetcherKind::Hybrid))
         return false;
     result.kind = static_cast<PrefetcherKind>(kind);
     if (!expect(in, "cores") || !(in >> cores) || cores == 0 ||

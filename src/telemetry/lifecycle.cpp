@@ -3,6 +3,20 @@
 namespace bingo::telemetry
 {
 
+const char *
+verdictName(PrefetchVerdict verdict)
+{
+    switch (verdict) {
+      case PrefetchVerdict::Timely:
+        return "timely";
+      case PrefetchVerdict::Late:
+        return "late";
+      case PrefetchVerdict::Unused:
+        return "unused";
+    }
+    return "unknown";
+}
+
 void
 PrefetchLifecycle::onIssue(Addr block, Cycle now)
 {

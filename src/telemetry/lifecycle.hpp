@@ -38,6 +38,24 @@
 namespace bingo::telemetry
 {
 
+/**
+ * Terminal classification of one prefetched block. The lifecycle
+ * tracker resolves cache events into these verdicts for telemetry;
+ * the hybrid arbiter keeps its own always-on bookkeeping in the same
+ * vocabulary (so its per-engine attribution lines up with the
+ * lifecycle columns in the benches) without depending on telemetry
+ * being enabled.
+ */
+enum class PrefetchVerdict : std::uint8_t
+{
+    Timely,  ///< Resident before its first demand.
+    Late,    ///< Demanded while still in flight.
+    Unused,  ///< Evicted (or displaced) untouched.
+};
+
+/** Lower-case display name of a verdict ("timely"/"late"/"unused"). */
+const char *verdictName(PrefetchVerdict verdict);
+
 /** Tracks every in-flight / resident prefetched block of one cache. */
 class PrefetchLifecycle
 {

@@ -193,6 +193,13 @@ struct RecordClass
 /** Names of the paper's ten workloads (Table II order). */
 const std::vector<std::string> &workloadNames();
 
+/**
+ * Additional temporal-locality workloads (not part of Table II — the
+ * frozen list above keeps existing sweep journals stable). Reachable
+ * through makeWorkload() like any other name.
+ */
+const std::vector<std::string> &temporalWorkloadNames();
+
 /** One-line description of a workload (Table II). */
 std::string workloadDescription(const std::string &name);
 

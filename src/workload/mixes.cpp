@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "workload/generator.hpp"
+#include "workload/patterns.hpp"
 #include "workload/server_apps.hpp"
 #include "workload/spec_kernels.hpp"
 
@@ -45,9 +46,20 @@ workloadNames()
     return names;
 }
 
+const std::vector<std::string> &
+temporalWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "Markov Chase",
+    };
+    return names;
+}
+
 std::string
 workloadDescription(const std::string &name)
 {
+    if (name == "Markov Chase")
+        return "Scattered Linked Nodes, Zipf-Popular Markov Chains";
     if (name == "Data Serving")
         return "Cassandra Database, 15GB Yahoo! Benchmark";
     if (name == "SAT Solver")
@@ -105,6 +117,11 @@ makeWorkload(const std::string &workload, CoreId core,
         return makeZeus(base, core_seed);
     if (workload == "em3d")
         return makeEm3d(base, core_seed);
+    if (workload == "Markov Chase") {
+        MarkovChaseParams params;
+        params.base = base;
+        return std::make_unique<MarkovChaseApp>(params, core_seed);
+    }
     for (std::size_t m = 0; m < kMixes.size(); ++m) {
         if (workload == "Mix " + std::to_string(m + 1)) {
             const char *kernel = kMixes[m][core % kMixes[m].size()];

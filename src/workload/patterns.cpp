@@ -172,6 +172,73 @@ PointerChaseApp::refill()
     }
 }
 
+MarkovChaseApp::MarkovChaseApp(const MarkovChaseParams &params,
+                               std::uint64_t seed)
+    : BurstSource(seed), params_(params)
+{
+    if (params_.num_heads == 0 || params_.num_heads > params_.num_nodes) {
+        throw std::invalid_argument(
+            "MarkovChaseParams: num_heads must be in [1, num_nodes]");
+    }
+    if (params_.chase_min == 0 || params_.chase_min > params_.chase_max) {
+        throw std::invalid_argument(
+            "MarkovChaseParams: need 0 < chase_min <= chase_max");
+    }
+}
+
+Addr
+MarkovChaseApp::nodeAddr(std::uint64_t node) const
+{
+    // Scatter nodes one block each across a sparse region space:
+    // consecutive chain nodes share no page, so the only structure in
+    // the stream is temporal.
+    const std::uint64_t region = mix64(node * 0x7919) %
+                                 (params_.num_nodes * 2 + 1);
+    const std::uint64_t slot = mix64(node ^ 0x517e) % kBlocksPerRegion;
+    return params_.base + region * kRegionSize + slot * kBlockSize;
+}
+
+void
+MarkovChaseApp::refill()
+{
+    // Restart from a Zipf-popular head: hot chains recur often enough
+    // to stay trained and cache their correlations, the tail keeps
+    // compulsory misses flowing. Chain length is a fixed property of
+    // the head so a recurring chain replays the same sequence.
+    const std::uint64_t rank =
+        rng_.zipf(params_.num_heads, params_.zipf_skew);
+    std::uint64_t node =
+        mix64(rank * 0x9e3779b9) % params_.num_nodes;
+    const auto chase_len = static_cast<unsigned>(
+        params_.chase_min +
+        mix64(node ^ 0xcafe) % (params_.chase_max - params_.chase_min + 1));
+
+    for (unsigned i = 0; i < chase_len; ++i) {
+        const Addr addr = nodeAddr(node);
+        if (i == 0)
+            emitLoad(0x510000, addr);
+        else
+            emitDependentLoad(0x510000, addr);
+        emitAlu(static_cast<unsigned>(
+            rng_.range(params_.alu_min, params_.alu_max)));
+        if (rng_.chance(params_.noise_prob)) {
+            // One-shot cold access: never repeats, so a metadata
+            // filter should keep it out of the correlation tables.
+            const Addr cold = params_.base + (1ULL << 41) +
+                              rng_.next() % (1ULL << 34);
+            emitLoad(0x510100, blockAlign(cold));
+            emitAlu(1);
+        }
+        // Two deterministic successor functions make the walk a
+        // first-order Markov chain: mostly the primary edge, sometimes
+        // the alternate — both repeatable across traversals.
+        if (rng_.chance(params_.branch_prob))
+            node = mix64(node * 0x6a09e667 + 3) % params_.num_nodes;
+        else
+            node = mix64(node * 0x2545f491) % params_.num_nodes;
+    }
+}
+
 StreamApp::StreamApp(const StreamParams &params, std::uint64_t seed)
     : BurstSource(seed), params_(params),
       pc_base_(0x600000 + (mix64(seed) & 0xff00))

@@ -99,6 +99,47 @@ class PointerChaseApp : public BurstSource
     std::uint64_t current_node_;
 };
 
+/** Parameters of a MarkovChaseApp. */
+struct MarkovChaseParams
+{
+    Addr base = 0;
+    std::uint64_t num_nodes = 512 * 1024;  ///< Linked-node pool.
+    std::uint64_t num_heads = 4096;        ///< Recurring chain heads.
+    double zipf_skew = 0.8;     ///< Head popularity (hot chains recur;
+                                ///< must stay < 1 for Rng::zipf).
+    double branch_prob = 0.05;  ///< P(take the alternate successor).
+    double noise_prob = 0.06;   ///< P(one-shot cold access per step).
+    unsigned chase_min = 16;    ///< Nodes per chase (fixed per head).
+    unsigned chase_max = 48;
+    unsigned alu_min = 4;
+    unsigned alu_max = 10;
+};
+
+/**
+ * Markov-chain pointer chasing: a pool of linked nodes with two
+ * deterministic successor functions (primary and alternate) and a
+ * Zipf-popular set of recurring chain heads. Each burst restarts at a
+ * head and dereferences successors; with `branch_prob` a step takes
+ * the alternate edge, so the address stream is a first-order Markov
+ * chain over scattered blocks — temporally repeatable, spatially
+ * structureless. The miss-stream archetype temporal prefetchers
+ * (ISB, Domino) learn and footprint/delta prefetchers cannot.
+ * One-shot noise accesses exercise the metadata filters.
+ */
+class MarkovChaseApp : public BurstSource
+{
+  public:
+    MarkovChaseApp(const MarkovChaseParams &params, std::uint64_t seed);
+
+  protected:
+    void refill() override;
+
+  private:
+    Addr nodeAddr(std::uint64_t node) const;
+
+    MarkovChaseParams params_;
+};
+
 /** Parameters of a StreamApp. */
 struct StreamParams
 {

@@ -172,7 +172,10 @@ TEST_P(SkipEquivalenceTest, SkipOnMatchesSkipOffBitIdentically)
 INSTANTIATE_TEST_SUITE_P(Prefetchers, SkipEquivalenceTest,
                          ::testing::Values(PrefetcherKind::None,
                                            PrefetcherKind::Bingo,
-                                           PrefetcherKind::Bop));
+                                           PrefetcherKind::Bop,
+                                           PrefetcherKind::Isb,
+                                           PrefetcherKind::Domino,
+                                           PrefetcherKind::Hybrid));
 
 /**
  * With telemetry on, the skipped loop must produce exactly the same
@@ -344,7 +347,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PrefetcherKind::Ampm, PrefetcherKind::Sms,
                       PrefetcherKind::Bingo,
                       PrefetcherKind::BingoMulti,
-                      PrefetcherKind::EventStudy));
+                      PrefetcherKind::EventStudy, PrefetcherKind::Isb,
+                      PrefetcherKind::Domino,
+                      PrefetcherKind::Hybrid));
 
 /** Chaos fault schedules must also be level-independent. */
 TEST(SimdEquivalence, ChaosRunsIdenticalAcrossLevels)
@@ -404,7 +409,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PrefetcherKind::Ampm, PrefetcherKind::Sms,
                       PrefetcherKind::Bingo,
                       PrefetcherKind::BingoMulti,
-                      PrefetcherKind::EventStudy));
+                      PrefetcherKind::EventStudy, PrefetcherKind::Isb,
+                      PrefetcherKind::Domino,
+                      PrefetcherKind::Hybrid));
 
 /** SPEC kernels must exhibit their documented locality classes. */
 TEST(SpecKernels, LibquantumIsSequential)

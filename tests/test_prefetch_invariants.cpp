@@ -73,7 +73,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PrefetcherKind::Bop, PrefetcherKind::Spp,
                       PrefetcherKind::Vldp, PrefetcherKind::Ampm,
                       PrefetcherKind::Sms, PrefetcherKind::Bingo,
-                      PrefetcherKind::BingoMulti));
+                      PrefetcherKind::BingoMulti, PrefetcherKind::Isb,
+                      PrefetcherKind::Domino,
+                      PrefetcherKind::Hybrid));
 
 /** PPH prefetchers never prefetch outside the trigger's region. */
 class RegionBoundFuzzTest : public KindParam

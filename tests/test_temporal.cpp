@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the temporal prefetcher family: the Triangel-style
+ * metadata filter, ISB's structural mapping caches, Domino's pair
+ * correlation tables, the hybrid per-PC arbiter, and the name-based
+ * factory registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "prefetch/hybrid.hpp"
+#include "prefetch/temporal/domino.hpp"
+#include "prefetch/temporal/isb.hpp"
+#include "prefetch/temporal/metadata_filter.hpp"
+
+namespace bingo
+{
+namespace
+{
+
+PrefetchAccess
+accessAt(Addr pc, Addr addr, bool hit = false)
+{
+    PrefetchAccess a;
+    a.pc = pc;
+    a.block = blockAlign(addr);
+    a.hit = hit;
+    return a;
+}
+
+std::vector<Addr>
+observe(Prefetcher &pf, const PrefetchAccess &access)
+{
+    std::vector<Addr> out;
+    pf.onAccess(access, out);
+    return out;
+}
+
+PrefetcherConfig
+configFor(PrefetcherKind kind)
+{
+    PrefetcherConfig config;
+    config.kind = kind;
+    return config;
+}
+
+// ------------------------------------------------- MetadataFilter
+
+TEST(MetadataFilter, AdmitsOnlyRecurringKeys)
+{
+    MetadataFilter filter(64, 2, 1);
+    EXPECT_FALSE(filter.admit(0x1234));  // First sight: sampled.
+    EXPECT_TRUE(filter.admit(0x1234));   // Recurred: admitted.
+    EXPECT_TRUE(filter.admit(0x1234));   // Stays admitted.
+    EXPECT_FALSE(filter.admit(0x9999));  // Unrelated key: sampled.
+}
+
+TEST(MetadataFilter, ThresholdZeroAlwaysAdmits)
+{
+    MetadataFilter filter(64, 2, 0);
+    EXPECT_TRUE(filter.admit(0x1));
+    EXPECT_EQ(filter.occupancy(), 0u);  // Pass-through keeps no state.
+}
+
+TEST(MetadataFilter, HigherThresholdNeedsMoreSightings)
+{
+    MetadataFilter filter(64, 2, 3);
+    EXPECT_FALSE(filter.admit(7));
+    EXPECT_FALSE(filter.admit(7));
+    EXPECT_FALSE(filter.admit(7));
+    EXPECT_TRUE(filter.admit(7));  // Fourth sighting: prior count 3.
+}
+
+// ------------------------------------------------------------- ISB
+
+class IsbTest : public ::testing::Test
+{
+  protected:
+    IsbTest() : isb_(configFor(PrefetcherKind::Isb)) {}
+
+    /** One traversal of blocks at `pc`, ending in a unique one-shot
+     *  block so consecutive traversals don't form a cycle. */
+    void
+    traverse(const std::vector<Addr> &blocks)
+    {
+        for (Addr b : blocks)
+            observe(isb_, accessAt(0x100, b));
+        observe(isb_, accessAt(0x100, 0x77770000 + salt_ * 0x4000));
+        ++salt_;
+    }
+
+    IsbPrefetcher isb_;
+    Addr salt_ = 1;
+};
+
+TEST_F(IsbTest, LearnsStreamAfterTwoTraversals)
+{
+    // Scattered blocks with no spatial relation.
+    const std::vector<Addr> stream = {0x1000000, 0x5342040,
+                                      0x2995080, 0x83410c0};
+    traverse(stream);
+    EXPECT_EQ(isb_.psOccupancy(), 0u);  // First pass only sampled.
+
+    traverse(stream);
+    // Second pass installs consecutive structural addresses.
+    const std::uint64_t s0 = isb_.structuralOf(stream[0]);
+    ASSERT_NE(s0, 0u);
+    EXPECT_EQ(isb_.structuralOf(stream[1]), s0 + 1);
+    EXPECT_EQ(isb_.structuralOf(stream[2]), s0 + 2);
+    EXPECT_EQ(isb_.structuralOf(stream[3]), s0 + 3);
+
+    // Third pass: the trigger block predicts the rest of the stream.
+    const std::vector<Addr> out =
+        observe(isb_, accessAt(0x100, stream[0]));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], stream[1]);
+    EXPECT_EQ(out[1], stream[2]);
+    EXPECT_EQ(out[2], stream[3]);
+}
+
+TEST_F(IsbTest, FilterRejectsOneShotTraffic)
+{
+    // 256 unique pairs: nothing recurs, nothing gets mapped.
+    for (Addr b = 0; b < 256; ++b)
+        observe(isb_, accessAt(0x100, 0x40000000 + b * 0x10000));
+    EXPECT_EQ(isb_.psOccupancy(), 0u);
+    EXPECT_EQ(isb_.spOccupancy(), 0u);
+    EXPECT_GT(isb_.filterOccupancy(), 0u);
+}
+
+TEST_F(IsbTest, TrainsPerPcStreamsIndependently)
+{
+    const std::vector<Addr> stream_a = {0x1000000, 0x5342040};
+    const std::vector<Addr> stream_b = {0x9000000, 0xb342040};
+    // Interleave two PCs; each PC's training unit sees only its own
+    // stream, so both learn despite the interleaving.
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < 2; ++i) {
+            observe(isb_, accessAt(0x100, stream_a[i]));
+            observe(isb_, accessAt(0x200, stream_b[i]));
+        }
+        observe(isb_, accessAt(0x100, 0x77770000 + pass * 0x8000));
+        observe(isb_, accessAt(0x200, 0x66660000 + pass * 0x8000));
+    }
+    const std::uint64_t sa = isb_.structuralOf(stream_a[0]);
+    const std::uint64_t sb = isb_.structuralOf(stream_b[0]);
+    ASSERT_NE(sa, 0u);
+    ASSERT_NE(sb, 0u);
+    EXPECT_EQ(isb_.structuralOf(stream_a[1]), sa + 1);
+    EXPECT_EQ(isb_.structuralOf(stream_b[1]), sb + 1);
+    // Different streams live in different chunks.
+    EXPECT_NE(sa / 256, sb / 256);
+}
+
+// ---------------------------------------------------------- Domino
+
+class DominoTest : public ::testing::Test
+{
+  protected:
+    DominoTest() : domino_(configFor(PrefetcherKind::Domino)) {}
+
+    /** One traversal of a miss sequence, separator included. */
+    void
+    traverse(const std::vector<Addr> &blocks)
+    {
+        for (Addr b : blocks)
+            observe(domino_, accessAt(0x100, b));
+        observe(domino_, accessAt(0x100, 0x77770000 + salt_ * 0x4000));
+        ++salt_;
+    }
+
+    DominoPrefetcher domino_;
+    Addr salt_ = 1;
+};
+
+TEST_F(DominoTest, LearnsPairCorrelationAfterTwoTraversals)
+{
+    const std::vector<Addr> seq = {0x1000000, 0x5342040, 0x2995080};
+    traverse(seq);
+    EXPECT_EQ(domino_.pairOccupancy(), 0u);
+    traverse(seq);
+    EXPECT_EQ(domino_.predictedAfter(seq[0], seq[1]), seq[2]);
+}
+
+TEST_F(DominoTest, PredictsChainFromSingleMissFallback)
+{
+    const std::vector<Addr> seq = {0x1000000, 0x5342040, 0x2995080};
+    traverse(seq);
+    traverse(seq);
+    // Third traversal: the first miss alone (context broken by the
+    // separator) hits the single-miss fallback, then the chain
+    // continues through the pair table.
+    const std::vector<Addr> out =
+        observe(domino_, accessAt(0x100, seq[0]));
+    ASSERT_GE(out.size(), 2u);
+    EXPECT_EQ(out[0], seq[1]);
+    EXPECT_EQ(out[1], seq[2]);
+}
+
+TEST_F(DominoTest, ReplacementNeedsRepeatedConflicts)
+{
+    const std::vector<Addr> learned = {0x1000000, 0x5342040,
+                                       0x2995080};
+    traverse(learned);
+    traverse(learned);
+    ASSERT_EQ(domino_.predictedAfter(learned[0], learned[1]),
+              learned[2]);
+
+    // A conflicting successor for the same (prev, last) context must
+    // win the confidence hysteresis before it replaces the learned
+    // one: 2 decrements, then the replacement itself.
+    const std::vector<Addr> conflict = {0x1000000, 0x5342040,
+                                        0xdead000};
+    traverse(conflict);
+    EXPECT_EQ(domino_.predictedAfter(learned[0], learned[1]),
+              learned[2]);
+    traverse(conflict);
+    EXPECT_EQ(domino_.predictedAfter(learned[0], learned[1]),
+              learned[2]);
+    traverse(conflict);
+    EXPECT_EQ(domino_.predictedAfter(learned[0], learned[1]),
+              conflict[2]);
+}
+
+TEST_F(DominoTest, FilterRejectsOneShotMisses)
+{
+    for (Addr b = 0; b < 256; ++b)
+        observe(domino_, accessAt(0x100, 0x40000000 + b * 0x10000));
+    EXPECT_EQ(domino_.pairOccupancy(), 0u);
+    EXPECT_EQ(domino_.singleOccupancy(), 0u);
+}
+
+// ---------------------------------------------------------- Hybrid
+
+TEST(Hybrid, DefaultCompositionHostsThreeEngines)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    HybridPrefetcher hybrid(config);
+    ASSERT_EQ(hybrid.engineCount(), 3u);
+    EXPECT_EQ(hybrid.engine(0).name(), "Bingo");
+    EXPECT_EQ(hybrid.engine(1).name(), "ISB");
+    EXPECT_EQ(hybrid.engine(2).name(), "Domino");
+}
+
+TEST(Hybrid, CompositionComesFromConfig)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    config.hybrid_engines = {PrefetcherKind::NextLine,
+                             PrefetcherKind::Stride};
+    HybridPrefetcher hybrid(config);
+    ASSERT_EQ(hybrid.engineCount(), 2u);
+    EXPECT_EQ(hybrid.engine(0).name(), "NextLine");
+    EXPECT_EQ(hybrid.engine(1).name(), "Stride");
+}
+
+TEST(Hybrid, DuplicateCandidatesIssueOnce)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    // Two next-line engines always agree on the candidate.
+    config.hybrid_engines = {PrefetcherKind::NextLine,
+                             PrefetcherKind::NextLine};
+    HybridPrefetcher hybrid(config);
+    const std::vector<Addr> out =
+        observe(hybrid, accessAt(0x100, 0x1000000));
+    EXPECT_EQ(std::count(out.begin(), out.end(),
+                         blockAlign(0x1000000) + kBlockSize),
+              1);
+    EXPECT_GE(hybrid.stats().get("dup_suppressed"), 1u);
+}
+
+TEST(Hybrid, VerdictsMoveConfidence)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    config.hybrid_engines = {PrefetcherKind::NextLine};
+    HybridPrefetcher hybrid(config);
+    const Addr pc = 0x400;
+    const unsigned init = hybrid.confidenceFor(pc, 0);
+    const unsigned cmax = (1U << config.hybrid_counter_bits) - 1;
+
+    // Confidence is a windowed accuracy ratio. Until enough verdicts
+    // resolve, the optimistic initial value stands.
+    for (Addr b = 0; b < 4; ++b) {
+        const std::vector<Addr> out =
+            observe(hybrid, accessAt(pc, 0x1000000 + b * 0x10000));
+        ASSERT_EQ(out.size(), 1u);
+        observe(hybrid, accessAt(pc, out[0], /*hit=*/true));
+    }
+    EXPECT_EQ(hybrid.stats().get("timely.nextline"), 4u);
+    EXPECT_EQ(hybrid.confidenceFor(pc, 0), init);
+
+    // Four more timely verdicts clear the evidence bar: an all-timely
+    // window maps to full confidence.
+    for (Addr b = 4; b < 8; ++b) {
+        const std::vector<Addr> out =
+            observe(hybrid, accessAt(pc, 0x1000000 + b * 0x10000));
+        ASSERT_EQ(out.size(), 1u);
+        observe(hybrid, accessAt(pc, out[0], /*hit=*/true));
+    }
+    EXPECT_EQ(hybrid.confidenceFor(pc, 0), cmax);
+
+    // Evicting issued prefetches untouched records unused verdicts,
+    // and the ratio falls in proportion — eight timely against eight
+    // unused lands at half scale, not at zero the way a saturating
+    // walk hit by an eviction burst would.
+    for (Addr b = 0; b < 8; ++b) {
+        const std::vector<Addr> out =
+            observe(hybrid, accessAt(pc, 0x2000000 + b * 0x10000));
+        ASSERT_EQ(out.size(), 1u);
+        hybrid.onEviction(out[0]);
+    }
+    EXPECT_EQ(hybrid.stats().get("unused.nextline"), 8u);
+    EXPECT_EQ(hybrid.trackerOccupancy(), 0u);  // All issues resolved.
+    EXPECT_EQ(hybrid.confidenceFor(pc, 0), (cmax + 1) * 8 / 16);
+}
+
+TEST(Hybrid, SharedCreditRewardsEveryProposer)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    config.hybrid_engines = {PrefetcherKind::NextLine,
+                             PrefetcherKind::NextLine};
+    HybridPrefetcher hybrid(config);
+    const Addr pc = 0x400;
+    const unsigned cmax = (1U << config.hybrid_counter_bits) - 1;
+    // The duplicate candidate is issued once per access, but both
+    // proposers earn the timely credit: after enough shared verdicts
+    // both engines' windows read all-timely.
+    for (Addr b = 0; b < 8; ++b) {
+        const Addr base = 0x1000000 + b * 0x10000;
+        const std::vector<Addr> out =
+            observe(hybrid, accessAt(pc, base));
+        ASSERT_EQ(std::count(out.begin(), out.end(),
+                             blockAlign(base) + kBlockSize),
+                  1);
+        observe(hybrid, accessAt(pc, blockAlign(base) + kBlockSize,
+                                 /*hit=*/true));
+    }
+    EXPECT_EQ(hybrid.stats().get("timely.nextline"), 16u);
+    EXPECT_EQ(hybrid.confidenceFor(pc, 0), cmax);
+    EXPECT_EQ(hybrid.confidenceFor(pc, 1), cmax);
+}
+
+TEST(Hybrid, DistrustedEngineIsMutedExceptProbes)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    config.hybrid_engines = {PrefetcherKind::NextLine};
+    HybridPrefetcher hybrid(config);
+    const Addr pc = 0x400;
+
+    // Drive the engine's confidence to zero: every issued prefetch is
+    // evicted untouched.
+    for (Addr b = 0; hybrid.confidenceFor(pc, 0) > 0; ++b) {
+        const std::vector<Addr> out =
+            observe(hybrid, accessAt(pc, 0x1000000 + b * 0x10000));
+        for (Addr block : out)
+            hybrid.onEviction(block);
+    }
+
+    // Muted: while the prefetches keep getting evicted unused, only
+    // the periodic mute-expiry probes issue (roughly one per 64
+    // accesses of this PC), not one per access.
+    std::size_t issued = 0;
+    for (Addr b = 0; b < 640; ++b) {
+        const std::vector<Addr> out =
+            observe(hybrid, accessAt(pc, 0x4000000 + b * 0x10000));
+        issued += out.size();
+        for (Addr block : out)
+            hybrid.onEviction(block);
+    }
+    EXPECT_GE(issued, 5u);   // The recovery path stays open...
+    EXPECT_LE(issued, 40u);  // ...but the flood is gone.
+}
+
+TEST(Hybrid, GlobalBudgetCapsIssueVolume)
+{
+    PrefetcherConfig config = configFor(PrefetcherKind::Hybrid);
+    config.hybrid_issue_budget = 2;
+    HybridPrefetcher hybrid(config);
+    // Whatever the engines propose, at most 2 blocks leave per access.
+    for (Addr b = 0; b < 64; ++b) {
+        const std::vector<Addr> out = observe(
+            hybrid, accessAt(0x100, 0x1000000 + b * kBlockSize));
+        EXPECT_LE(out.size(), 2u);
+    }
+}
+
+// --------------------------------------------------------- Factory
+
+TEST(FactoryRegistry, NameRoundTripsForEveryKind)
+{
+    for (const std::string &name : registeredPrefetcherNames()) {
+        const PrefetcherKind kind = prefetcherKindFromName(name);
+        PrefetcherConfig config;
+        config.kind = kind;
+        auto pf = makePrefetcher(config);
+        if (kind == PrefetcherKind::None)
+            EXPECT_EQ(pf, nullptr);
+        else
+            EXPECT_NE(pf, nullptr) << name;
+    }
+}
+
+TEST(FactoryRegistry, BuildsTemporalFamilyByName)
+{
+    PrefetcherConfig config;
+    config.kind = prefetcherKindFromName("isb");
+    EXPECT_EQ(makePrefetcher(config)->name(), "ISB");
+    config.kind = prefetcherKindFromName("domino");
+    EXPECT_EQ(makePrefetcher(config)->name(), "Domino");
+    config.kind = prefetcherKindFromName("hybrid");
+    EXPECT_EQ(makePrefetcher(config)->name(), "Hybrid");
+}
+
+TEST(FactoryRegistry, UnknownNameListsEveryRegisteredName)
+{
+    try {
+        prefetcherKindFromName("definitely-not-a-prefetcher");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("definitely-not-a-prefetcher"),
+                  std::string::npos);
+        for (const std::string &name : registeredPrefetcherNames())
+            EXPECT_NE(what.find(name), std::string::npos) << name;
+    }
+}
+
+} // namespace
+} // namespace bingo
