@@ -9,7 +9,11 @@
 #include <array>
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -442,6 +446,120 @@ BENCHMARK(BM_MainLoopComputeHeavy)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
+/** Four fresh trace-sharing Systems (the lockstep bench members). */
+std::vector<std::unique_ptr<System>>
+makeBatchMembers()
+{
+    std::vector<std::unique_ptr<System>> members;
+    for (unsigned i = 0; i < 4; ++i) {
+        SystemConfig config = SystemConfig::singleCore();
+        config.prefetcher.kind = PrefetcherKind::None;
+        members.push_back(
+            std::make_unique<System>(config, "Data Serving"));
+    }
+    return members;
+}
+
+/**
+ * Four Systems sharing one trace stream, driven to completion either
+ * back to back (Arg 0) or in round-robin advance() slices (Arg 1) —
+ * the two strategies the sweep runner picks between (BINGO_BATCH).
+ * The lockstep mode consumes each shared trace-cache chunk with the
+ * whole batch while it is hot instead of re-walking it cold per run.
+ */
+void
+BM_BatchedMainLoop(benchmark::State &state)
+{
+    const bool batched = state.range(0) != 0;
+    constexpr std::uint64_t kInstructions = 20000;
+    Cycle last = 0;
+    for (auto _ : state) {
+        auto members = makeBatchMembers();
+        if (batched) {
+            for (auto &m : members)
+                m->beginRun(0, kInstructions);
+            std::size_t running = members.size();
+            while (running > 0) {
+                for (auto &m : members) {
+                    if (m == nullptr)
+                        continue;
+                    if (m->advance(8192)) {
+                        last = m->now();
+                        m.reset();
+                        --running;
+                    }
+                }
+            }
+        } else {
+            for (auto &m : members) {
+                m->run(0, kInstructions);
+                last = m->now();
+            }
+        }
+    }
+    state.counters["sim_cycles"] =
+        benchmark::Counter(static_cast<double>(last));
+    state.SetItemsProcessed(state.iterations() * 4 * kInstructions);
+}
+BENCHMARK(BM_BatchedMainLoop)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The typed fill-completion dispatch against the pre-typed shape: a
+ * miss's completion either invoked directly (Arg 1, one switch on the
+ * tag) or routed through a freshly built std::function (Arg 0, what
+ * every fill paid when FillCallback was std::function<void(Cycle)>).
+ * Identical fill work on both sides; the delta is the wrapper.
+ */
+void
+BM_FillCompletionTyped(benchmark::State &state)
+{
+    /// Lower level that parks each fill completion instead of
+    /// invoking it, handing it back to the bench loop.
+    class CapturingLower : public MemoryLower
+    {
+      public:
+        void
+        fetch(const MemAccess &, Cycle, FillCallback done) override
+        {
+            captured = std::move(done);
+        }
+        void writeback(Addr, CoreId, Cycle) override {}
+        Completion captured;
+    };
+
+    const bool typed = state.range(0) != 0;
+    EventQueue events;
+    CapturingLower lower;
+    CacheConfig config{64 * 1024, 8, 4, 8};
+    Cache cache("bench", config, events, lower);
+    Rng rng(17);
+    Cycle now = 0;
+    for (auto _ : state) {
+        MemAccess access;
+        access.block = blockAlign(rng.next() & 0xffffffULL);
+        access.pc = 0x1000;
+        access.type = AccessType::Load;
+        cache.access(access, now, [](Cycle) {});
+        if (lower.captured) {
+            Completion held = std::move(lower.captured);
+            if (typed) {
+                held(now + 100);
+            } else {
+                std::function<void(Cycle)> fn =
+                    [done = &held](Cycle when) { (*done)(when); };
+                fn(now + 100);
+            }
+        }
+        events.runDue(now + 101);
+        now += 1;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FillCompletionTyped)->Arg(0)->Arg(1);
+
 /**
  * Time `repeat` back-to-back runs of the loop microbench config and
  * return wall seconds, accumulating the simulated cycles into
@@ -523,6 +641,53 @@ microKernelSummary()
         simd::levelName(simd::detectedLevel()), fp_scalar, fp_vector,
         fp_vector > 0.0 ? fp_scalar / fp_vector : 0.0, way_scalar,
         way_vector, way_vector > 0.0 ? way_scalar / way_vector : 0.0);
+    return buf;
+}
+
+/**
+ * Sequential vs lockstep wall time of four trace-sharing Systems —
+ * the BINGO_BATCH decision in miniature — as a JSON fragment.
+ */
+std::string
+batchedSummary()
+{
+    constexpr std::uint64_t kInstructions = 50000;
+    constexpr unsigned kRepeat = 3;
+    std::uint64_t cycles_seq = 0;
+    std::uint64_t cycles_batch = 0;
+    const double sequential = timeIt(kRepeat, [&cycles_seq] {
+        for (auto &m : makeBatchMembers()) {
+            m->run(0, kInstructions);
+            cycles_seq += m->now();
+        }
+    });
+    const double batched = timeIt(kRepeat, [&cycles_batch] {
+        auto members = makeBatchMembers();
+        for (auto &m : members)
+            m->beginRun(0, kInstructions);
+        std::size_t running = members.size();
+        while (running > 0) {
+            for (auto &m : members) {
+                if (m == nullptr)
+                    continue;
+                if (m->advance(8192)) {
+                    cycles_batch += m->now();
+                    m.reset();
+                    --running;
+                }
+            }
+        }
+    });
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"batched\":{\"members\":4,\"instructions\":%llu,"
+                  "\"runs\":%u,\"wall_seconds_sequential\":%.6f,"
+                  "\"wall_seconds_batched\":%.6f,\"speedup\":%.3f,"
+                  "\"identical_cycles\":%s}",
+                  static_cast<unsigned long long>(kInstructions),
+                  kRepeat, sequential, batched,
+                  batched > 0.0 ? sequential / batched : 0.0,
+                  cycles_seq == cycles_batch ? "true" : "false");
     return buf;
 }
 
@@ -611,6 +776,7 @@ writeMainLoopSummary()
                       cycles_step == cycles_skip ? "true" : "false");
         json += buf;
     }
+    json += batchedSummary();
     json += microKernelSummary();
     json += traceCacheSummary();
     json += "}\n";

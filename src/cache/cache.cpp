@@ -363,15 +363,13 @@ Cache::drainPrefetchQueue(Cycle now)
 void
 Cache::issueFetch(const MemAccess &access, std::size_t slot, Cycle now)
 {
-    // Capture only the 4-byte slot (the MSHR entry carries the block):
-    // this + slot fits std::function's inline buffer, so issuing a
-    // fetch allocates nothing.
-    const auto slot32 = static_cast<std::uint32_t>(slot);
+    // Typed completion carrying only the 4-byte slot (the MSHR entry
+    // carries the block): issuing a fetch allocates nothing, and the
+    // fill dispatches straight back into handleFill().
     // The miss is detected after the tag lookup completes.
     lower_.fetch(access, now + config_.hit_latency,
-                 [this, slot32](Cycle cycle) {
-                     handleFill(slot32, cycle);
-                 });
+                 Completion::cacheFill(
+                     this, static_cast<std::uint32_t>(slot)));
 }
 
 void

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Typed memory-completion record replacing the type-erased
+ * std::function fill-callback chain on the simulator's hottest path.
+ *
+ * Every load fill, store release and cache fill used to travel as a
+ * std::function<void(Cycle)> through Cache::access -> MSHR ->
+ * MemoryLower::fetch -> EventQueue, paying a type-erased indirect call
+ * (and move churn) per hop. The dominant cases are known statically:
+ * a load fill completes an OooCore ROB slot, a store release frees an
+ * LSQ entry, and a lower-level fill lands in a Cache MSHR slot. A
+ * Completion carries exactly {kind, target, seq-or-slot} and
+ * dispatches through one switch to the target's (inline) completion
+ * method. Arbitrary callables — tests, benches, observers — still
+ * work: they take the Generic kind, a heap-held std::function, which
+ * keeps the old flexibility off the hot path instead of on it.
+ *
+ * A Completion is 32 bytes and nothrow-movable, so event-queue
+ * lambdas capturing one stay on the InlineCallback inline path.
+ */
+
+#ifndef BINGO_CACHE_COMPLETION_HPP
+#define BINGO_CACHE_COMPLETION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace bingo
+{
+
+class OooCore;
+class Cache;
+
+/** Tagged completion record; see file comment. */
+class Completion
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        None,          ///< Empty (default-constructed or moved-from).
+        LoadFill,      ///< OooCore::completeLoad(seq, when).
+        StoreRelease,  ///< OooCore::completeStore(when).
+        CacheFill,     ///< Cache::handleFill(slot, when).
+        Generic,       ///< Heap-held std::function fallback.
+    };
+
+    Completion() noexcept = default;
+
+    /** Any other callable takes the Generic fallback path. */
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, Completion> &&
+                  std::is_invocable_v<std::decay_t<Fn> &, Cycle>>>
+    Completion(Fn &&fn)  // NOLINT(google-explicit-constructor)
+        : kind_(Kind::Generic),
+          fn_(std::make_unique<std::function<void(Cycle)>>(
+              std::forward<Fn>(fn)))
+    {
+    }
+
+    /** Fill completing ROB sequence `seq` of `core`. */
+    static Completion
+    loadFill(OooCore *core, std::uint64_t seq) noexcept
+    {
+        Completion c;
+        c.kind_ = Kind::LoadFill;
+        c.target_ = core;
+        c.seq_ = seq;
+        return c;
+    }
+
+    /** Store write-completion freeing one LSQ entry of `core`. */
+    static Completion
+    storeRelease(OooCore *core) noexcept
+    {
+        Completion c;
+        c.kind_ = Kind::StoreRelease;
+        c.target_ = core;
+        return c;
+    }
+
+    /** Lower-level fill landing in MSHR slot `slot` of `cache`. */
+    static Completion
+    cacheFill(Cache *cache, std::uint32_t slot) noexcept
+    {
+        Completion c;
+        c.kind_ = Kind::CacheFill;
+        c.target_ = cache;
+        c.slot_ = slot;
+        return c;
+    }
+
+    Completion(Completion &&other) noexcept
+        : kind_(std::exchange(other.kind_, Kind::None)),
+          slot_(other.slot_), target_(other.target_), seq_(other.seq_),
+          fn_(std::move(other.fn_))
+    {
+    }
+
+    Completion &
+    operator=(Completion &&other) noexcept
+    {
+        if (this != &other) {
+            kind_ = std::exchange(other.kind_, Kind::None);
+            slot_ = other.slot_;
+            target_ = other.target_;
+            seq_ = other.seq_;
+            fn_ = std::move(other.fn_);
+        }
+        return *this;
+    }
+
+    Completion(const Completion &) = delete;
+    Completion &operator=(const Completion &) = delete;
+
+    Kind kind() const noexcept { return kind_; }
+
+    explicit operator bool() const noexcept
+    {
+        return kind_ != Kind::None;
+    }
+
+    /**
+     * Dispatch to the target's completion method (no-op when empty).
+     * Defined in completion.cpp, which sees the full OooCore/Cache
+     * definitions; the typed branches call inline methods, so the
+     * whole path is one direct call plus a switch.
+     */
+    void operator()(Cycle when) const;
+
+  private:
+    Kind kind_ = Kind::None;
+    std::uint32_t slot_ = 0;
+    void *target_ = nullptr;
+    std::uint64_t seq_ = 0;
+    std::unique_ptr<std::function<void(Cycle)>> fn_;
+};
+
+static_assert(sizeof(Completion) <= 32,
+              "Completion must stay small enough for event-queue "
+              "lambdas capturing one to use InlineCallback's inline "
+              "storage");
+
+/**
+ * Completion callback of a memory access: invoked with the cycle the
+ * data arrives. Historically a std::function<void(Cycle)>; now the
+ * typed Completion record, which still accepts any callable.
+ */
+using FillCallback = Completion;
+
+} // namespace bingo
+
+#endif // BINGO_CACHE_COMPLETION_HPP

@@ -26,10 +26,10 @@
 #define BINGO_CACHE_MSHR_HPP
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "cache/completion.hpp"
 #include "common/simd.hpp"
 #include "common/types.hpp"
 
@@ -40,9 +40,6 @@ namespace telemetry
 {
 class Registry;
 } // namespace telemetry
-
-/** Callback invoked with the cycle at which the fill completed. */
-using FillCallback = std::function<void(Cycle)>;
 
 /**
  * A completion parked on an in-flight miss. The owning cache accounts

@@ -30,106 +30,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <new>
 #include <queue>
-#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/inline_callback.hpp"
 #include "common/types.hpp"
 
 namespace bingo
 {
-
-/**
- * Move-only type-erased void() callable with inline storage for
- * capture-light callbacks.
- */
-class InlineCallback
-{
-  public:
-    /** Callables up to this size (and max_align_t alignment) inline. */
-    static constexpr std::size_t kStorageBytes = 64;
-
-    template <typename Fn,
-              typename = std::enable_if_t<
-                  !std::is_same_v<std::decay_t<Fn>, InlineCallback>>>
-    InlineCallback(Fn &&fn)  // NOLINT(google-explicit-constructor)
-    {
-        using Decayed = std::decay_t<Fn>;
-        if constexpr (sizeof(Decayed) <= kStorageBytes &&
-                      alignof(Decayed) <= alignof(std::max_align_t) &&
-                      std::is_nothrow_move_constructible_v<Decayed>) {
-            emplace<Decayed>(std::forward<Fn>(fn));
-        } else {
-            emplace<std::function<void()>>(
-                std::function<void()>(std::forward<Fn>(fn)));
-        }
-    }
-
-    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
-
-    InlineCallback &
-    operator=(InlineCallback &&other) noexcept
-    {
-        if (this != &other) {
-            reset();
-            moveFrom(other);
-        }
-        return *this;
-    }
-
-    InlineCallback(const InlineCallback &) = delete;
-    InlineCallback &operator=(const InlineCallback &) = delete;
-
-    ~InlineCallback() { reset(); }
-
-    void operator()() { invoke_(buf_); }
-
-  private:
-    template <typename T, typename Arg>
-    void
-    emplace(Arg &&arg)
-    {
-        static_assert(sizeof(T) <= kStorageBytes);
-        ::new (static_cast<void *>(buf_)) T(std::forward<Arg>(arg));
-        invoke_ = [](void *p) { (*static_cast<T *>(p))(); };
-        relocate_ = [](void *dst, void *src) noexcept {
-            ::new (dst) T(std::move(*static_cast<T *>(src)));
-            static_cast<T *>(src)->~T();
-        };
-        destroy_ = [](void *p) noexcept { static_cast<T *>(p)->~T(); };
-    }
-
-    void
-    moveFrom(InlineCallback &other) noexcept
-    {
-        invoke_ = other.invoke_;
-        relocate_ = other.relocate_;
-        destroy_ = other.destroy_;
-        if (relocate_ != nullptr)
-            relocate_(buf_, other.buf_);
-        other.invoke_ = nullptr;
-        other.relocate_ = nullptr;
-        other.destroy_ = nullptr;
-    }
-
-    void
-    reset() noexcept
-    {
-        if (destroy_ != nullptr)
-            destroy_(buf_);
-        invoke_ = nullptr;
-        relocate_ = nullptr;
-        destroy_ = nullptr;
-    }
-
-    alignas(std::max_align_t) unsigned char buf_[kStorageBytes];
-    void (*invoke_)(void *) = nullptr;
-    void (*relocate_)(void *, void *) = nullptr;
-    void (*destroy_)(void *) = nullptr;
-};
 
 /** Timing wheel with heap overflow; fires in time then FIFO order. */
 class EventQueue

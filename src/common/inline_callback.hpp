@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Move-only type-erased callable with fixed-size inline storage.
+ *
+ * InlineFunction<R(Args...)> is the generalized form of the event
+ * queue's original inline callback: capture-light callables (up to
+ * kStorageBytes, max_align_t-aligned, nothrow-move-constructible) are
+ * stored in place, so the heap allocation std::function would make on
+ * a hot path never happens. Oversized or throwing-move callables
+ * transparently fall back to a std::function held in the same buffer.
+ *
+ * Used for event-queue callbacks (InlineCallback = void()), the cache
+ * access/eviction/MSHR-pressure hooks, and the thread-pool job queue.
+ */
+
+#ifndef BINGO_COMMON_INLINE_CALLBACK_HPP
+#define BINGO_COMMON_INLINE_CALLBACK_HPP
+
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bingo
+{
+
+template <typename Signature, std::size_t Bytes = 64>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFunction<R(Args...), Bytes>
+{
+  public:
+    /** Callables up to this size (and max_align_t alignment) inline. */
+    static constexpr std::size_t kStorageBytes = Bytes;
+
+    /** Empty function: operator bool() is false, reset() is a no-op. */
+    InlineFunction() noexcept = default;
+
+    template <typename Fn,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<Fn>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<Fn> &,
+                                        Args...>>>
+    InlineFunction(Fn &&fn)  // NOLINT(google-explicit-constructor)
+    {
+        using Decayed = std::decay_t<Fn>;
+        if constexpr (sizeof(Decayed) <= kStorageBytes &&
+                      alignof(Decayed) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Decayed>) {
+            emplace<Decayed>(std::forward<Fn>(fn));
+        } else {
+            emplace<std::function<R(Args...)>>(
+                std::function<R(Args...)>(std::forward<Fn>(fn)));
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept
+    {
+        return invoke_ != nullptr;
+    }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(buf_, std::forward<Args>(args)...);
+    }
+
+    /** Destroy the held callable and return to the empty state. */
+    void
+    reset() noexcept
+    {
+        if (destroy_ != nullptr)
+            destroy_(buf_);
+        invoke_ = nullptr;
+        relocate_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+  private:
+    template <typename T, typename Arg>
+    void
+    emplace(Arg &&arg)
+    {
+        static_assert(sizeof(T) <= kStorageBytes);
+        ::new (static_cast<void *>(buf_)) T(std::forward<Arg>(arg));
+        invoke_ = [](void *p, Args... args) -> R {
+            return (*static_cast<T *>(p))(
+                std::forward<Args>(args)...);
+        };
+        relocate_ = [](void *dst, void *src) noexcept {
+            ::new (dst) T(std::move(*static_cast<T *>(src)));
+            static_cast<T *>(src)->~T();
+        };
+        destroy_ = [](void *p) noexcept { static_cast<T *>(p)->~T(); };
+    }
+
+    void
+    moveFrom(InlineFunction &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        destroy_ = other.destroy_;
+        if (relocate_ != nullptr)
+            relocate_(buf_, other.buf_);
+        other.invoke_ = nullptr;
+        other.relocate_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kStorageBytes];
+    R (*invoke_)(void *, Args...) = nullptr;
+    void (*relocate_)(void *, void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
+/**
+ * Move-only type-erased void() callable with inline storage for
+ * capture-light callbacks (the event-queue element type).
+ */
+using InlineCallback = InlineFunction<void()>;
+
+} // namespace bingo
+
+#endif // BINGO_COMMON_INLINE_CALLBACK_HPP

@@ -119,14 +119,52 @@ OooCore::dispatch(Cycle now)
                 if (const TraceRecord *run =
                         trace_.borrowBatch(kFetchBatch, got)) {
                     fetch_data_ = run;
+                    fetch_runs_ = trace_.borrowRuns();
                     fetch_end_ = static_cast<std::uint32_t>(got);
                 } else {
                     trace_.nextBatch(fetch_buffer_.data(),
                                      kFetchBatch);
                     fetch_data_ = fetch_buffer_.data();
+                    fetch_runs_ = nullptr;
                     fetch_end_ = kFetchBatch;
                 }
                 fetch_pos_ = 0;
+            }
+            // Fast path: a precomputed run of non-memory records
+            // collapses into one pass — per slot only the completion
+            // cycle is written (plus the branch count). Equivalent to
+            // the per-record path below: ALU and branch latency are
+            // the same, non-memory dispatch touches neither the LSQ
+            // nor the dependent-load state, and a slot's `seq` and
+            // `deferred` fields are only ever read for load slots,
+            // which always (re)write them at dispatch. The run is
+            // re-clipped every iteration so the ROB-full and width
+            // checks fire exactly where per-record dispatch would
+            // note them.
+            if (fetch_runs_ != nullptr &&
+                fetch_runs_[fetch_pos_] > 0) {
+                std::uint64_t take = fetch_runs_[fetch_pos_];
+                const std::uint64_t rob_space =
+                    rob_capacity_ - (rob_tail_ - rob_head_);
+                if (take > config_.width - dispatched)
+                    take = config_.width - dispatched;
+                if (take > fetch_end_ - fetch_pos_)
+                    take = fetch_end_ - fetch_pos_;
+                if (take > rob_space)
+                    take = rob_space;
+                const Cycle done = now + config_.alu_latency;
+                const TraceRecord *recs = fetch_data_ + fetch_pos_;
+                std::uint64_t branches = 0;
+                for (std::uint64_t i = 0; i < take; ++i) {
+                    rob_[(rob_tail_ + i) & rob_mask_].done = done;
+                    branches +=
+                        recs[i].type == InstrType::Branch ? 1 : 0;
+                }
+                rob_tail_ += take;
+                stats_.branches += branches;
+                fetch_pos_ += static_cast<std::uint32_t>(take);
+                dispatched += static_cast<unsigned>(take);
+                continue;
             }
             record_held_ = true;
         }
@@ -192,64 +230,14 @@ OooCore::dispatch(Cycle now)
             access.pc = rec.pc;
             access.core = id_;
             access.type = AccessType::Store;
-            l1d_.access(access, now, [this](Cycle when) {
-                // Account the skipped window against the pre-release
-                // block reason before freeing the LSQ slot.
-                if (when != 0)
-                    syncTo(when - 1);
-                wake_dirty_ = true;
-                if (lsq_used_ == 0)
-                    throw SimError(
-                        "core" + std::to_string(id_), when,
-                        "store completion with no LSQ entry held");
-                --lsq_used_;
-            });
+            l1d_.access(access, now,
+                        Completion::storeRelease(this));
             break;
           }
         }
         record_held_ = false;
         ++fetch_pos_;
         ++dispatched;
-    }
-}
-
-void
-OooCore::issueLoad(std::uint64_t seq, const MemAccess &access,
-                   Cycle now)
-{
-    l1d_.access(access, now, [this, seq](Cycle when) {
-        completeLoad(seq, when);
-    });
-}
-
-void
-OooCore::completeLoad(std::uint64_t seq, Cycle when)
-{
-    // Fired from the event queue at cycle `when`: a lazily-skipped
-    // core first accounts the window under its pre-event block
-    // reason, exactly as per-cycle stepping would have.
-    if (when != 0)
-        syncTo(when - 1);
-    wake_dirty_ = true;
-    RobSlot &slot = rob_[seq & rob_mask_];
-    if (slot.seq != seq)
-        throw SimError("core" + std::to_string(id_), when,
-                       "load completion for ROB sequence " +
-                           std::to_string(seq) +
-                           " found slot holding sequence " +
-                           std::to_string(slot.seq));
-    slot.done = when < now_ + 1 ? now_ + 1 : when;
-    if (lsq_used_ == 0)
-        throw SimError("core" + std::to_string(id_), when,
-                       "load completion with no LSQ entry held");
-    --lsq_used_;
-    if (!slot.deferred.empty()) {
-        // Release the pointer chasers waiting on this load's data.
-        const auto waiting = std::move(slot.deferred);
-        slot.deferred.clear();
-        const Cycle issue = when < now_ ? now_ : when;
-        for (const auto &[dep_seq, access] : waiting)
-            issueLoad(dep_seq, access, issue);
     }
 }
 

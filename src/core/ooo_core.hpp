@@ -17,10 +17,13 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "cache/cache.hpp"
 #include "common/config.hpp"
+#include "common/sim_check.hpp"
 #include "common/types.hpp"
 
 namespace bingo
@@ -68,6 +71,20 @@ class TraceSource
         got = 0;
         return nullptr;
     }
+
+    /**
+     * Non-memory run-length sidecar of the window the last
+     * borrowBatch() call returned, aligned with it: entry i is the
+     * number of consecutive non-load/store records starting at window
+     * index i (0 when record i is a load or store), saturated at 255
+     * and possibly clipped earlier — a conservative lower bound. The
+     * dispatch loop uses it to consume compute bursts in one step
+     * instead of record by record. Sources without precomputed runs
+     * (including every layered/transforming source) return nullptr
+     * and the core falls back to per-record dispatch, which is
+     * bit-identical by construction.
+     */
+    virtual const std::uint8_t *borrowRuns() const { return nullptr; }
 };
 
 /** Counters exported by a core. */
@@ -182,6 +199,10 @@ class OooCore
     void registerTelemetry(telemetry::Registry &registry) const;
 
   private:
+    /// The typed completion record dispatches LoadFill/StoreRelease
+    /// completions straight into completeLoad()/completeStore().
+    friend class Completion;
+
     struct RobSlot
     {
         std::uint64_t seq = 0;
@@ -196,7 +217,21 @@ class OooCore
 
     void retire(Cycle now);
     void dispatch(Cycle now);
+
+    /**
+     * Fill arrived for ROB sequence `seq`: mark the slot complete,
+     * free its LSQ entry and release any dependent loads. Defined
+     * inline below — it is the LoadFill branch of the typed completion
+     * dispatch, invoked once per load miss/hit from the cache layer.
+     */
     void completeLoad(std::uint64_t seq, Cycle when);
+
+    /**
+     * Store write-completion: free the LSQ entry modelling the store
+     * buffer. The StoreRelease branch of the typed completion
+     * dispatch; inline below.
+     */
+    void completeStore(Cycle when);
 
     /** Send a load to the L1D, completing its ROB slot on fill. */
     void issueLoad(std::uint64_t seq, const MemAccess &access,
@@ -228,6 +263,10 @@ class OooCore
     /// copied in via nextBatch) or a run borrowed zero-copy from the
     /// source's own storage (borrowBatch).
     const TraceRecord *fetch_data_ = nullptr;
+    /// Run-length sidecar aligned with fetch_data_ when the source
+    /// provides one (borrowRuns()), nullptr otherwise. Lets dispatch
+    /// collapse a burst of non-memory records into one pass.
+    const std::uint8_t *fetch_runs_ = nullptr;
     std::uint32_t fetch_pos_ = 0;  ///< Next unconsumed window slot.
     std::uint32_t fetch_end_ = 0;  ///< One past the last valid slot.
     /// Dispatch pulled fetch_buffer_[fetch_pos_] but could not place
@@ -273,6 +312,58 @@ OooCore::nextWakeCycle(Cycle now) const
     if (record_held_ && lsq_used_ >= config_.lsq_entries)
         return wake;  // LSQ full: freed by a completion callback.
     return now + 1;
+}
+
+inline void
+OooCore::issueLoad(std::uint64_t seq, const MemAccess &access,
+                   Cycle now)
+{
+    l1d_.access(access, now, Completion::loadFill(this, seq));
+}
+
+inline void
+OooCore::completeLoad(std::uint64_t seq, Cycle when)
+{
+    // Fired from the event queue at cycle `when`: a lazily-skipped
+    // core first accounts the window under its pre-event block
+    // reason, exactly as per-cycle stepping would have.
+    if (when != 0)
+        syncTo(when - 1);
+    wake_dirty_ = true;
+    RobSlot &slot = rob_[seq & rob_mask_];
+    if (slot.seq != seq)
+        throw SimError("core" + std::to_string(id_), when,
+                       "load completion for ROB sequence " +
+                           std::to_string(seq) +
+                           " found slot holding sequence " +
+                           std::to_string(slot.seq));
+    slot.done = when < now_ + 1 ? now_ + 1 : when;
+    if (lsq_used_ == 0)
+        throw SimError("core" + std::to_string(id_), when,
+                       "load completion with no LSQ entry held");
+    --lsq_used_;
+    if (!slot.deferred.empty()) {
+        // Release the pointer chasers waiting on this load's data.
+        const auto waiting = std::move(slot.deferred);
+        slot.deferred.clear();
+        const Cycle issue = when < now_ ? now_ : when;
+        for (const auto &[dep_seq, access] : waiting)
+            issueLoad(dep_seq, access, issue);
+    }
+}
+
+inline void
+OooCore::completeStore(Cycle when)
+{
+    // Account the skipped window against the pre-release block reason
+    // before freeing the LSQ slot.
+    if (when != 0)
+        syncTo(when - 1);
+    wake_dirty_ = true;
+    if (lsq_used_ == 0)
+        throw SimError("core" + std::to_string(id_), when,
+                       "store completion with no LSQ entry held");
+    --lsq_used_;
 }
 
 } // namespace bingo

@@ -103,6 +103,20 @@ struct SweepJob
 unsigned sweepJobCount();
 
 /**
+ * Lockstep batch width: BINGO_BATCH (default 1, clamped to [1, 64]).
+ * When greater than one, each sweep worker drives up to this many
+ * Systems that share a trace stream — same (workload, seed, warmup,
+ * measure) — in round-robin advance() slices instead of running them
+ * back to back. The members replay the shared trace-cache buffers
+ * nearly in step, so each generated chunk is consumed by the whole
+ * batch while it is hot. Results and journals are bit-identical to
+ * BINGO_BATCH=1 (each System is still an isolated machine driven
+ * through the same state transitions). Read fresh on every sweep, so
+ * tests can flip it with setenv.
+ */
+unsigned sweepBatchSize();
+
+/**
  * Distributed worker-process count: BINGO_DIST_WORKERS (0 = off).
  * When nonzero, runSweepOutcomes dispatches jobs to bingo_worker
  * processes through the src/dist coordinator instead of in-process

@@ -44,7 +44,16 @@ skipDisabledByEnv()
     return disabled;
 }
 
+/** Test-seam override of the env default; see the static setter. */
+std::optional<bool> g_skip_default_override;
+
 } // namespace
+
+void
+System::setCycleSkippingDefault(std::optional<bool> enabled)
+{
+    g_skip_default_override = enabled;
+}
 
 System::System(const SystemConfig &config, const std::string &workload)
     : config_(config)
@@ -86,7 +95,9 @@ void
 System::build(std::vector<std::unique_ptr<TraceSource>> sources,
               bool pre_translated)
 {
-    skip_enabled_ = !skipDisabledByEnv();
+    skip_enabled_ = g_skip_default_override.has_value()
+                        ? *g_skip_default_override
+                        : !skipDisabledByEnv();
     if (config_.chaos.enabled)
         chaos_ = std::make_unique<chaos::ChaosEngine>(config_.chaos,
                                                       config_.seed);
@@ -428,10 +439,10 @@ System::allMeasurementsDone() const
 }
 
 void
-System::runPhase(std::uint64_t instructions, const char *phase)
+System::beginPhase(std::uint64_t instructions, const char *phase)
 {
-    const bool checks = simCheckEnabled();
-    const bool pausing = checks || deadline_armed_;
+    phase_checks_ = simCheckEnabled();
+    phase_pausing_ = phase_checks_ || deadline_armed_;
     for (auto &core : cores_)
         core->startMeasurement(instructions, now_);
     // The phase base snapshot must be taken after startMeasurement
@@ -445,18 +456,33 @@ System::runPhase(std::uint64_t instructions, const char *phase)
     // they fire on exactly the same cycles when stepping by one, and
     // still fire once per period when the loop jumps (crossed, not
     // landed-on, semantics).
-    PeriodicGate check_gate(kCheckIntervalMask, now_);
-    PeriodicGate epoch_gate(kEpochCheckMask, now_);
+    check_gate_.emplace(kCheckIntervalMask, now_);
+    epoch_gate_.emplace(kEpochCheckMask, now_);
     // Cached per-core wake cycles; 0 forces a first step of each.
     core_wake_.assign(cores_.size(), 0);
     // measurementDone() can only flip inside step() (retirement is the
     // sole writer of the retired-instruction count), so the loop keeps
     // a finished-core count updated at each transition instead of
     // polling every core twice per iteration.
-    std::size_t done_cores = 0;
+    done_cores_ = 0;
     for (const auto &core : cores_)
-        done_cores += core->measurementDone() ? 1 : 0;
-    while (done_cores < cores_.size()) {
+        done_cores_ += core->measurementDone() ? 1 : 0;
+}
+
+bool
+System::advancePhase(std::uint64_t budget)
+{
+    // Hoist the persisted phase state into locals for the loop, so
+    // slicing the phase into advance() calls costs nothing inside it:
+    // the compiler sees exactly the monolithic loop runPhase used to
+    // be. (A throw below leaves the members stale — harmless, since a
+    // throwing run is dead: there is no way to resume it.)
+    const bool checks = phase_checks_;
+    const bool pausing = phase_pausing_;
+    PeriodicGate check_gate = *check_gate_;
+    PeriodicGate epoch_gate = *epoch_gate_;
+    std::size_t done_cores = done_cores_;
+    for (; done_cores < cores_.size() && budget > 0; --budget) {
         if (pausing && check_gate.crossed(now_)) {
             if (deadline_armed_ &&
                 std::chrono::steady_clock::now() >= deadline_)
@@ -534,19 +560,33 @@ System::runPhase(std::uint64_t instructions, const char *phase)
             ++now_;
         }
     }
-    if (checks)
+    check_gate_ = check_gate;
+    epoch_gate_ = epoch_gate;
+    done_cores_ = done_cores;
+    return done_cores == cores_.size();
+}
+
+void
+System::finishPhase()
+{
+    if (phase_checks_)
         checkInvariants();
     if (telemetry_ != nullptr)
         telemetry_->epochs().endPhase(now_, telemetrySnapshot());
 }
 
 void
-System::run(std::uint64_t warmup_instructions,
-            std::uint64_t measure_instructions)
+System::runPhase(std::uint64_t instructions, const char *phase)
 {
-    if (warmup_instructions > 0)
-        runPhase(warmup_instructions, "warmup");
+    beginPhase(instructions, phase);
+    while (!advancePhase(~std::uint64_t{0})) {
+    }
+    finishPhase();
+}
 
+void
+System::beginMeasurePhase()
+{
     llc_->resetStats();
     for (auto &l1 : l1ds_)
         l1->resetStats();
@@ -557,8 +597,57 @@ System::run(std::uint64_t warmup_instructions,
         // state stays because those blocks span the boundary.
         telemetry_->lifecycle().resetStats();
     }
+    beginPhase(measure_instrs_, "measure");
+}
 
-    runPhase(measure_instructions, "measure");
+void
+System::beginRun(std::uint64_t warmup_instructions,
+                 std::uint64_t measure_instructions)
+{
+    measure_instrs_ = measure_instructions;
+    if (warmup_instructions > 0) {
+        stage_ = RunStage::Warmup;
+        beginPhase(warmup_instructions, "warmup");
+    } else {
+        stage_ = RunStage::Measure;
+        beginMeasurePhase();
+    }
+}
+
+bool
+System::advance(std::uint64_t max_iterations)
+{
+    switch (stage_) {
+      case RunStage::Warmup:
+        if (!advancePhase(max_iterations))
+            return false;
+        finishPhase();
+        stage_ = RunStage::Measure;
+        beginMeasurePhase();
+        // The measure phase starts on the next call: a slice boundary
+        // between phases keeps the budget accounting simple and costs
+        // one extra call per run.
+        return false;
+      case RunStage::Measure:
+        if (!advancePhase(max_iterations))
+            return false;
+        finishPhase();
+        stage_ = RunStage::Done;
+        return true;
+      case RunStage::Idle:
+      case RunStage::Done:
+        return true;
+    }
+    return true;
+}
+
+void
+System::run(std::uint64_t warmup_instructions,
+            std::uint64_t measure_instructions)
+{
+    beginRun(warmup_instructions, measure_instructions);
+    while (!advance(~std::uint64_t{0})) {
+    }
 }
 
 } // namespace bingo

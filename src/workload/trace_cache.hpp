@@ -112,16 +112,23 @@ class TraceBuffer
      * with `got` receiving the run length. Extends first, so the run
      * is always nonempty. The pointer stays valid for the buffer's
      * lifetime (chunks are never freed while the buffer lives).
+     *
+     * When `runs` is non-null it receives the window's non-memory
+     * run-length sidecar, aligned with the returned records (see
+     * TraceSource::borrowRuns for the entry contract). The sidecar is
+     * computed once at generation time, so replaying consumers get
+     * dispatch-run information for free.
      */
     const TraceRecord *view(std::size_t pos, std::size_t want,
-                            std::size_t &got);
+                            std::size_t &got,
+                            const std::uint8_t **runs = nullptr);
 
-    /** Bytes of chunk storage owned right now. */
+    /** Bytes of chunk storage owned right now (records + sidecar). */
     std::uint64_t
     bytesReserved() const
     {
         return allocated_chunks_.load(std::memory_order_relaxed) *
-               kChunkRecords * sizeof(TraceRecord);
+               kChunkRecords * (sizeof(TraceRecord) + 1);
     }
 
     /** Records generated so far (tests/diagnostics). */
@@ -154,11 +161,26 @@ class TraceBuffer
         return reinterpret_cast<TraceRecord *>(chunks_[index].get());
     }
 
+    /** Run-length sidecar of chunk `index` (parallel to its records). */
+    std::uint8_t *
+    runData(std::size_t index) const
+    {
+        return run_chunks_[index].get();
+    }
+
     std::unique_ptr<TraceSource> generator_;
     std::mutex extend_mutex_;
     std::atomic<std::size_t> committed_{0};
     std::atomic<std::size_t> allocated_chunks_{0};
     std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    /// Per-chunk non-memory run lengths, one byte per record: entry i
+    /// is the number of consecutive non-load/store records starting at
+    /// record i (0 for a memory record), saturated at 255 and clipped
+    /// at the generation-slice boundary — a conservative lower bound
+    /// the dispatch fast path may always trust. Written backward over
+    /// each slice right after the generator fills it, published by the
+    /// same committed_ release-store as the records.
+    std::vector<std::unique_ptr<std::uint8_t[]>> run_chunks_;
     std::atomic<std::uint64_t> *total_bytes_;
     std::atomic<std::uint64_t> *total_records_;
 };
@@ -194,14 +216,23 @@ class CachedTraceSource : public TraceSource
     const TraceRecord *
     borrowBatch(std::size_t want, std::size_t &got) override
     {
-        const TraceRecord *run = buffer_->view(pos_, want, got);
+        const TraceRecord *run =
+            buffer_->view(pos_, want, got, &runs_);
         pos_ += got;
         return run;
+    }
+
+    const std::uint8_t *
+    borrowRuns() const override
+    {
+        return runs_;
     }
 
   private:
     std::shared_ptr<TraceBuffer> buffer_;
     std::size_t pos_ = 0;
+    /// Sidecar of the last borrowBatch() window (see borrowRuns()).
+    const std::uint8_t *runs_ = nullptr;
 };
 
 /** Process-wide, thread-safe registry of shared trace buffers. */
