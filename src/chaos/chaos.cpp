@@ -42,14 +42,17 @@ struct SiteName
 constexpr SiteName kSiteNames[] = {
     {"trace", ChaosSite::Trace},   {"dram", ChaosSite::Dram},
     {"meta", ChaosSite::Metadata}, {"mshr", ChaosSite::Mshr},
-    {"pf", ChaosSite::Prefetcher},
+    {"pf", ChaosSite::Prefetcher}, {"transport", ChaosSite::Transport},
 };
 
 unsigned
 parseSites(const std::string &spec, const std::string &sites)
 {
+    // `all` covers the simulation sites only: transport faults change
+    // runtime behaviour (re-dispatch, retries) without changing any
+    // job's result, so they must be requested by name.
     if (sites == "all")
-        return (1u << kNumChaosSites) - 1;
+        return kSimSiteMask;
     unsigned mask = 0;
     for (const std::string &part : splitOn(sites, ',')) {
         bool found = false;
@@ -62,8 +65,8 @@ parseSites(const std::string &spec, const std::string &sites)
         }
         if (!found)
             rejectSpec(spec, "unknown site \"" + part +
-                                 "\" (want trace,dram,meta,mshr,pf "
-                                 "or all)");
+                                 "\" (want trace,dram,meta,mshr,pf,"
+                                 "transport or all)");
     }
     return mask;
 }
@@ -100,9 +103,8 @@ parseChaosSpec(const std::string &spec)
     if (!(config.rate >= 0.0 && config.rate <= 1.0))
         rejectSpec(spec, "rate must be within [0, 1]");
 
-    config.site_mask = parts.size() == 3
-                           ? parseSites(spec, parts[2])
-                           : (1u << kNumChaosSites) - 1;
+    config.site_mask = parts.size() == 3 ? parseSites(spec, parts[2])
+                                         : kSimSiteMask;
     if (config.site_mask == 0)
         rejectSpec(spec, "no sites enabled");
     return config;
@@ -140,8 +142,30 @@ chaosFromEnv()
 void
 applyEnvChaos(SystemConfig &cfg)
 {
-    if (!cfg.chaos.enabled)
-        cfg.chaos = chaosFromEnv();
+    if (cfg.chaos.enabled)
+        return;
+    ChaosConfig env = chaosFromEnv();
+    // The transport site never reaches the simulated machine: strip it
+    // so fingerprints (and the journal diff oracle) are identical with
+    // and without transport chaos. A transport-only spec stays off.
+    env.site_mask &= kSimSiteMask;
+    if (env.site_mask == 0)
+        env.enabled = false;
+    cfg.chaos = env;
+}
+
+TransportFaultPlan
+transportChaosFromEnv()
+{
+    const ChaosConfig &env = chaosFromEnv();
+    TransportFaultPlan plan;
+    if (env.enabled &&
+        (env.site_mask & siteBit(ChaosSite::Transport)) != 0) {
+        plan.enabled = true;
+        plan.seed = env.seed;
+        plan.rate = env.rate;
+    }
+    return plan;
 }
 
 } // namespace bingo::chaos

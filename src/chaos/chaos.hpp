@@ -42,9 +42,21 @@ enum class ChaosSite : unsigned
     Metadata = 2,    ///< Flip bits in prefetcher metadata entries.
     Mshr = 3,        ///< Spike MSHR occupancy seen by prefetches.
     Prefetcher = 4,  ///< Inject a fault into the prefetcher model.
+    Transport = 5,   ///< Corrupt/stall/sever distributed-sweep frames.
 };
 
+/**
+ * Number of *simulation* sites — the ones ChaosEngine draws for and
+ * that contribute to a job's fingerprint. The transport site lives
+ * outside the simulated machine: it perturbs the coordinator/worker
+ * byte stream, must never change what any job computes, and so is
+ * deliberately excluded from this count, from `all`, and from the
+ * chaos identity that applyEnvChaos overlays onto a SystemConfig.
+ */
 constexpr unsigned kNumChaosSites = 5;
+
+/** Mask of every simulation site (what `all` expands to). */
+constexpr unsigned kSimSiteMask = (1u << kNumChaosSites) - 1;
 
 /** site_mask bit for one site. */
 constexpr unsigned
@@ -71,8 +83,29 @@ const ChaosConfig &chaosFromEnv();
 /**
  * Overlay the BINGO_CHAOS plan onto a config that does not already
  * carry one. Benches that set cfg.chaos explicitly keep their plan.
+ * The transport bit is stripped before the overlay: transport faults
+ * perturb the distributed runtime's byte stream, not the simulated
+ * machine, so they must leave job fingerprints — and therefore the
+ * journal byte-identity oracle — untouched. A spec naming only the
+ * transport site leaves cfg.chaos disabled.
  */
 void applyEnvChaos(SystemConfig &cfg);
+
+/**
+ * The transport slice of BINGO_CHAOS, consumed by the distributed
+ * runtime (src/dist/transport.*) rather than by ChaosEngine. Enabled
+ * only when the spec explicitly names the `transport` site; `all`
+ * means all *simulation* sites and never turns this on.
+ */
+struct TransportFaultPlan
+{
+    bool enabled = false;
+    std::uint64_t seed = 0;
+    double rate = 0.0;
+};
+
+/** Transport fault plan from BINGO_CHAOS (cached; see chaosFromEnv). */
+TransportFaultPlan transportChaosFromEnv();
 
 /** What the injector actually did during a run. */
 struct ChaosCounters

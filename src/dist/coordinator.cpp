@@ -3,20 +3,24 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <unistd.h>
 
+#include "dist/manifest.hpp"
 #include "dist/protocol.hpp"
 #include "dist/supervisor.hpp"
 #include "sim/journal.hpp"
+#include "telemetry/export.hpp"
 
 namespace bingo
 {
@@ -50,6 +54,30 @@ envSeconds(const char *name, double fallback)
     return (end == value || parsed < 0.0) ? fallback : parsed;
 }
 
+/**
+ * Ignore SIGPIPE for the coordinator's lifetime in this function
+ * (restoring the previous disposition on exit): a worker that dies
+ * while the coordinator writes to it must surface as a structured
+ * broken-pipe transport error from the ByteChannel, never kill the
+ * coordinator — the coordinator outliving its workers is the whole
+ * point of supervision. (SocketChannel also passes MSG_NOSIGNAL, but
+ * PipeChannel writes to plain pipes, which have no such flag.)
+ */
+class ScopedSigpipeIgnore
+{
+  public:
+    ScopedSigpipeIgnore() { prev_ = std::signal(SIGPIPE, SIG_IGN); }
+    ~ScopedSigpipeIgnore()
+    {
+        if (prev_ != SIG_ERR)
+            std::signal(SIGPIPE, prev_);
+    }
+
+  private:
+    using Handler = void (*)(int);
+    Handler prev_ = SIG_ERR;
+};
+
 /** One unit of distributable work: a sweep job or a baseline warm. */
 struct Item
 {
@@ -69,6 +97,12 @@ struct Item
     State state = State::Pending;
     Clock::time_point not_before{};  ///< Re-dispatch backoff gate.
     unsigned kills = 0;       ///< Consecutive workers this item killed.
+    unsigned requeues = 0;    ///< Lease revocations (backoff ladder).
+    /// At-most-once-commit guard: bumped at every dispatch, echoed by
+    /// the worker, checked on receipt. A stalled worker that resurfaces
+    /// after its job was re-dispatched holds an old lease and its
+    /// result is dropped as stale.
+    std::uint64_t lease = 0;
     bool have_result = false;
     bool poisoned = false;
     bool interrupted = false;
@@ -85,6 +119,32 @@ struct Slot
 
 constexpr std::size_t kNoItem = static_cast<std::size_t>(-1);
 
+/** transport_health.json body for `report`. */
+std::string
+transportHealthJson(const DistReport &report)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"workers_spawned\": " << report.workers_spawned << ",\n"
+        << "  \"workers_lost\": " << report.workers_lost << ",\n"
+        << "  \"reconnects\": " << report.reconnects << ",\n"
+        << "  \"redispatched\": " << report.redispatched << ",\n"
+        << "  \"poisoned\": " << report.poisoned << ",\n"
+        << "  \"fallback_jobs\": " << report.fallback_jobs << ",\n"
+        << "  \"corrupt_frames_dropped\": "
+        << report.corrupt_frames_dropped << ",\n"
+        << "  \"duplicate_frames_suppressed\": "
+        << report.duplicate_frames_suppressed << ",\n"
+        << "  \"frame_gaps\": " << report.frame_gaps << ",\n"
+        << "  \"injected_faults\": " << report.injected_faults << ",\n"
+        << "  \"leases_revoked\": " << report.leases_revoked << ",\n"
+        << "  \"stale_results_dropped\": "
+        << report.stale_results_dropped << ",\n"
+        << "  \"log_records\": " << report.log_records << "\n"
+        << "}\n";
+    return out.str();
+}
+
 } // namespace
 
 bool
@@ -93,13 +153,15 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
                     std::vector<JobOutcome> &outcomes,
                     unsigned num_workers, DistReport *report)
 {
+    const std::vector<std::string> hosts = sweepDistHosts();
     const std::string binary = workerBinaryPath();
-    if (binary.empty()) {
+    if (hosts.empty() && binary.empty()) {
         std::fprintf(
             stderr,
-            "bingo: BINGO_DIST_WORKERS set but no bingo_worker binary "
-            "found (set BINGO_WORKER_BIN or build the bingo_worker "
-            "target); running in-process instead\n");
+            "bingo: distributed sweep requested but no bingo_worker "
+            "binary found (set BINGO_WORKER_BIN or build the "
+            "bingo_worker target) and BINGO_DIST_HOSTS is empty; "
+            "running in-process instead\n");
         return false;
     }
     if (pending.empty())
@@ -107,12 +169,24 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
 
     if (num_workers == 0)
         num_workers = sweepDistWorkers();
+    if (num_workers == 0 && !hosts.empty())
+        num_workers = static_cast<unsigned>(
+            std::min<std::size_t>(hosts.size(), 256));
     num_workers = std::max(1u, num_workers);
 
     const std::string journal_dir = sweepJournalDir();
-    // Workers always journal into shards; without a canonical journal
-    // the shards live in a temp tree that is simply deleted at the end
-    // (results still arrive over the wire).
+    // Make the sweep coordinator-crash-resumable before dispatching
+    // anything. runSweepOutcomes already wrote this manifest for
+    // journaled sweeps; rewriting it is byte-idempotent (it is a pure
+    // function of the job list), and direct callers of this function
+    // get the same guarantee.
+    if (!journal_dir.empty())
+        manifestStore(journal_dir, jobs);
+    // Local workers always journal into shards; without a canonical
+    // journal the shards live in a temp tree that is simply deleted at
+    // the end (results still arrive over the wire). Host-backed (stdio)
+    // workers never journal locally — the coordinator logs their
+    // accepted results instead.
     std::string shard_base;
     if (journal_dir.empty()) {
         shard_base = (std::filesystem::temp_directory_path() /
@@ -124,11 +198,20 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
                    ? shard_base + "/w" + std::to_string(slot)
                    : journalShardDir(journal_dir, slot);
     };
+    // Slots cycle over the host templates; with no hosts every slot is
+    // a local socketpair worker.
+    const auto hostFor = [&](unsigned slot) -> const std::string * {
+        if (hosts.empty())
+            return nullptr;
+        return &hosts[slot % hosts.size()];
+    };
 
     const double heartbeat_timeout =
         envSeconds("BINGO_DIST_HEARTBEAT_S", 5.0);
     const double job_deadline =
         envSeconds("BINGO_DIST_JOB_TIMEOUT_S", 0.0);
+    const double redispatch_grace =
+        envSeconds("BINGO_DIST_REDISPATCH_S", 2.0);
     const unsigned poison_kills = static_cast<unsigned>(std::max<
         std::uint64_t>(1, envU64("BINGO_DIST_POISON_KILLS", 2)));
     const unsigned max_respawns = static_cast<unsigned>(
@@ -179,19 +262,33 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
         item.fingerprint = jobFingerprint(jobs[i]);
         items.push_back(std::move(item));
     }
+    // Results name jobs by wire index; in_flight alone cannot identify
+    // a late (stale-lease) result's item.
+    std::map<std::uint64_t, std::size_t> item_by_wire;
+    for (std::size_t k = 0; k < items.size(); ++k)
+        item_by_wire.emplace(items[k].wire_index, k);
 
     std::printf("Distributed sweep: %llu job(s)%s across %u worker "
-                "process(es)\n",
+                "process(es)%s\n",
                 static_cast<unsigned long long>(pending.size()),
                 baseline_items > 0 ? " (+ baselines)" : "",
-                num_workers);
+                num_workers,
+                hosts.empty() ? "" : " via BINGO_DIST_HOSTS");
 
     ScopedSweepSignals signal_guard;
+    ScopedSigpipeIgnore sigpipe_guard;
+
+    const auto spawnSlot = [&](Slot &slot) {
+        const unsigned s = slot.proc.slot;
+        if (const std::string *host = hostFor(s); host != nullptr)
+            return spawnWorkerCommand(*host, s, slot.proc);
+        return spawnWorker(binary, shardDirFor(s), s, slot.proc);
+    };
 
     std::vector<Slot> slots(num_workers);
     for (unsigned s = 0; s < num_workers; ++s) {
         slots[s].proc.slot = s;
-        if (spawnWorker(binary, shardDirFor(s), s, slots[s].proc))
+        if (spawnSlot(slots[s]))
             ++stats.workers_spawned;
         else
             slots[s].respawn_at = Clock::now();
@@ -203,6 +300,21 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
     const auto jobOf = [&](const Item &item) -> const SweepJob & {
         return item.baseline ? item.baseline_job
                              : jobs[item.job_index];
+    };
+
+    // Fold a link's robustness counters into the sweep report. Called
+    // exactly once per link instance: right before every killWorker
+    // (which resets the link) — absorb() on a link-less slot is a
+    // no-op, so the belt-and-braces final pass cannot double-count.
+    const auto absorbLinkStats = [&](Slot &slot) {
+        if (!slot.proc.link)
+            return;
+        const LinkStats &ls = slot.proc.link->stats();
+        stats.corrupt_frames_dropped += ls.corrupt_frames_dropped;
+        stats.duplicate_frames_suppressed +=
+            ls.duplicate_frames_suppressed;
+        stats.frame_gaps += ls.frame_gaps;
+        stats.injected_faults += ls.injected_faults;
     };
 
     const auto finalizePoison = [&](Item &item, const char *reason) {
@@ -218,9 +330,10 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
     };
 
     const auto workerDied = [&](Slot &slot, const char *reason) {
-        if (!slot.proc.alive() && slot.proc.fd < 0)
+        if (!slot.proc.alive() && !slot.proc.link)
             return;
         const unsigned s = slot.proc.slot;
+        absorbLinkStats(slot);
         killWorker(slot.proc);
         ++stats.workers_lost;
         if (slot.proc.in_flight != WorkerProc::kIdle) {
@@ -260,6 +373,23 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
         }
     };
 
+    // Append an accepted result record from a worker without a local
+    // shard to the coordinator's own shard log, so journalMergeShards
+    // can fold it in like any shard record.
+    const auto logRemoteRecord = [&](const Item &item) {
+        if (journal_dir.empty() || item.baseline ||
+            item.result.record.empty())
+            return;
+        try {
+            journalLogAppend(journalShardRoot(journal_dir) +
+                                 "/coordinator.log",
+                             item.fingerprint, item.result.record);
+            ++stats.log_records;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "bingo: %s\n", e.what());
+        }
+    };
+
     const auto handleFrame = [&](Slot &slot, const Frame &frame) {
         slot.proc.last_heard = Clock::now();
         switch (frame.type) {
@@ -269,27 +399,94 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
                 slot.proc.said_hello = true;
             break;
         }
+        case MsgType::Heartbeat: {
+            WireHeartbeat beat;
+            if (!decodeHeartbeat(frame.payload, beat))
+                break;
+            slot.proc.busy_hint = beat.busy;
+            // Reconciliation: the worker says idle but the coordinator
+            // believes it busy. Either the Job frame was lost in
+            // transit (corrupted, truncated, stalled past the grace)
+            // or the Result frame was — both look identical from here.
+            // Revoke the lease and requeue; if the worker later
+            // resurfaces with the old lease, its result is stale.
+            if (!beat.busy &&
+                slot.proc.in_flight != WorkerProc::kIdle) {
+                const double waited =
+                    std::chrono::duration<double>(
+                        Clock::now() - slot.proc.job_start)
+                        .count();
+                if (waited <= redispatch_grace)
+                    break;
+                Item &item = items[slot.proc.in_flight];
+                slot.proc.in_flight = WorkerProc::kIdle;
+                if (item.state != Item::State::InFlight)
+                    break;
+                item.state = Item::State::Pending;
+                item.not_before =
+                    Clock::now() +
+                    std::chrono::milliseconds(retryBackoffMs(
+                        item.wire_index, ++item.requeues));
+                ++stats.leases_revoked;
+                ++stats.redispatched;
+                std::fprintf(
+                    stderr,
+                    "bingo: worker w%u reports idle while job %llu "
+                    "was believed in flight; revoking lease %llu and "
+                    "re-dispatching\n",
+                    slot.proc.slot,
+                    static_cast<unsigned long long>(item.wire_index),
+                    static_cast<unsigned long long>(item.lease));
+            }
+            break;
+        }
         case MsgType::Result: {
             WireResult result;
             if (!decodeResult(frame.payload, result))
                 break;
-            const std::size_t item_id = slot.proc.in_flight;
-            slot.proc.in_flight = WorkerProc::kIdle;
-            if (item_id == kNoItem || item_id >= items.size())
+            const auto found = item_by_wire.find(result.index);
+            if (found == item_by_wire.end())
                 break;
-            Item &item = items[item_id];
-            if (item.wire_index != result.index ||
-                item.state != Item::State::InFlight)
-                break;
+            Item &item = items[found->second];
+            // The worker really did simulate, whatever we decide about
+            // the commit — keep the throughput accounting honest.
             total_runs += result.runs;
             total_cycles += result.cycles;
+            if (item.state != Item::State::InFlight ||
+                result.lease != item.lease) {
+                // Do NOT free the slot here: a stale result means the
+                // worker is draining a backlog of superseded Job
+                // frames, and its *current* lease (possibly on this
+                // very item) is still outstanding. Freeing it would
+                // orphan that dispatch — an item stuck InFlight with
+                // no slot owning it — if the live result frame is then
+                // lost. The slot frees on the accepted result, or via
+                // idle-heartbeat revocation.
+                ++stats.stale_results_dropped;
+                std::fprintf(
+                    stderr,
+                    "bingo: dropping stale result for job %llu "
+                    "(lease %llu, current %llu) — already "
+                    "re-dispatched\n",
+                    static_cast<unsigned long long>(result.index),
+                    static_cast<unsigned long long>(result.lease),
+                    static_cast<unsigned long long>(item.lease));
+                break;
+            }
+            // Accepted: only the slot holding the current lease can
+            // have delivered it (leases are echoed from Job frames).
+            if (slot.proc.in_flight == found->second) {
+                slot.proc.in_flight = WorkerProc::kIdle;
+                slot.proc.busy_hint = false;
+            }
             item.result = std::move(result);
             item.have_result = true;
             item.state = Item::State::Done;
             item.kills = 0;
+            if (!slot.proc.journals_locally)
+                logRemoteRecord(item);
             break;
         }
-        case MsgType::Heartbeat:
         case MsgType::Bye:
         default:
             break;
@@ -301,15 +498,23 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
         bool progress = false;
 
         for (Slot &slot : slots) {
-            if (!slot.proc.alive())
+            if (!slot.proc.alive() || !slot.proc.link)
                 continue;
+            slot.proc.link->flushStalled();
             std::vector<Frame> frames;
-            const bool still_open = slot.proc.reader.poll(frames);
+            const bool still_open = slot.proc.link->poll(frames);
             progress |= !frames.empty();
             for (const Frame &frame : frames)
                 handleFrame(slot, frame);
-            if (!still_open)
-                workerDied(slot, "process exited");
+            if (!still_open) {
+                // Copy: workerDied tears the link (and its error
+                // string) down before printing the reason.
+                const std::string why =
+                    slot.proc.link->error().empty()
+                        ? "process exited"
+                        : slot.proc.link->error();
+                workerDied(slot, why.c_str());
+            }
         }
 
         const auto now = Clock::now();
@@ -362,9 +567,11 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
                 if (slot.proc.alive() || slot.exhausted ||
                     now < slot.respawn_at)
                     continue;
-                if (spawnWorker(binary, shardDirFor(slot.proc.slot),
-                                slot.proc.slot, slot.proc)) {
+                const bool respawn = slot.proc.spawn_count > 0;
+                if (spawnSlot(slot)) {
                     ++stats.workers_spawned;
+                    if (respawn)
+                        ++stats.reconnects;
                     progress = true;
                 } else {
                     // fork/socketpair failure is systemic, not a flaky
@@ -377,7 +584,8 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
         // Dispatch pending items to idle workers.
         for (Slot &slot : slots) {
             if (!slot.proc.alive() || !slot.proc.said_hello ||
-                !slot.proc.idle() || sweepInterrupted())
+                !slot.proc.idle() || slot.proc.busy_hint ||
+                sweepInterrupted())
                 continue;
             Item *next = nullptr;
             std::size_t next_id = kNoItem;
@@ -394,17 +602,20 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
                 continue;
             WireJob wire;
             wire.index = next->wire_index;
+            wire.lease = ++next->lease;
             wire.fingerprint = next->fingerprint;
             wire.job = jobOf(*next);
             wire.baseline = next->baseline;
-            if (!sendFrame(slot.proc.fd, MsgType::Job,
-                           encodeJob(wire))) {
+            if (!slot.proc.link ||
+                !slot.proc.link->send(MsgType::Job, encodeJob(wire))) {
                 workerDied(slot, "send failed");
                 continue;
             }
             next->state = Item::State::InFlight;
             slot.proc.in_flight = next_id;
             slot.proc.job_start = Clock::now();
+            slot.proc.busy_hint = true;  // Optimistic until the next
+                                         // heartbeat confirms.
             progress = true;
         }
 
@@ -464,32 +675,39 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
     // --- Drain: ask every surviving worker to exit, give the fleet a
     // grace period to say Bye/EOF, then SIGKILL stragglers.
     for (Slot &slot : slots) {
-        if (slot.proc.alive())
-            sendFrame(slot.proc.fd, MsgType::Shutdown, "");
+        if (slot.proc.alive() && slot.proc.link)
+            slot.proc.link->send(MsgType::Shutdown, "");
     }
     const auto grace_end =
         Clock::now() + std::chrono::milliseconds(3000);
     for (;;) {
         bool any_alive = false;
         for (Slot &slot : slots) {
-            if (!slot.proc.alive())
+            if (!slot.proc.alive() || !slot.proc.link)
                 continue;
+            slot.proc.link->flushStalled();
             std::vector<Frame> frames;
-            if (!slot.proc.reader.poll(frames))
+            if (!slot.proc.link->poll(frames)) {
+                absorbLinkStats(slot);
                 killWorker(slot.proc);
-            else
+            } else {
                 any_alive = true;
+            }
         }
         if (!any_alive || Clock::now() >= grace_end)
             break;
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
-    for (Slot &slot : slots)
+    for (Slot &slot : slots) {
+        absorbLinkStats(slot);
         killWorker(slot.proc);
+    }
 
-    // --- Fold worker shards into the canonical journal. Byte-identity
-    // with a single-process run is structural: journalEncode wrote
-    // every record, and conflicting duplicates throw rather than merge.
+    // --- Fold worker shards (and the coordinator log) into the
+    // canonical journal. Byte-identity with a single-process run is
+    // structural: journalEncode wrote every record, leases made every
+    // commit at-most-once, and conflicting duplicates throw rather
+    // than merge.
     if (!journal_dir.empty()) {
         journalMergeShards(journal_dir);
     } else if (!shard_base.empty()) {
@@ -499,15 +717,25 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
 
     addExternalRunStats(total_runs, total_cycles);
 
-    // --- Materialize outcomes (and prime baselines).
+    // --- Materialize outcomes (and prime + journal baselines, exactly
+    // as the in-process baselineFor would have).
     for (Item &item : items) {
         if (item.baseline) {
             if (item.have_result && !item.result.record.empty()) {
                 RunResult run;
                 if (journalDecode(item.result.record, item.fingerprint,
-                                  run))
+                                  run)) {
                     primeBaselineCache(item.baseline_job.workload,
                                        item.baseline_job.options, run);
+                    if (!journal_dir.empty()) {
+                        try {
+                            journalStore(journal_dir, item.fingerprint,
+                                         run);
+                        } catch (const std::exception &e) {
+                            std::fprintf(stderr, "%s\n", e.what());
+                        }
+                    }
+                }
             }
             // A failed/interrupted baseline is swallowed like the
             // in-process warmOne: the bench's own baselineFor call
@@ -553,16 +781,43 @@ runSweepDistributed(const std::vector<SweepJob> &jobs,
     }
 
     if (stats.workers_lost > 0 || stats.poisoned > 0 ||
-        stats.fallback_jobs > 0) {
+        stats.fallback_jobs > 0 || stats.leases_revoked > 0 ||
+        stats.stale_results_dropped > 0) {
         std::printf(
             "Distributed sweep supervision: %u worker(s) lost, %llu "
-            "job(s) re-dispatched, %llu poison job(s), %llu job(s) "
+            "job(s) re-dispatched, %llu lease(s) revoked, %llu stale "
+            "result(s) dropped, %llu poison job(s), %llu job(s) "
             "completed in-process\n",
             stats.workers_lost,
             static_cast<unsigned long long>(stats.redispatched),
+            static_cast<unsigned long long>(stats.leases_revoked),
+            static_cast<unsigned long long>(
+                stats.stale_results_dropped),
             static_cast<unsigned long long>(stats.poisoned),
             static_cast<unsigned long long>(stats.fallback_jobs));
     }
+
+    // Transport health goes next to the telemetry exports (or the
+    // working directory) — never into the journal, whose contents must
+    // stay a pure function of the job list so the byte-identity oracle
+    // holds with and without transport chaos.
+    {
+        const char *dir = std::getenv("BINGO_TELEMETRY_DIR");
+        const std::filesystem::path health_path =
+            std::filesystem::path(dir != nullptr && *dir != '\0'
+                                      ? dir
+                                      : ".") /
+            "transport_health.json";
+        try {
+            telemetry::atomicWrite(health_path,
+                                   transportHealthJson(stats));
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "bingo: cannot write %s: %s (continuing)\n",
+                         health_path.string().c_str(), e.what());
+        }
+    }
+
     if (report != nullptr)
         *report = stats;
     return true;

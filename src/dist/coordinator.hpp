@@ -6,40 +6,69 @@
  * byte-identical — as the in-process runner.
  *
  * Entered transparently from runSweepOutcomes when BINGO_DIST_WORKERS
- * is nonzero (experiment.cpp gates out callers that pin a thread count
- * or install a fault hook). The coordinator:
- *  - fork/execs N workers, each journaling into its own shard
- *    directory `<journal>/shards/w<slot>/` (a temp directory when
- *    journaling is off);
- *  - streams jobs over the socketpair protocol (dist/protocol.hpp) and
- *    supervises with heartbeats (BINGO_DIST_HEARTBEAT_S, default 5 s
- *    of silence = dead) and a hard per-job deadline
- *    (BINGO_DIST_JOB_TIMEOUT_S = SIGKILL backstop; the inherited
- *    BINGO_JOB_TIMEOUT_S in-worker watchdog should fire first and fail
- *    the job gracefully — a wedged job that still heartbeats is only
- *    caught by the hard deadline);
- *  - re-dispatches a dead/hung worker's in-flight job to survivors
- *    after a deterministic retryBackoffMs delay, and respawns the lost
- *    slot (up to BINGO_DIST_MAX_RESPAWNS times, backed off likewise);
+ * is nonzero or BINGO_DIST_HOSTS is set (experiment.cpp gates out
+ * callers that pin a thread count or install a fault hook). The
+ * coordinator:
+ *  - fork/execs N local workers over socketpairs, each journaling into
+ *    its own shard directory `<journal>/shards/w<slot>/` (a temp
+ *    directory when journaling is off), and/or launches remote workers
+ *    through BINGO_DIST_HOSTS command templates with their stdio as
+ *    the transport (slots cycle over the host list). Remote workers
+ *    may not share a filesystem, so the coordinator appends their
+ *    accepted result records to `<journal>/shards/coordinator.log`
+ *    and journalMergeShards folds that log in with the shards;
+ *  - streams jobs over the FramedLink protocol (dist/transport.hpp:
+ *    CRC-checked, sequence-numbered frames with resynchronization,
+ *    duplicate suppression, and the `transport` chaos site's
+ *    deterministic fault injection) and supervises with heartbeats
+ *    (BINGO_DIST_HEARTBEAT_S, default 5 s of silence = dead) and a
+ *    hard per-job deadline (BINGO_DIST_JOB_TIMEOUT_S = SIGKILL
+ *    backstop; the inherited BINGO_JOB_TIMEOUT_S in-worker watchdog
+ *    should fire first and fail the job gracefully);
+ *  - guards every dispatch with a lease token: each (re-)dispatch of
+ *    an item bumps its lease, the worker echoes the lease in its
+ *    result, and a result whose lease is not the item's current one is
+ *    dropped as stale. Combined with the journal's conflict-checked
+ *    merge this makes job commits at-most-once even when a stalled
+ *    worker resurfaces after its job was re-dispatched;
+ *  - detects *lost* Job/Result frames (not just dead workers) by
+ *    reconciling heartbeats: a worker that reports idle while the
+ *    coordinator believes it busy for longer than
+ *    BINGO_DIST_REDISPATCH_S (default 2 s) has its lease revoked and
+ *    the job requeued with the deterministic retryBackoffMs delay;
+ *  - re-dispatches a dead/hung worker's in-flight job to survivors and
+ *    respawns the lost slot (up to BINGO_DIST_MAX_RESPAWNS times,
+ *    backed off likewise; each respawn re-seeds the slot's transport
+ *    fault stream so a deterministic first-frame fault cannot repeat
+ *    forever);
  *  - quarantines a job that kills BINGO_DIST_POISON_KILLS consecutive
  *    workers (default 2) as a poison job: reported Failed with a
  *    poison error, the sweep continues — degraded, not dead;
- *  - drains gracefully on SIGINT/SIGTERM: no new dispatches, in-flight
- *    jobs finish and journal, undispatched jobs report "sweep
- *    interrupted" so the sweep resumes from the journal;
+ *  - drains gracefully on SIGINT/SIGTERM (and ignores SIGPIPE for the
+ *    duration, so a worker dying mid-write surfaces as a structured
+ *    transport error): no new dispatches, in-flight jobs finish and
+ *    journal, undispatched jobs report "sweep interrupted" so the
+ *    sweep resumes from the journal;
  *  - falls back to in-process execution of whatever remains if every
  *    worker slot is exhausted — a sweep never dies just because its
  *    workers did;
- *  - merges worker shards into the canonical journal at the end
- *    (journalMergeShards), which is byte-identical to a single-process
- *    run of the same jobs because journalEncode is the only record
- *    serializer and simulations are deterministic.
+ *  - merges worker shards (and the coordinator log) into the canonical
+ *    journal at the end (journalMergeShards), which is byte-identical
+ *    to a single-process run of the same jobs because journalEncode is
+ *    the only record serializer and simulations are deterministic; and
+ *  - writes the transport-health counters (reconnects, corrupt frames
+ *    dropped, duplicates suppressed, sequence gaps, leases revoked,
+ *    stale results dropped) to `transport_health.json` in
+ *    BINGO_TELEMETRY_DIR (or the working directory) — never into the
+ *    journal, whose contents must stay a pure function of the job
+ *    list.
  */
 
 #ifndef BINGO_DIST_COORDINATOR_HPP
 #define BINGO_DIST_COORDINATOR_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/experiment.hpp"
@@ -49,32 +78,51 @@ namespace bingo
 namespace dist
 {
 
-/** What supervision had to do during a distributed sweep (for tests
- *  and the end-of-sweep summary line). */
+/** What supervision — and the transport robustness layer underneath
+ *  it — had to do during a distributed sweep (for tests, the
+ *  end-of-sweep summary line, and transport_health.json). */
 struct DistReport
 {
     unsigned workers_spawned = 0;   ///< fork/execs, including respawns.
     unsigned workers_lost = 0;      ///< Deaths observed (crash, hang
                                     ///< kill, deadline kill).
-    std::size_t redispatched = 0;   ///< In-flight jobs requeued after a
-                                    ///< worker death.
+    std::size_t redispatched = 0;   ///< Jobs requeued (worker death or
+                                    ///< lease revocation).
     std::size_t poisoned = 0;       ///< Jobs quarantined as poison.
     std::size_t fallback_jobs = 0;  ///< Jobs run in-process after all
                                     ///< worker slots were exhausted.
+
+    // Transport health (satellite counters; aggregated from every
+    // worker link's LinkStats plus the coordinator's own bookkeeping).
+    std::uint64_t reconnects = 0;   ///< Respawns of a previously-live
+                                    ///< slot (link re-established).
+    std::uint64_t corrupt_frames_dropped = 0;  ///< CRC/parse resyncs.
+    std::uint64_t duplicate_frames_suppressed = 0;
+    std::uint64_t frame_gaps = 0;   ///< Sequence holes (lost frames).
+    std::uint64_t injected_faults = 0;  ///< Chaos draws that fired.
+    std::uint64_t leases_revoked = 0;   ///< Idle-heartbeat revocations.
+    std::uint64_t stale_results_dropped = 0;  ///< Results with an
+                                    ///< outdated lease (not committed).
+    std::uint64_t log_records = 0;  ///< Records appended to
+                                    ///< shards/coordinator.log for
+                                    ///< non-journaling workers.
 };
 
 /**
  * Run jobs[pending...] across worker processes, filling
  * outcomes[i] for each pending i (other entries are untouched — the
  * caller already resolved them from the journal). Baselines requested
- * via compare_baseline are dispatched as explicit worker jobs and
- * primed into this process's baseline cache. `num_workers` 0 means
- * sweepDistWorkers().
+ * via compare_baseline are dispatched as explicit worker jobs, primed
+ * into this process's baseline cache, and journaled into the canonical
+ * directory (matching the in-process baselineFor). `num_workers` 0
+ * means sweepDistWorkers(), or the BINGO_DIST_HOSTS host count when
+ * that is the only configuration given.
  *
- * Returns false — with outcomes untouched — when the bingo_worker
- * binary cannot be located ($BINGO_WORKER_BIN or next to the current
- * executable); the caller then runs in-process as if distribution were
- * never requested. Throws only on journal-merge conflicts, which mean
+ * Returns false — with outcomes untouched — when no workers can be
+ * launched (no BINGO_DIST_HOSTS and the bingo_worker binary cannot be
+ * located via $BINGO_WORKER_BIN or next to the current executable);
+ * the caller then runs in-process as if distribution were never
+ * requested. Throws only on journal-merge conflicts, which mean
  * nondeterminism and must never be papered over.
  */
 bool runSweepDistributed(const std::vector<SweepJob> &jobs,

@@ -1,12 +1,7 @@
 #include "dist/protocol.hpp"
 
 #include <bit>
-#include <cerrno>
-#include <cstdio>
 #include <sstream>
-
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include "sim/journal.hpp"
 
@@ -18,7 +13,6 @@ namespace dist
 namespace
 {
 
-constexpr std::size_t kMaxFramePayload = 64u * 1024u * 1024u;
 constexpr std::size_t kMaxString = 1u * 1024u * 1024u;
 
 std::uint64_t
@@ -61,126 +55,15 @@ getString(std::istream &in, std::string &out)
 
 } // namespace
 
-bool
-sendFrame(int fd, MsgType type, std::string_view payload)
-{
-    char header[64];
-    const int header_len =
-        std::snprintf(header, sizeof(header), "%s %u %zu\n", kFrameMagic,
-                      static_cast<unsigned>(type), payload.size());
-    std::string frame;
-    frame.reserve(static_cast<std::size_t>(header_len) + payload.size());
-    frame.append(header, static_cast<std::size_t>(header_len));
-    frame.append(payload);
-
-    std::size_t sent = 0;
-    while (sent < frame.size()) {
-        const ssize_t n = ::send(fd, frame.data() + sent,
-                                 frame.size() - sent, MSG_NOSIGNAL);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        sent += static_cast<std::size_t>(n);
-    }
-    return true;
-}
-
-bool
-FrameReader::extract(std::vector<Frame> &out)
-{
-    for (;;) {
-        const std::size_t newline = buffer_.find('\n');
-        if (newline == std::string::npos)
-            return buffer_.size() < 256;  // An overlong "header" can
-                                          // never become valid.
-        std::istringstream header(buffer_.substr(0, newline));
-        std::string magic;
-        unsigned type = 0;
-        std::size_t size = 0;
-        if (!(header >> magic >> type >> size) || magic != kFrameMagic ||
-            type > static_cast<unsigned>(MsgType::Bye) ||
-            size > kMaxFramePayload)
-            return false;
-        if (buffer_.size() < newline + 1 + size)
-            return true;  // Payload still in flight.
-        Frame frame;
-        frame.type = static_cast<MsgType>(type);
-        frame.payload = buffer_.substr(newline + 1, size);
-        buffer_.erase(0, newline + 1 + size);
-        out.push_back(std::move(frame));
-    }
-}
-
-bool
-FrameReader::poll(std::vector<Frame> &out)
-{
-    char chunk[65536];
-    for (;;) {
-        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (n > 0) {
-            buffer_.append(chunk, static_cast<std::size_t>(n));
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
-            return extract(out);
-        // EOF or hard error: surface buffered frames, then report the
-        // peer as gone.
-        extract(out);
-        return false;
-    }
-}
-
-bool
-FrameReader::readBlocking(Frame &out)
-{
-    for (;;) {
-        std::vector<Frame> frames;
-        if (!extract(frames))
-            return false;
-        if (!frames.empty()) {
-            // A worker consumes frames strictly in order and never
-            // receives bursts, so re-buffering the surplus is moot —
-            // but handle it anyway for safety.
-            out = std::move(frames.front());
-            for (std::size_t i = frames.size(); i-- > 1;) {
-                // Re-serialize would be wasteful; workers only ever
-                // see one frame at a time in practice. Preserve any
-                // extras by prepending their wire form back.
-                char header[64];
-                const int len = std::snprintf(
-                    header, sizeof(header), "%s %u %zu\n", kFrameMagic,
-                    static_cast<unsigned>(frames[i].type),
-                    frames[i].payload.size());
-                buffer_.insert(0, frames[i].payload);
-                buffer_.insert(0, header,
-                               static_cast<std::size_t>(len));
-            }
-            return true;
-        }
-        char chunk[65536];
-        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (n > 0) {
-            buffer_.append(chunk, static_cast<std::size_t>(n));
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return false;  // EOF: coordinator is gone.
-    }
-}
-
 std::string
 encodeJob(const WireJob &wire)
 {
     const SystemConfig &cfg = wire.job.config;
     const PrefetcherConfig &pf = cfg.prefetcher;
     std::ostringstream out;
-    out << "job 1\n";
+    out << "job 2\n";
     out << "index " << wire.index << '\n';
+    out << "lease " << wire.lease << '\n';
     out << "fingerprint " << wire.fingerprint << '\n';
     out << "workload ";
     putString(out, wire.job.workload);
@@ -246,13 +129,15 @@ decodeJob(const std::string &payload, WireJob &out)
 {
     std::istringstream in(payload);
     unsigned version = 0;
-    if (!expect(in, "job") || !(in >> version) || version != 1)
+    if (!expect(in, "job") || !(in >> version) || version != 2)
         return false;
 
     WireJob wire;
     SystemConfig &cfg = wire.job.config;
     PrefetcherConfig &pf = cfg.prefetcher;
     if (!expect(in, "index") || !(in >> wire.index))
+        return false;
+    if (!expect(in, "lease") || !(in >> wire.lease))
         return false;
     if (!expect(in, "fingerprint") || !(in >> wire.fingerprint))
         return false;
@@ -358,8 +243,9 @@ std::string
 encodeResult(const WireResult &result)
 {
     std::ostringstream out;
-    out << "result 1\n";
+    out << "result 2\n";
     out << "index " << result.index << '\n';
+    out << "lease " << result.lease << '\n';
     out << "status " << static_cast<unsigned>(result.status) << '\n';
     out << "attempts " << result.attempts << '\n';
     out << "wall " << doubleBits(result.wall_seconds) << '\n';
@@ -381,12 +267,14 @@ decodeResult(const std::string &payload, WireResult &out)
 {
     std::istringstream in(payload);
     unsigned version = 0;
-    if (!expect(in, "result") || !(in >> version) || version != 1)
+    if (!expect(in, "result") || !(in >> version) || version != 2)
         return false;
     WireResult wire;
     unsigned status = 0;
     std::uint64_t wall_bits = 0;
     if (!expect(in, "index") || !(in >> wire.index))
+        return false;
+    if (!expect(in, "lease") || !(in >> wire.lease))
         return false;
     if (!expect(in, "status") || !(in >> status) ||
         status > static_cast<unsigned>(JobStatus::Failed))
@@ -431,6 +319,30 @@ decodeHello(const std::string &payload, WireHello &out)
         !(in >> hello.pid >> hello.slot))
         return false;
     out = hello;
+    return true;
+}
+
+std::string
+encodeHeartbeat(const WireHeartbeat &beat)
+{
+    std::ostringstream out;
+    out << "hb 1 " << (beat.busy ? 1 : 0) << ' ' << beat.index << ' '
+        << beat.lease << '\n';
+    return out.str();
+}
+
+bool
+decodeHeartbeat(const std::string &payload, WireHeartbeat &out)
+{
+    std::istringstream in(payload);
+    unsigned version = 0;
+    unsigned busy = 0;
+    WireHeartbeat beat;
+    if (!expect(in, "hb") || !(in >> version) || version != 1 ||
+        !(in >> busy >> beat.index >> beat.lease))
+        return false;
+    beat.busy = busy != 0;
+    out = beat;
     return true;
 }
 

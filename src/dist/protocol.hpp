@@ -3,22 +3,32 @@
  * Wire protocol between the sweep coordinator and its bingo_worker
  * processes (src/dist/coordinator.hpp, src/dist/worker.hpp).
  *
- * Transport is a SOCK_STREAM socketpair carrying length-prefixed
- * frames: a one-line text header `BJF1 <type> <payload_bytes>\n`
- * followed by exactly `payload_bytes` of payload. Payloads are the
+ * Framing — CRC-checked, sequence-numbered `BJF2` frames over an
+ * abstract ByteChannel — lives in dist/transport.hpp. This file is the
+ * message layer: frame types plus the payload codecs. Payloads are the
  * same pipe-separated, length-prefixed-string, doubles-as-IEEE-bits
  * text the journal uses, so every value round-trips bit-exactly.
  *
  * Messages:
  *  - coordinator → worker: `job` (a fully serialized SweepJob plus the
- *    coordinator's job index and fingerprint), `shutdown` (drain and
- *    exit).
+ *    coordinator's job index, fingerprint and lease token), `shutdown`
+ *    (drain and exit).
  *  - worker → coordinator: `hello` (pid/slot/version handshake),
- *    `heartbeat` (liveness, every few hundred ms from a dedicated
- *    thread even while a simulation runs), `result` (the JobOutcome
- *    summary plus, for completed jobs, the exact journal record bytes
- *    — journalEncode output — so the coordinator needs no second
- *    serializer), `bye` (graceful exit notice).
+ *    `heartbeat` (liveness plus busy/idle state, every few hundred ms
+ *    from a dedicated thread even while a simulation runs — the
+ *    coordinator reconciles this state against its dispatch records to
+ *    recover jobs whose frames the transport lost), `result` (the
+ *    JobOutcome summary, the lease it was computed under, and for
+ *    completed jobs the exact journal record bytes — journalEncode
+ *    output — so the coordinator needs no second serializer), `bye`
+ *    (graceful exit notice).
+ *
+ * Leases: every dispatch of a work item carries a fresh lease token
+ * (a per-item epoch counter). A result is committed only if its lease
+ * matches the item's current lease, so a stalled worker that resurfaces
+ * after its job was re-dispatched — and whose shard no longer counts —
+ * cannot double-commit: at-most-once commit is an invariant of the
+ * coordinator, not a property of worker good behaviour.
  *
  * Drift guard: the worker re-derives the job fingerprint from the
  * decoded SweepJob and refuses a mismatch. A SystemConfig field added
@@ -42,9 +52,6 @@ namespace bingo
 namespace dist
 {
 
-/** Frame header magic; the trailing digit is the protocol version. */
-inline constexpr char kFrameMagic[] = "BJF1";
-
 /** Frame types. */
 enum class MsgType : unsigned
 {
@@ -63,62 +70,18 @@ struct Frame
     std::string payload;
 };
 
-/**
- * Write one frame to `fd` (handles short writes; MSG_NOSIGNAL, so a
- * dead peer yields `false` instead of SIGPIPE). Thread-safe only if
- * callers serialize per fd — the worker wraps this in a mutex shared
- * with its heartbeat thread.
- */
-bool sendFrame(int fd, MsgType type, std::string_view payload);
-
-/**
- * Incremental frame parser over a stream fd. Feed it bytes with
- * poll()/readBlocking(); complete frames come out in order.
- */
-class FrameReader
-{
-  public:
-    explicit FrameReader(int fd = -1) : fd_(fd) {}
-
-    void reset(int fd)
-    {
-        fd_ = fd;
-        buffer_.clear();
-    }
-
-    /**
-     * Drain everything currently readable from a non-blocking fd into
-     * the buffer and append complete frames to `out`. Returns false
-     * once the peer is gone (EOF or hard error) — frames already
-     * buffered are still appended first, so a worker's final `result`
-     * is never lost to the race with its own exit.
-     */
-    bool poll(std::vector<Frame> &out);
-
-    /**
-     * Blocking read of exactly one frame (worker side). Returns false
-     * on EOF/error — for a worker that means the coordinator is gone
-     * and it must exit rather than run orphaned forever.
-     */
-    bool readBlocking(Frame &out);
-
-  private:
-    bool extract(std::vector<Frame> &out);
-
-    int fd_;
-    std::string buffer_;
-};
-
 /** `job` payload: the coordinator's view of one dispatched job. */
 struct WireJob
 {
     std::uint64_t index = 0;       ///< Coordinator job index.
+    std::uint64_t lease = 0;       ///< Dispatch epoch; echoed in result.
     std::string fingerprint;       ///< jobFingerprint(job), precomputed.
     SweepJob job;
     /// Baseline warm, not a sweep job: the worker runs it and returns
     /// the record bytes, but does NOT journal it into its shard — the
-    /// single-process runner never journals baselines, and the merged
-    /// journal must stay byte-identical to a single-process run.
+    /// coordinator journals baselines itself (exactly once, like the
+    /// in-process baselineFor), keeping the merged journal
+    /// byte-identical to a single-process run.
     bool baseline = false;
 };
 
@@ -126,6 +89,7 @@ struct WireJob
 struct WireResult
 {
     std::uint64_t index = 0;
+    std::uint64_t lease = 0;       ///< Lease the job ran under.
     JobStatus status = JobStatus::Failed;
     unsigned attempts = 0;
     double wall_seconds = 0.0;
@@ -152,6 +116,22 @@ struct WireHello
 
 std::string encodeHello(const WireHello &hello);
 bool decodeHello(const std::string &payload, WireHello &out);
+
+/**
+ * `heartbeat` payload: liveness plus what the worker believes it is
+ * doing. The busy/idle state lets the coordinator detect a job whose
+ * Job or Result frame the transport lost (worker idle long after a
+ * dispatch) and revoke the lease instead of waiting forever.
+ */
+struct WireHeartbeat
+{
+    bool busy = false;
+    std::uint64_t index = 0;  ///< In-flight job index (busy only).
+    std::uint64_t lease = 0;  ///< Its lease token (busy only).
+};
+
+std::string encodeHeartbeat(const WireHeartbeat &beat);
+bool decodeHeartbeat(const std::string &payload, WireHeartbeat &out);
 
 } // namespace dist
 } // namespace bingo

@@ -1,5 +1,6 @@
 #include "dist/supervisor.hpp"
 
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <filesystem>
@@ -10,6 +11,8 @@
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "chaos/chaos.hpp"
 
 namespace bingo
 {
@@ -36,6 +39,28 @@ setNonBlocking(int fd)
 {
     const int flags = ::fcntl(fd, F_GETFL, 0);
     return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** Shared post-spawn bookkeeping once a link is established. */
+void
+armWorker(WorkerProc &out, pid_t pid, unsigned slot,
+          std::unique_ptr<ByteChannel> channel, bool journals_locally)
+{
+    out.pid = pid;
+    out.slot = slot;
+    ++out.spawn_count;
+    out.said_hello = false;
+    out.journals_locally = journals_locally;
+    out.busy_hint = false;
+    out.link = std::make_unique<FramedLink>(std::move(channel));
+    // The coordinator's send side participates in transport chaos too;
+    // spawn_count as the epoch keeps a respawned slot's schedule fresh.
+    out.link->enableFaults(chaos::transportChaosFromEnv(),
+                           LinkRole::Coordinator, slot,
+                           out.spawn_count);
+    out.last_heard = std::chrono::steady_clock::now();
+    out.job_start = out.last_heard;
+    out.in_flight = WorkerProc::kIdle;
 }
 
 } // namespace
@@ -65,6 +90,38 @@ workerBinaryPath()
     return {};
 }
 
+std::vector<std::string>
+sweepDistHosts()
+{
+    std::vector<std::string> hosts;
+    const char *env = std::getenv("BINGO_DIST_HOSTS");
+    if (env == nullptr || *env == '\0')
+        return hosts;
+    std::string entry;
+    for (const char *p = env;; ++p) {
+        if (*p == ';' || *p == '\0') {
+            // Trim surrounding whitespace; drop empty entries.
+            std::size_t begin = 0, end = entry.size();
+            while (begin < end && std::isspace(
+                                      static_cast<unsigned char>(
+                                          entry[begin])))
+                ++begin;
+            while (end > begin && std::isspace(
+                                      static_cast<unsigned char>(
+                                          entry[end - 1])))
+                --end;
+            if (end > begin)
+                hosts.push_back(entry.substr(begin, end - begin));
+            entry.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            entry.push_back(*p);
+        }
+    }
+    return hosts;
+}
+
 bool
 spawnWorker(const std::string &binary, const std::string &shard_dir,
             unsigned slot, WorkerProc &out)
@@ -72,6 +129,11 @@ spawnWorker(const std::string &binary, const std::string &shard_dir,
     int fds[2];
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
         return false;
+
+    // Epoch for the *worker's* fault stream: it must change across
+    // respawns (argv, since a fresh exec re-reads it) or a
+    // deterministic first-frame fault would repeat forever.
+    const std::string epoch_str = std::to_string(out.spawn_count + 1);
 
     const pid_t pid = ::fork();
     if (pid < 0) {
@@ -91,6 +153,7 @@ spawnWorker(const std::string &binary, const std::string &shard_dir,
         const char *argv[] = {binary.c_str(),    "--socket-fd", "3",
                               "--shard-dir",     shard_dir.c_str(),
                               "--slot",          slot_str.c_str(),
+                              "--fault-epoch",   epoch_str.c_str(),
                               nullptr};
         ::execv(binary.c_str(), const_cast<char *const *>(argv));
         ::_exit(127);
@@ -104,24 +167,72 @@ spawnWorker(const std::string &binary, const std::string &shard_dir,
         ::waitpid(pid, &status, 0);
         return false;
     }
-    out.pid = pid;
-    out.fd = fds[0];
-    out.slot = slot;
-    ++out.spawn_count;
-    out.said_hello = false;
-    out.reader.reset(fds[0]);
-    out.last_heard = std::chrono::steady_clock::now();
-    out.job_start = out.last_heard;
-    out.in_flight = WorkerProc::kIdle;
+    armWorker(out, pid, slot, std::make_unique<SocketChannel>(fds[0]),
+              /*journals_locally=*/true);
+    return true;
+}
+
+bool
+spawnWorkerCommand(const std::string &command, unsigned slot,
+                   WorkerProc &out)
+{
+    int to_worker[2];   // Coordinator writes → worker stdin.
+    int from_worker[2]; // Worker stdout → coordinator reads.
+    if (::pipe(to_worker) != 0)
+        return false;
+    if (::pipe(from_worker) != 0) {
+        ::close(to_worker[0]);
+        ::close(to_worker[1]);
+        return false;
+    }
+
+    const std::string full =
+        command + " --stdio --slot " + std::to_string(slot) +
+        " --fault-epoch " + std::to_string(out.spawn_count + 1);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        for (int fd : {to_worker[0], to_worker[1], from_worker[0],
+                       from_worker[1]})
+            ::close(fd);
+        return false;
+    }
+    if (pid == 0) {
+        ::close(to_worker[1]);
+        ::close(from_worker[0]);
+        if (::dup2(to_worker[0], 0) != 0 ||
+            ::dup2(from_worker[1], 1) != 1)
+            ::_exit(127);
+        ::close(to_worker[0]);
+        ::close(from_worker[1]);
+        ::execl("/bin/sh", "sh", "-c", full.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+
+    ::close(to_worker[0]);
+    ::close(from_worker[1]);
+    if (!setNonBlocking(from_worker[0])) {
+        ::close(to_worker[1]);
+        ::close(from_worker[0]);
+        ::kill(pid, SIGKILL);
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        return false;
+    }
+    armWorker(out, pid, slot,
+              std::make_unique<PipeChannel>(from_worker[0],
+                                            to_worker[1]),
+              /*journals_locally=*/false);
     return true;
 }
 
 void
 killWorker(WorkerProc &worker)
 {
-    if (worker.fd >= 0) {
-        ::close(worker.fd);
-        worker.fd = -1;
+    if (worker.link) {
+        worker.link->close();
+        worker.link.reset();
     }
     if (worker.pid > 0) {
         ::kill(worker.pid, SIGKILL);

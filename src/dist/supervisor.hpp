@@ -1,9 +1,10 @@
 /**
  * @file
  * Worker-process mechanics for the distributed sweep runner: locating
- * the bingo_worker binary, spawning it over a socketpair, and the
- * per-worker supervision state the coordinator tracks (liveness,
- * heartbeats, the in-flight job, respawn counts).
+ * the bingo_worker binary, spawning it over a socketpair or through an
+ * ssh-style command template (stdio transport), and the per-worker
+ * supervision state the coordinator tracks (liveness, heartbeats, the
+ * in-flight job, respawn counts).
  *
  * Policy — who to kill when, what counts as poison, how often to
  * respawn — lives in coordinator.cpp; this file is the mechanism.
@@ -14,11 +15,14 @@
 
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <sys/types.h>
 
 #include "dist/protocol.hpp"
+#include "dist/transport.hpp"
 
 namespace bingo
 {
@@ -31,25 +35,45 @@ namespace dist
  * sibling src/ directory — covering the build-tree layouts of the
  * benches, tests and examples). Empty string when none exists, which
  * makes the coordinator decline distribution and the sweep fall back
- * to the in-process runner.
+ * to the in-process runner (unless BINGO_DIST_HOSTS provides remote
+ * workers, which need no local binary).
  */
 std::string workerBinaryPath();
+
+/**
+ * Worker-launch command templates from BINGO_DIST_HOSTS: a
+ * ';'-separated list of shell commands, each launching one
+ * `bingo_worker --stdio` (typically through ssh). The coordinator
+ * appends ` --stdio --slot <n> --fault-epoch <e>` and runs the result
+ * via `/bin/sh -c` with the worker's stdin/stdout as the transport.
+ * Empty entries are dropped; unset/empty env yields an empty list.
+ */
+std::vector<std::string> sweepDistHosts();
 
 /** Supervision state of one worker process. */
 struct WorkerProc
 {
     pid_t pid = -1;
-    int fd = -1;                   ///< Coordinator end of the socketpair.
     unsigned slot = 0;             ///< Stable shard slot (w<slot>).
     unsigned spawn_count = 0;      ///< Spawns consumed for this slot.
     bool said_hello = false;
-    FrameReader reader;
+    /// Worker journals into a shard dir the coordinator can merge
+    /// (socketpair workers). Command/stdio workers may run on another
+    /// machine: the coordinator appends their accepted results to its
+    /// own shard log instead.
+    bool journals_locally = true;
+    /// Worker's last self-reported state (heartbeat), plus an
+    /// optimistic set on dispatch. A worker that claims idle while the
+    /// coordinator believes it busy is how lost Job/Result frames are
+    /// detected (lease revocation).
+    bool busy_hint = false;
+    std::unique_ptr<FramedLink> link;
 
     /// Last frame (heartbeat or otherwise) received, for liveness.
     std::chrono::steady_clock::time_point last_heard{};
     /// When the in-flight job was dispatched (deadline base).
     std::chrono::steady_clock::time_point job_start{};
-    /// Index into the sweep's job list, or npos when idle.
+    /// Index into the sweep's item list, or npos when idle.
     std::size_t in_flight = static_cast<std::size_t>(-1);
 
     static constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
@@ -61,20 +85,31 @@ struct WorkerProc
 /**
  * Fork/exec one bingo_worker for `slot`, journaling into `shard_dir`.
  * The worker gets its end of a SOCK_STREAM socketpair as fd 3 and is
- * invoked as `bingo_worker --socket-fd 3 --shard-dir <dir> --slot <n>`.
- * On success fills pid/fd (coordinator end, set non-blocking) and
- * resets the reader/liveness clocks. Returns false (worker marked
- * dead) when the socketpair or fork fails.
+ * invoked as `bingo_worker --socket-fd 3 --shard-dir <dir> --slot <n>
+ * --fault-epoch <spawn>`. On success fills pid and a SocketChannel
+ * FramedLink (coordinator end non-blocking) and resets the
+ * liveness clocks. Returns false (worker marked dead) when the
+ * socketpair or fork fails.
  */
 bool spawnWorker(const std::string &binary, const std::string &shard_dir,
                  unsigned slot, WorkerProc &out);
 
 /**
- * SIGKILL + reap `worker` (blocking waitpid) and close its fd. Safe on
- * an already-dead worker. Leaves pid/fd at -1. This is the single
+ * Launch one worker through a BINGO_DIST_HOSTS command template:
+ * `/bin/sh -c "<command> --stdio --slot <n> --fault-epoch <e>"` with
+ * stdin/stdout piped to the coordinator (PipeChannel FramedLink; the
+ * worker's own stdout chatter is rerouted to stderr on its side).
+ * Returns false when the pipes or fork fail.
+ */
+bool spawnWorkerCommand(const std::string &command, unsigned slot,
+                        WorkerProc &out);
+
+/**
+ * SIGKILL + reap `worker` (blocking waitpid) and close its link. Safe
+ * on an already-dead worker. Leaves pid at -1. This is the single
  * teardown path; worker death is *detected* by the coordinator through
- * FrameReader EOF (which flushes any buffered final frames first) or a
- * heartbeat/deadline expiry, never by closing the fd early — a dead
+ * link EOF (which flushes any buffered final frames first) or a
+ * heartbeat/deadline expiry, never by closing the link early — a dead
  * worker's socket may still hold its last `result`.
  */
 void killWorker(WorkerProc &worker);

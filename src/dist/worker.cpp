@@ -16,6 +16,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include "chaos/chaos.hpp"
 #include "dist/protocol.hpp"
 #include "sim/experiment.hpp"
 #include "sim/journal.hpp"
@@ -33,7 +34,8 @@ namespace
  * of the sweep so the knob fires in exactly one process.
  * BINGO_DIST_TEST_DIR when set (tests that byte-compare journal
  * directories must keep markers out of the journal tree), otherwise
- * the shards root.
+ * the shards root. Empty — knobs disabled — for a shard-less stdio
+ * worker without BINGO_DIST_TEST_DIR.
  */
 std::string
 markerDir(const std::string &shard_dir)
@@ -41,7 +43,28 @@ markerDir(const std::string &shard_dir)
     if (const char *env = std::getenv("BINGO_DIST_TEST_DIR");
         env != nullptr && *env != '\0')
         return env;
+    if (shard_dir.empty())
+        return {};
     return std::filesystem::path(shard_dir).parent_path().string();
+}
+
+/** Claim the `:once` marker `tag.<index>.fired`; false = already
+ *  claimed by another worker (or no marker dir exists). */
+bool
+claimOnce(const std::string &dir, const char *tag, std::uint64_t index)
+{
+    if (dir.empty())
+        return false;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string marker = dir + "/" + tag + "." +
+                               std::to_string(index) + ".fired";
+    const int fd =
+        ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
 }
 
 /**
@@ -66,48 +89,75 @@ knobFires(const char *env_name, std::uint64_t index,
         return true;
     if (std::strcmp(end, ":once") != 0)
         return false;
-    const std::string dir = markerDir(shard_dir);
-    std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
-    const std::string marker = dir + "/" + tag + "." +
-                               std::to_string(index) + ".fired";
-    const int fd =
-        ::open(marker.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-    if (fd < 0)
-        return false;  // Already fired in some worker.
-    ::close(fd);
-    return true;
+    return claimOnce(markerDir(shard_dir), tag, index);
+}
+
+/**
+ * BINGO_DIST_TEST_STALL_JOB=<index>:<ms>[:once]: how long to sit on
+ * job `index` while heartbeating idle. 0 = knob does not fire.
+ */
+std::uint64_t
+stallKnobMs(std::uint64_t index, const std::string &shard_dir)
+{
+    const char *value = std::getenv("BINGO_DIST_TEST_STALL_JOB");
+    if (value == nullptr || *value == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long long target = std::strtoull(value, &end, 10);
+    if (end == value || target != index || *end != ':')
+        return 0;
+    const char *ms_text = end + 1;
+    const unsigned long long ms = std::strtoull(ms_text, &end, 10);
+    if (end == ms_text || ms == 0)
+        return 0;
+    if (*end == '\0')
+        return ms;
+    if (std::strcmp(end, ":once") != 0)
+        return 0;
+    return claimOnce(markerDir(shard_dir), "stall", index) ? ms : 0;
 }
 
 } // namespace
 
 int
-workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
+workerMain(std::unique_ptr<ByteChannel> channel,
+           const std::string &shard_dir, unsigned slot,
+           std::uint64_t fault_epoch)
 {
     // A foreground Ctrl-C signals the whole process group, workers
     // included. The coordinator owns drain policy — workers ignore
     // terminal signals so in-flight jobs finish and journal, and exit
-    // via Shutdown frame or socket EOF (the coordinator SIGKILLs
+    // via Shutdown frame or link EOF (the coordinator SIGKILLs
     // stragglers). A worker can never outlive its coordinator: EOF on
-    // the socketpair is unfakeable.
+    // the transport is unfakeable. SIGPIPE is ignored so a coordinator
+    // death during a frame write surfaces as a structured broken-pipe
+    // transport error, not sudden worker death.
     std::signal(SIGINT, SIG_IGN);
     std::signal(SIGTERM, SIG_IGN);
+    std::signal(SIGPIPE, SIG_IGN);
 
-    std::error_code ec;
-    std::filesystem::create_directories(shard_dir, ec);
-    if (ec) {
-        std::fprintf(stderr,
-                     "bingo_worker: cannot create shard dir %s: %s\n",
-                     shard_dir.c_str(), ec.message().c_str());
-        return 1;
+    const bool journal_locally = !shard_dir.empty();
+    if (journal_locally) {
+        std::error_code ec;
+        std::filesystem::create_directories(shard_dir, ec);
+        if (ec) {
+            std::fprintf(stderr,
+                         "bingo_worker: cannot create shard dir %s: %s\n",
+                         shard_dir.c_str(), ec.message().c_str());
+            return 1;
+        }
     }
 
-    // The heartbeat thread and the job loop share the socket; frames
+    FramedLink link(std::move(channel));
+    link.enableFaults(chaos::transportChaosFromEnv(), LinkRole::Worker,
+                      slot, fault_epoch);
+
+    // The heartbeat thread and the job loop share the link; frames
     // must not interleave.
     std::mutex send_mutex;
     const auto send = [&](MsgType type, const std::string &payload) {
         std::lock_guard<std::mutex> lock(send_mutex);
-        return sendFrame(socket_fd, type, payload);
+        return link.send(type, payload);
     };
 
     WireHello hello;
@@ -119,20 +169,29 @@ workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
     std::atomic<bool> stop{false};
     std::atomic<bool> mute{false};  // Hang knob: simulate a wedged
                                     // worker by silencing heartbeats.
+    std::atomic<bool> busy{false};
+    std::atomic<std::uint64_t> busy_index{0};
+    std::atomic<std::uint64_t> busy_lease{0};
     std::thread heartbeat([&] {
         while (!stop.load(std::memory_order_relaxed)) {
-            if (!mute.load(std::memory_order_relaxed))
-                send(MsgType::Heartbeat, "");
+            if (!mute.load(std::memory_order_relaxed)) {
+                WireHeartbeat beat;
+                beat.busy = busy.load(std::memory_order_relaxed);
+                beat.index =
+                    busy_index.load(std::memory_order_relaxed);
+                beat.lease =
+                    busy_lease.load(std::memory_order_relaxed);
+                send(MsgType::Heartbeat, encodeHeartbeat(beat));
+            }
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(200));
         }
     });
 
     int exit_code = 0;
-    FrameReader reader(socket_fd);
     Frame frame;
     for (;;) {
-        if (!reader.readBlocking(frame))
+        if (!link.readBlocking(frame))
             break;  // Coordinator gone — never simulate orphaned.
         if (frame.type == MsgType::Shutdown) {
             send(MsgType::Bye, "");
@@ -149,8 +208,26 @@ workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
             exit_code = 2;
             break;
         }
+
+        // Stall knob: sit on the job while heartbeats still say idle,
+        // as if the Job frame were stuck in a transit queue. The
+        // coordinator revokes the lease and re-dispatches; this worker
+        // then runs the job anyway and its late result must be dropped
+        // as stale — the at-most-once-commit test.
+        if (const std::uint64_t stall_ms =
+                stallKnobMs(wire.index, shard_dir);
+            stall_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
+        }
+
+        busy_index.store(wire.index, std::memory_order_relaxed);
+        busy_lease.store(wire.lease, std::memory_order_relaxed);
+        busy.store(true, std::memory_order_relaxed);
+
         WireResult result;
         result.index = wire.index;
+        result.lease = wire.lease;
         result.fingerprint = wire.fingerprint;
 
         // Drift guard: a config field missing from the wire format
@@ -164,7 +241,10 @@ workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
                 "job fingerprint drift: coordinator sent " +
                 wire.fingerprint + ", worker derived " + derived +
                 " — wire serialization out of sync with SystemConfig";
-            if (!send(MsgType::Result, encodeResult(result)))
+            const bool sent =
+                send(MsgType::Result, encodeResult(result));
+            busy.store(false, std::memory_order_relaxed);
+            if (!sent)
                 break;
             continue;
         }
@@ -193,7 +273,7 @@ workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
         result.cycles = simulatedCycles() - cycles_before;
         if (outcome.ok()) {
             result.record = journalEncode(wire.fingerprint, run);
-            if (!wire.baseline) {
+            if (!wire.baseline && journal_locally) {
                 try {
                     journalStore(shard_dir, wire.fingerprint, run);
                 } catch (const std::exception &e) {
@@ -202,7 +282,9 @@ workerMain(int socket_fd, const std::string &shard_dir, unsigned slot)
                 }
             }
         }
-        if (!send(MsgType::Result, encodeResult(result)))
+        const bool sent = send(MsgType::Result, encodeResult(result));
+        busy.store(false, std::memory_order_relaxed);
+        if (!sent)
             break;
     }
 

@@ -1,15 +1,19 @@
 /**
  * @file
  * bingo_worker process body: receive serialized SweepJobs from the
- * coordinator over the protocol socket, simulate them with the same
- * runSingleJob() kernel the in-process runner uses, journal each
- * completed job into this worker's own shard directory, and stream the
- * outcomes (including the exact journal-record bytes) back.
+ * coordinator over a FramedLink (socketpair or stdio transport),
+ * simulate them with the same runSingleJob() kernel the in-process
+ * runner uses, journal each completed job into this worker's own shard
+ * directory (when it has one — stdio workers may not share a
+ * filesystem with the coordinator), and stream the outcomes (including
+ * the exact journal-record bytes and the job's lease token) back.
  *
  * Liveness: a dedicated heartbeat thread sends a frame every ~200 ms
- * even while a simulation runs, so the coordinator can tell "slow job"
- * from "hung worker". EOF on the socket means the coordinator died;
- * the worker exits instead of simulating orphaned.
+ * even while a simulation runs — carrying the worker's busy/idle state
+ * and the in-flight job's (index, lease) — so the coordinator can tell
+ * "slow job" from "hung worker" from "job frame lost in transit".
+ * EOF on the link means the coordinator died; the worker exits instead
+ * of simulating orphaned.
  *
  * Test knobs (used by the crash-tolerance tests and the CI smoke job
  * to produce real worker deaths, equivalent to an external kill -9):
@@ -17,6 +21,11 @@
  *    dispatched sweep job <index>.
  *  - BINGO_DIST_TEST_HANG_JOB=<index>[:once] — stop heartbeating and
  *    sleep forever when dispatched sweep job <index>.
+ *  - BINGO_DIST_TEST_STALL_JOB=<index>:<ms>[:once] — sit on the job
+ *    for <ms> milliseconds while heartbeating *idle* (modelling a Job
+ *    frame stuck in a queue), then run it normally. The coordinator
+ *    revokes the lease and re-dispatches; the stalled worker's late
+ *    result must be dropped as stale — the lease-guard test.
  * With `:once` the knob fires only in the first worker process to draw
  * the job (a marker file next to the shards makes respawned workers
  * and re-dispatches proceed normally), turning "poison job" into
@@ -26,7 +35,11 @@
 #ifndef BINGO_DIST_WORKER_HPP
 #define BINGO_DIST_WORKER_HPP
 
+#include <cstdint>
+#include <memory>
 #include <string>
+
+#include "dist/transport.hpp"
 
 namespace bingo
 {
@@ -34,12 +47,17 @@ namespace dist
 {
 
 /**
- * Run the worker protocol loop on `socket_fd` (blocking), journaling
- * into `shard_dir` as worker `slot`. Returns the process exit code:
- * 0 after a clean Shutdown/EOF drain, nonzero on protocol errors.
+ * Run the worker protocol loop over `channel` (blocking), journaling
+ * into `shard_dir` as worker `slot` — an empty `shard_dir` disables
+ * local journaling (stdio/remote workers; the coordinator logs their
+ * results instead). `fault_epoch` seeds this process's transport-chaos
+ * stream so respawns do not replay their predecessor's faults. Returns
+ * the process exit code: 0 after a clean Shutdown/EOF drain, nonzero
+ * on protocol errors.
  */
-int workerMain(int socket_fd, const std::string &shard_dir,
-               unsigned slot);
+int workerMain(std::unique_ptr<ByteChannel> channel,
+               const std::string &shard_dir, unsigned slot,
+               std::uint64_t fault_epoch);
 
 } // namespace dist
 } // namespace bingo

@@ -1,17 +1,30 @@
 /**
  * @file
- * bingo_worker entry point. Spawned by the distributed sweep
- * coordinator (src/dist/coordinator.cpp) with its protocol socket on
- * an inherited fd; not meant to be run by hand. See worker.hpp for the
- * protocol loop and EXPERIMENTS.md ("Distributed sweeps") for the
+ * bingo_worker entry point. Three modes:
+ *  - `--socket-fd <fd>` — spawned by the local distributed-sweep
+ *    coordinator with its protocol socket on an inherited fd;
+ *  - `--stdio` — launched through a BINGO_DIST_HOSTS command template
+ *    (typically ssh): the protocol runs over stdin/stdout, which are
+ *    re-pointed so stray prints can never corrupt the frame stream;
+ *  - `--sweep <manifest>` — run/resume a whole sweep described by a
+ *    SweepManifest (dist/manifest.hpp), journaling next to it. This is
+ *    the coordinator-crash recovery path: point it at the manifest of
+ *    the dead coordinator's journal and the sweep finishes.
+ * See worker.hpp for the protocol loop and EXPERIMENTS.md
+ * ("Distributed sweeps" / "Multi-machine sweeps") for the
  * operator-facing picture.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include <unistd.h>
+
+#include "dist/manifest.hpp"
+#include "dist/transport.hpp"
 #include "dist/worker.hpp"
 
 namespace
@@ -23,10 +36,16 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s --socket-fd <fd> --shard-dir <dir> --slot <n>\n"
-        "Internal worker process of the distributed sweep runner;\n"
-        "spawned by the coordinator (BINGO_DIST_WORKERS=N), not run\n"
-        "directly.\n",
-        argv0);
+        "           [--fault-epoch <e>]\n"
+        "       %s --stdio [--shard-dir <dir>] [--slot <n>]\n"
+        "           [--fault-epoch <e>]\n"
+        "       %s --sweep <manifest>\n"
+        "Worker process of the distributed sweep runner; spawned by\n"
+        "the coordinator (BINGO_DIST_WORKERS=N over a socketpair, or\n"
+        "BINGO_DIST_HOSTS command templates over stdio). The --sweep\n"
+        "form runs or resumes a manifest's sweep directly — use it to\n"
+        "recover a sweep whose coordinator died.\n",
+        argv0, argv0, argv0);
     return 64;
 }
 
@@ -36,20 +55,60 @@ int
 main(int argc, char **argv)
 {
     int socket_fd = -1;
+    bool stdio = false;
     std::string shard_dir;
-    long slot = -1;
-    for (int i = 1; i + 1 < argc; i += 2) {
-        if (std::strcmp(argv[i], "--socket-fd") == 0)
-            socket_fd = std::atoi(argv[i + 1]);
-        else if (std::strcmp(argv[i], "--shard-dir") == 0)
-            shard_dir = argv[i + 1];
-        else if (std::strcmp(argv[i], "--slot") == 0)
-            slot = std::atol(argv[i + 1]);
-        else
+    std::string manifest;
+    long slot = 0;
+    long fault_epoch = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--stdio") == 0) {
+            stdio = true;
+        } else if (i + 1 < argc &&
+                   std::strcmp(argv[i], "--socket-fd") == 0) {
+            socket_fd = std::atoi(argv[++i]);
+        } else if (i + 1 < argc &&
+                   std::strcmp(argv[i], "--shard-dir") == 0) {
+            shard_dir = argv[++i];
+        } else if (i + 1 < argc &&
+                   std::strcmp(argv[i], "--slot") == 0) {
+            slot = std::atol(argv[++i]);
+        } else if (i + 1 < argc &&
+                   std::strcmp(argv[i], "--fault-epoch") == 0) {
+            fault_epoch = std::atol(argv[++i]);
+        } else if (i + 1 < argc &&
+                   std::strcmp(argv[i], "--sweep") == 0) {
+            manifest = argv[++i];
+        } else {
             return usage(argv[0]);
+        }
     }
+
+    if (!manifest.empty())
+        return bingo::dist::runManifestSweep(manifest);
+
+    if (stdio) {
+        // Keep private copies of the protocol ends, then point fd 1 at
+        // stderr: any printf from the simulator (journal notices,
+        // bench-style headers) lands in the ssh session's stderr
+        // instead of corrupting the frame stream.
+        const int in_fd = ::dup(0);
+        const int out_fd = ::dup(1);
+        if (in_fd < 0 || out_fd < 0) {
+            std::fprintf(stderr,
+                         "bingo_worker: cannot dup stdio fds\n");
+            return 1;
+        }
+        ::dup2(2, 1);
+        return bingo::dist::workerMain(
+            std::make_unique<bingo::dist::PipeChannel>(in_fd, out_fd),
+            shard_dir, static_cast<unsigned>(slot),
+            static_cast<std::uint64_t>(fault_epoch));
+    }
+
     if (socket_fd < 0 || shard_dir.empty() || slot < 0)
         return usage(argv[0]);
-    return bingo::dist::workerMain(socket_fd, shard_dir,
-                                   static_cast<unsigned>(slot));
+    return bingo::dist::workerMain(
+        std::make_unique<bingo::dist::SocketChannel>(socket_fd),
+        shard_dir, static_cast<unsigned>(slot),
+        static_cast<std::uint64_t>(fault_epoch));
 }

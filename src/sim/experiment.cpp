@@ -19,6 +19,8 @@
 #include "chaos/chaos.hpp"
 #include "common/hash.hpp"
 #include "dist/coordinator.hpp"
+#include "dist/manifest.hpp"
+#include "dist/supervisor.hpp"
 #include "sim/journal.hpp"
 #include "sim/report.hpp"
 #include "sim/thread_pool.hpp"
@@ -835,12 +837,24 @@ runSweepOutcomes(const std::vector<SweepJob> &jobs,
     std::vector<std::string> fingerprints(jobs.size());
     const std::string journal_dir = sweepJournalDir();
 
-    // Distributed dispatch is transparent: BINGO_DIST_WORKERS=N hands
-    // the pending jobs to N supervised bingo_worker processes instead
-    // of in-process threads. Callers that pin num_threads or install a
-    // fault hook (test seams) keep the in-process path.
-    const bool want_dist = sweepDistWorkers() > 0 && num_threads == 0 &&
-                           !fault_hook && !jobs.empty();
+    // Distributed dispatch is transparent: BINGO_DIST_WORKERS=N (local
+    // worker processes) or BINGO_DIST_HOSTS (stdio workers launched
+    // through command templates) hands the pending jobs to supervised
+    // bingo_worker processes instead of in-process threads. Callers
+    // that pin num_threads or install a fault hook (test seams) keep
+    // the in-process path.
+    const bool want_dist =
+        (sweepDistWorkers() > 0 || !dist::sweepDistHosts().empty()) &&
+        num_threads == 0 && !fault_hook && !jobs.empty();
+
+    // A journaled sweep is coordinator-crash-resumable: describe it as
+    // data first, so `bingo_worker --sweep <journal>/manifest.sweep`
+    // (or simply rerunning the driver) can finish it if this process is
+    // kill -9'd mid-flight. The manifest is a pure function of the job
+    // list, so rewriting it on resume is byte-idempotent.
+    if (!journal_dir.empty() && !jobs.empty())
+        dist::manifestStore(journal_dir, jobs);
+
     if (want_dist && !journal_dir.empty()) {
         // A previous coordinator may have died after its workers
         // journaled results but before the merge; fold those shards in

@@ -89,13 +89,29 @@ std::string journalShardRoot(const std::string &dir);
 /** Shard directory of worker slot `slot` under journal `dir`. */
 std::string journalShardDir(const std::string &dir, unsigned slot);
 
+/**
+ * Append one record to an append-only shard log at `path` (created on
+ * first use). Entry format: `rec <fingerprint> <len>\n<record bytes>\n`
+ * — the trailing newline is the commit marker journalMergeShards
+ * checks when recovering a log whose writer died mid-append. Used by
+ * the coordinator for results from workers that cannot journal into a
+ * local shard directory (stdio/remote transports). Throws
+ * std::runtime_error when the log cannot be written.
+ */
+void journalLogAppend(const std::string &path,
+                      const std::string &fingerprint,
+                      const std::string &record);
+
 /** What journalMergeShards did, for logs and tests. */
 struct ShardMergeStats
 {
     std::size_t shard_dirs = 0;   ///< Shard directories visited.
+    std::size_t shard_logs = 0;   ///< `shards/*.log` files folded in.
     std::size_t merged = 0;       ///< Records moved into the canonical dir.
     std::size_t deduplicated = 0; ///< Identical duplicates dropped.
     std::size_t corrupt = 0;      ///< Truncated/garbled records skipped.
+    std::size_t truncated_tails = 0; ///< Logs whose final record was cut
+                                     ///< mid-write; valid prefix kept.
 };
 
 /**
@@ -112,6 +128,12 @@ struct ShardMergeStats
  *  - a truncated or garbled record (worker died mid-write of a temp
  *    that somehow survived, disk corruption) is skipped with a warning
  *    to stderr, never a crash — the job simply re-runs.
+ * `.log` files under `shards/` (journalLogAppend output) are folded in
+ * with the same rules, record by record; a log whose final entry was cut
+ * mid-write — the appender was kill -9'd — keeps its valid prefix,
+ * with a warning naming the log and the byte offset where recovery
+ * stopped. Everything before the cut still merges, so a coordinator
+ * crash costs at most one in-flight record, never the whole log.
  * Emptied shard directories (and the shards root) are removed. Safe to
  * call when `<dir>/shards` does not exist (returns all-zero stats).
  */

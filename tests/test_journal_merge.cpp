@@ -215,6 +215,81 @@ TEST(JournalMerge, TruncatedShardRecordIsSkippedOthersMerge)
         std::filesystem::exists(journalShardRoot(dir.path())));
 }
 
+// --- Append-only shard logs (journalLogAppend): how stdio/remote
+// workers' results reach the canonical journal, and what survives when
+// the appender is kill -9'd mid-write.
+
+TEST(JournalMerge, ShardLogRecordsFoldInAndTheLogIsRemoved)
+{
+    TempDir dir("merge_log");
+    const std::string fp = realFingerprint();
+    const std::string rec = journalEncode(fp, realResult());
+    const std::string fp2 = "deadbeef01";
+    const std::string rec2 = journalEncode(fp2, realResult());
+    const std::string log =
+        journalShardRoot(dir.path()) + "/coordinator.log";
+    journalLogAppend(log, fp, rec);
+    journalLogAppend(log, fp2, rec2);
+
+    const ShardMergeStats stats = journalMergeShards(dir.path());
+    EXPECT_EQ(stats.shard_logs, 1u);
+    EXPECT_EQ(stats.merged, 2u);
+    EXPECT_EQ(stats.truncated_tails, 0u);
+    EXPECT_EQ(stats.corrupt, 0u);
+    EXPECT_EQ(readFile(journalRecordPath(dir.path(), fp)), rec);
+    EXPECT_EQ(readFile(journalRecordPath(dir.path(), fp2)), rec2);
+    EXPECT_FALSE(
+        std::filesystem::exists(journalShardRoot(dir.path())));
+}
+
+TEST(JournalMerge, TruncatedLogTailKeepsTheValidPrefix)
+{
+    // The appender died mid-append: the commit newline of the last
+    // entry never landed. Everything before the cut still merges; the
+    // torn tail is dropped with a warning, never a crash.
+    TempDir dir("merge_logcut");
+    const std::string fp = realFingerprint();
+    const std::string rec = journalEncode(fp, realResult());
+    const std::string rec2 = journalEncode("deadbeef01", realResult());
+    const std::string log =
+        journalShardRoot(dir.path()) + "/coordinator.log";
+    journalLogAppend(log, fp, rec);
+    journalLogAppend(log, "deadbeef01", rec2);
+    std::string bytes = readFile(log);
+    bytes.resize(bytes.size() - 5);  // Cut into the second entry.
+    writeFile(log, bytes);
+
+    const ShardMergeStats stats = journalMergeShards(dir.path());
+    EXPECT_EQ(stats.shard_logs, 1u);
+    EXPECT_EQ(stats.merged, 1u);
+    EXPECT_EQ(stats.truncated_tails, 1u);
+    RunResult restored;
+    EXPECT_TRUE(journalLoad(dir.path(), fp, restored));
+    EXPECT_FALSE(journalLoad(dir.path(), "deadbeef01", restored));
+    // The damaged log does not outlive the merge (its prefix did).
+    EXPECT_FALSE(
+        std::filesystem::exists(journalShardRoot(dir.path())));
+}
+
+TEST(JournalMerge, LogDuplicateOfAShardRecordDeduplicates)
+{
+    // The same result can reach the merge twice — once from a worker
+    // shard, once from the coordinator log — after a worker loses its
+    // link mid-report and the job is re-dispatched to a stdio worker.
+    // Identical bytes deduplicate; they must never conflict.
+    TempDir dir("merge_logdup");
+    const std::string fp = realFingerprint();
+    const std::string rec = journalEncode(fp, realResult());
+    journalStore(journalShardDir(dir.path(), 0), fp, realResult());
+    journalLogAppend(journalShardRoot(dir.path()) + "/coordinator.log",
+                     fp, rec);
+
+    const ShardMergeStats stats = journalMergeShards(dir.path());
+    EXPECT_EQ(stats.merged, 1u);
+    EXPECT_EQ(stats.deduplicated, 1u);
+    EXPECT_EQ(readFile(journalRecordPath(dir.path(), fp)), rec);
+}
+
 TEST(JournalMerge, EncodeDecodeRoundTripsBitExactly)
 {
     const std::string fp = realFingerprint();
